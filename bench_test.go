@@ -1,0 +1,577 @@
+package xtverify
+
+// Benchmark harness: one benchmark per paper table/figure (DESIGN.md §4)
+// plus the ablations of §5. Populations are scaled down so `go test -bench`
+// completes in minutes; cmd/repro runs the full-scale versions. Accuracy
+// quantities are attached as custom metrics (errpct, speedup, ...) so the
+// *shape* results ride along with the timing.
+
+import (
+	"math"
+	"testing"
+
+	"xtverify/internal/cellmodel"
+	"xtverify/internal/cells"
+	"xtverify/internal/circuit"
+	"xtverify/internal/dsp"
+	"xtverify/internal/exp"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/mna"
+	"xtverify/internal/prune"
+	"xtverify/internal/romsim"
+	"xtverify/internal/spice"
+	"xtverify/internal/sta"
+	"xtverify/internal/stats"
+	"xtverify/internal/sympvl"
+	"xtverify/internal/waveform"
+)
+
+func benchDSP() dsp.Config {
+	return dsp.Config{Seed: 1999, Channels: 1, TracksPerChannel: 80,
+		ChannelLengthUM: 1500, BusFraction: 0.05, LatchFraction: 0.3, ClockSpines: 1}
+}
+
+// BenchmarkTable1 regenerates Table 1 (peak glitch vs coupled length).
+func BenchmarkTable1(b *testing.B) {
+	var last *exp.Table1Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].GlitchV, "ckt4-glitch-V")
+}
+
+// BenchmarkTable2 regenerates Table 2 (delays with/without coupling).
+func BenchmarkTable2(b *testing.B) {
+	var last *exp.Table2Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	r4 := last.Rows[3]
+	b.ReportMetric((r4.RiseWith-r4.RiseWithout)*1e12, "ckt4-rise-penalty-ps")
+}
+
+var benchAccuracyCells = []string{"INV_X1", "INV_X4", "NAND2_X2", "NOR2_X1", "BUF_X2", "DFF_X1"}
+
+// BenchmarkTable3 regenerates Table 3 (timing-library model accuracy) at
+// reduced population.
+func BenchmarkTable3(b *testing.B) {
+	var last *exp.ModelAccuracyResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunModelAccuracy(glitch.ModelTimingLibrary,
+			exp.AccuracyConfig{LengthsPerCell: 4}, benchAccuracyCells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Summary.AbsMean, "avg-abs-errpct")
+	b.ReportMetric(100*last.PctWithin10, "pct-within-10")
+}
+
+// BenchmarkTable4 regenerates Table 4 (nonlinear cell model accuracy).
+func BenchmarkTable4(b *testing.B) {
+	var last *exp.ModelAccuracyResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunModelAccuracy(glitch.ModelNonlinear,
+			exp.AccuracyConfig{LengthsPerCell: 4}, benchAccuracyCells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Summary.AbsMean, "avg-abs-errpct")
+	b.ReportMetric(100*last.PctWithin10, "pct-within-10")
+}
+
+// BenchmarkFig3Speedup regenerates Figure 3 (MPVL vs SPICE with identical
+// 1 kΩ drivers) at reduced population.
+func BenchmarkFig3Speedup(b *testing.B) {
+	var last *exp.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig3(exp.Fig3Config{MaxClusters: 15, DSP: benchDSP()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AvgAbsErrPct, "avg-abs-errpct")
+	b.ReportMetric(last.MaxAbsErrPct, "max-abs-errpct")
+	b.ReportMetric(last.Speedup, "speedup-x")
+}
+
+// BenchmarkFig45 regenerates the Figure 4/5 waveform comparison.
+func BenchmarkFig45(b *testing.B) {
+	var last *exp.WaveComparison
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig45(exp.Fig3Config{MaxClusters: 8, DSP: benchDSP()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(math.Abs(last.ErrPct), "worst-case-errpct")
+}
+
+// BenchmarkFig6Speedup regenerates Figure 6 (rising, nonlinear model vs
+// transistor-level SPICE on latch-input victims).
+func BenchmarkFig6Speedup(b *testing.B) {
+	var last *exp.Fig67Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig67(true, exp.Fig67Config{MaxVictims: 10, DSP: benchDSP()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Over10.Min, "min-errpct")
+	b.ReportMetric(last.Over10.Max, "max-errpct")
+	b.ReportMetric(last.Speedup, "speedup-x")
+}
+
+// BenchmarkFig7Speedup is the falling-edge counterpart (Figure 7).
+func BenchmarkFig7Speedup(b *testing.B) {
+	var last *exp.Fig67Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig67(false, exp.Fig67Config{MaxVictims: 10, DSP: benchDSP()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Over10.Min, "min-errpct")
+	b.ReportMetric(last.Over10.Max, "max-errpct")
+	b.ReportMetric(last.Speedup, "speedup-x")
+}
+
+// BenchmarkPruning regenerates the Section 3 cluster statistics.
+func BenchmarkPruning(b *testing.B) {
+	var last *exp.PruneResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunPruneStats(benchDSP())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Stats.RawMeanSize, "raw-mean-nets")
+	b.ReportMetric(last.Stats.PrunedMeanSize, "pruned-mean-nets")
+}
+
+// --- Core-kernel benchmarks --------------------------------------------
+
+// benchCluster prepares a mid-size coupled cluster once.
+func benchCluster(b *testing.B) (*extract.Parasitics, *prune.Cluster) {
+	b.Helper()
+	d := dsp.ParallelWires(5, 2000, 1.2, []string{"INV_X4"}, "INV_X1")
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := prune.PruneVictim(par, 2, prune.Options{CapRatioThreshold: 0.001, MinCouplingF: 1e-18})
+	return par, cl
+}
+
+// BenchmarkSyMPVLReduce measures the model-order-reduction kernel alone.
+func BenchmarkSyMPVLReduce(b *testing.B) {
+	par, cl := benchCluster(b)
+	ckt, err := prune.BuildCircuit(par, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sympvl.Reduce(sys, sympvl.Options{Order: 36}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkROMTransient measures the reduced-order nonlinear transient.
+func BenchmarkROMTransient(b *testing.B) {
+	par, cl := benchCluster(b)
+	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelFixedR, FixedOhms: 1000, TEnd: 5e-9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnalyzeGlitch(cl, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPICETransient measures the same analysis in the reference
+// engine; the ratio to BenchmarkROMTransient is the paper's headline
+// speedup.
+func BenchmarkSPICETransient(b *testing.B) {
+	par, cl := benchCluster(b)
+	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelFixedR, FixedOhms: 1000, TEnd: 5e-9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SPICEGlitch(cl, true, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------
+
+// BenchmarkAblationOrder sweeps the reduced order and reports the glitch
+// error against the exhaustive (full-order) model.
+func BenchmarkAblationOrder(b *testing.B) {
+	par, cl := benchCluster(b)
+	run := func(order int) float64 {
+		eng := glitch.NewEngine(par, glitch.Options{
+			Model: glitch.ModelFixedR, FixedOhms: 1000, TEnd: 5e-9, Order: order,
+		})
+		res, err := eng.AnalyzeGlitch(cl, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.PeakV
+	}
+	exact := run(200) // effectively exhaustive for this cluster
+	for _, order := range []int{4, 8, 16, 32} {
+		order := order
+		b.Run(orderName(order), func(b *testing.B) {
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				peak = run(order)
+			}
+			b.ReportMetric(100*math.Abs(peak-exact)/exact, "errpct-vs-full")
+		})
+	}
+}
+
+func orderName(q int) string {
+	switch q {
+	case 4:
+		return "q=04"
+	case 8:
+		return "q=08"
+	default:
+		return "q=" + string(rune('0'+q/10)) + string(rune('0'+q%10))
+	}
+}
+
+// BenchmarkAblationPrune sweeps the capacitance-ratio threshold and reports
+// the cluster-size / retained-coupling trade.
+func BenchmarkAblationPrune(b *testing.B) {
+	d := dsp.Generate(benchDSP())
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, th := range []float64{0.005, 0.02, 0.08} {
+		th := th
+		b.Run(thName(th), func(b *testing.B) {
+			var s prune.Stats
+			for i := 0; i < b.N; i++ {
+				s = prune.ComputeStats(par, prune.Options{CapRatioThreshold: th, MinCouplingF: 0.1e-15})
+			}
+			b.ReportMetric(s.PrunedMeanSize, "mean-cluster-nets")
+			b.ReportMetric(100*s.KeptCouplingFrac, "kept-coupling-pct")
+		})
+	}
+}
+
+func thName(th float64) string {
+	switch th {
+	case 0.005:
+		return "th=0.005"
+	case 0.02:
+		return "th=0.020"
+	default:
+		return "th=0.080"
+	}
+}
+
+// BenchmarkAblationWoodbury compares the diagonal-plus-rank-k Newton solve
+// (paper Eq. 7) against a dense LU at every Newton step.
+func BenchmarkAblationWoodbury(b *testing.B) {
+	par, cl := benchCluster(b)
+	ckt, err := prune.BuildCircuit(par, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := sympvl.Reduce(sys, sympvl.Options{Order: 48})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim, _ := cells.ByName("INV_X4")
+	hold, err := cellmodel.NewNonlinearHolding(victim, cells.HoldLow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	terms := make([]romsim.Termination, model.Ports)
+	for i := range terms {
+		terms[i] = romsim.Termination{Linear: &romsim.Linear{G: 1e-3, Vs: waveform.Ramp(0, 3, 100e-12, 100e-12)}}
+	}
+	// A couple of nonlinear ports so the rank-k path is exercised.
+	terms[0] = hold.Termination()
+	terms[1] = hold.Termination()
+	for _, dense := range []bool{false, true} {
+		dense := dense
+		name := "woodbury"
+		if dense {
+			name = "dense-lu"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := romsim.Simulate(model, terms, romsim.Options{
+					TEnd: 3e-9, Dt: 2e-12, DenseNewton: dense,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDriverForm compares the two nonlinear driver
+// formulations (I–V surface vs two-curve blend) on short-wire accuracy,
+// where the difference is largest.
+func BenchmarkAblationDriverForm(b *testing.B) {
+	d := dsp.ParallelWires(2, 150, 1.2, []string{"BUF_X4", "INV_X1"}, "INV_X1")
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := prune.PruneVictim(par, 1, prune.Options{CapRatioThreshold: 0.001, MinCouplingF: 1e-18})
+	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelNonlinear, TEnd: 3e-9})
+	gold, err := eng.SPICEGlitch(cl, true, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, _ := cells.ByName("BUF_X4")
+	tm, err := cells.CharacterizeCached(agg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	load := par.Nets[0].TotalCapF()
+	b.Run("surface", func(b *testing.B) {
+		var peak float64
+		for i := 0; i < b.N; i++ {
+			res, err := eng.AnalyzeGlitch(cl, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			peak = res.PeakV
+		}
+		b.ReportMetric(100*math.Abs(peak-gold.PeakV)/gold.PeakV, "errpct-vs-spice")
+	})
+	b.Run("blend", func(b *testing.B) {
+		var peak float64
+		for i := 0; i < b.N; i++ {
+			blend, err := cellmodel.NewBlendSwitching(agg, tm, true, 200e-12, 120e-12, load)
+			if err != nil {
+				b.Fatal(err)
+			}
+			peak = blendGlitch(b, par, cl, blend)
+		}
+		b.ReportMetric(100*math.Abs(peak-gold.PeakV)/gold.PeakV, "errpct-vs-spice")
+	})
+}
+
+// blendGlitch simulates the 2-wire cluster with an explicit aggressor device
+// and a nonlinear holding victim.
+func blendGlitch(b *testing.B, par *extract.Parasitics, cl *prune.Cluster, aggDev romsim.Device) float64 {
+	b.Helper()
+	ckt, err := prune.BuildCircuit(par, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := sympvl.Reduce(sys, sympvl.Options{Order: 6 * sys.P})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim, _ := cells.ByName("INV_X1")
+	hold, err := cellmodel.NewNonlinearHolding(victim, cells.HoldLow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	terms := make([]romsim.Termination, model.Ports)
+	// Port order from BuildCircuit: victim driver, aggressor driver, victim
+	// receiver.
+	terms[0] = hold.Termination()
+	terms[1] = romsim.Termination{Dev: aggDev}
+	res, err := romsim.Simulate(model, terms, romsim.Options{TEnd: 3e-9, Dt: 2e-12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Ports[2].PeakDeviation(0).Value
+}
+
+// BenchmarkFullChipVerify measures the end-to-end public API flow.
+func BenchmarkFullChipVerify(b *testing.B) {
+	cfg := DSPConfig{Seed: 7, Channels: 1, TracksPerChannel: 40, ChannelLengthUM: 800,
+		BusFraction: 0.05, LatchFraction: 0.25, ClockSpines: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := NewVerifierFromDSP(cfg, Config{Model: FixedResistance})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTA measures window annotation on the bench design.
+func BenchmarkSTA(b *testing.B) {
+	d := dsp.Generate(benchDSP())
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sta.Annotate(d, par, sta.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtraction measures the synthetic extractor.
+func BenchmarkExtraction(b *testing.B) {
+	d := dsp.Generate(benchDSP())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extract.Extract(d, extract.Tech025()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = stats.Summarize // keep stats linked for metric helpers
+
+// BenchmarkAnalyticBaseline regenerates the closed-form prior-art
+// comparison (DESIGN.md extension experiments).
+func BenchmarkAnalyticBaseline(b *testing.B) {
+	var last *exp.AnalyticResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunAnalytic()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	// Ratio of closed-form to SPICE at the longest line: the pessimism the
+	// detailed flow removes.
+	row := last.Rows[len(last.Rows)-1]
+	b.ReportMetric(row.ChargeShareV/row.SPICEV, "bound-pessimism-x")
+}
+
+// BenchmarkTimingImpact measures the chip-level timing recalculation.
+func BenchmarkTimingImpact(b *testing.B) {
+	var last *exp.TimingImpactResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunTimingImpact(benchDSP(), 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.DeterioratePct.Mean, "mean-deterioration-pct")
+}
+
+// BenchmarkEMAudit measures the electromigration current audit.
+func BenchmarkEMAudit(b *testing.B) {
+	cfg := dsp.Config{Seed: 3, Channels: 1, TracksPerChannel: 30, ChannelLengthUM: 900, ClockSpines: 1}
+	var last *exp.EMStudyResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunEMStudy(cfg, 200e6, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Violations), "violations")
+}
+
+// BenchmarkSPICEAdaptive contrasts adaptive and fixed-step SPICE transients
+// on the same cluster (substrate ablation).
+func BenchmarkSPICEAdaptive(b *testing.B) {
+	par, cl := benchCluster(b)
+	ckt, err := prune.BuildCircuit(par, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildNet := func() *spice.Netlist {
+		net := spice.NewNetlist("ad")
+		nodeOf := make([]spice.Node, ckt.NumNodes())
+		for i := range nodeOf {
+			nodeOf[i] = net.Node(ckt.NodeName(circuit.NodeID(i)))
+		}
+		for _, r := range ckt.Resistors {
+			net.AddR(nodeOf[r.A], nodeOf[r.B], r.Ohms)
+		}
+		for _, c := range ckt.Capacitors {
+			a, bb := spice.Ground, spice.Ground
+			if c.A != circuit.Ground {
+				a = nodeOf[c.A]
+			}
+			if c.B != circuit.Ground {
+				bb = nodeOf[c.B]
+			}
+			net.AddC(a, bb, c.Farads)
+		}
+		// Drive the first port node, observe the rest.
+		net.Drive(nodeOf[ckt.Ports[0].Node], waveform.Ramp(0, 3, 200e-12, 120e-12))
+		return net
+	}
+	for _, adaptive := range []bool{false, true} {
+		adaptive := adaptive
+		name := "fixed"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				res, err := buildNet().Transient(spice.Options{TEnd: 4e-9, Dt: 2e-12, Adaptive: adaptive})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
+// BenchmarkPropagation measures the chip-level noise-propagation study
+// (extension X5).
+func BenchmarkPropagation(b *testing.B) {
+	var last *exp.PropagationResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunPropagation(benchDSP(), 10, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.ReachedLatch), "reached-latch")
+	b.ReportMetric(float64(last.Filtered), "filtered")
+}

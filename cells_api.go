@@ -1,0 +1,65 @@
+package xtverify
+
+import (
+	"xtverify/internal/cells"
+)
+
+// CellInfo describes one library cell for API consumers.
+type CellInfo struct {
+	Name string
+	// DriveStrength is the relative output drive (X1 = 1).
+	DriveStrength float64
+	// Inputs is the logic input count.
+	Inputs int
+	// InputCapF is the input pin capacitance in farads.
+	InputCapF float64
+	// TriState marks bus drivers; Sequential marks storage cells.
+	TriState, Sequential bool
+}
+
+// Cells enumerates the bundled 53-cell 0.25 µm library.
+func Cells() []CellInfo {
+	lib := cells.Library()
+	out := make([]CellInfo, 0, len(lib))
+	for _, c := range lib {
+		out = append(out, CellInfo{
+			Name:          c.Name,
+			DriveStrength: c.Strength,
+			Inputs:        c.Inputs,
+			InputCapF:     c.InputCapF,
+			TriState:      c.TriState,
+			Sequential:    c.Sequential,
+		})
+	}
+	return out
+}
+
+func libraryNames() []string {
+	lib := cells.Library()
+	out := make([]string, 0, len(lib))
+	for _, c := range lib {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// DriveResistance characterizes the named cell against the bundled SPICE
+// engine and returns its effective linear drive resistances for rising and
+// falling output transitions (the Section 4.1 timing-library model).
+func DriveResistance(cellName string) (riseOhms, fallOhms float64, err error) {
+	c, ok := cells.ByName(cellName)
+	if !ok {
+		return 0, 0, errUnknownCell(cellName)
+	}
+	tm, err := cells.CharacterizeCached(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tm.DriveResistance(true), tm.DriveResistance(false), nil
+}
+
+type unknownCellError string
+
+func (e unknownCellError) Error() string { return "xtverify: unknown cell " + string(e) }
+
+func errUnknownCell(name string) error { return unknownCellError(name) }

@@ -1,0 +1,82 @@
+// Command cellchar characterizes the bundled 0.25 µm cell library against
+// the SPICE-class engine and prints the timing-library view: NLDM delay and
+// transition tables plus the deduced effective drive resistances (the paper
+// Section 4.1 model inputs).
+//
+// Usage:
+//
+//	cellchar [-cell NAME] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/liberty"
+)
+
+func main() {
+	var (
+		only    = flag.String("cell", "", "characterize only this cell")
+		verbose = flag.Bool("v", false, "print full delay/transition tables")
+		libOut  = flag.String("lib", "", "write the characterized library to this Liberty (.lib) file")
+	)
+	flag.Parse()
+
+	lib := cells.Library()
+	var charTables []*cells.Timing
+	fmt.Printf("%-12s %8s %8s %10s %10s %12s\n", "cell", "Wn(um)", "Wp(um)", "Rrise(ohm)", "Rfall(ohm)", "Cin(fF)")
+	for _, c := range lib {
+		if *only != "" && c.Name != *only {
+			continue
+		}
+		tm, err := cells.CharacterizeCached(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellchar: %s: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %8.2f %8.2f %10.0f %10.0f %12.2f\n",
+			c.Name, c.Wn*1e6, c.Wp*1e6,
+			tm.DriveResistance(true), tm.DriveResistance(false), c.InputCapF*1e15)
+		charTables = append(charTables, tm)
+		if *verbose {
+			printTable("delay rise (ps)", tm.Loads, tm.Slews, tm.DelayRise)
+			printTable("delay fall (ps)", tm.Loads, tm.Slews, tm.DelayFall)
+			printTable("trans rise (ps)", tm.Loads, tm.Slews, tm.TransRise)
+			printTable("trans fall (ps)", tm.Loads, tm.Slews, tm.TransFall)
+		}
+	}
+	if *libOut != "" {
+		f, err := os.Create(*libOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := liberty.Write(f, "xtverify_025", charTables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Liberty library to %s\n", *libOut)
+	}
+}
+
+func printTable(title string, loads, slews []float64, tab [][]float64) {
+	fmt.Printf("  %s\n  %12s", title, "load\\slew")
+	for _, s := range slews {
+		fmt.Printf("%9.0fps", s*1e12)
+	}
+	fmt.Println()
+	for i, l := range loads {
+		fmt.Printf("  %10.0ffF", l*1e15)
+		for j := range slews {
+			fmt.Printf("%11.1f", tab[i][j]*1e12)
+		}
+		fmt.Println()
+	}
+}

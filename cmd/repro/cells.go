@@ -1,0 +1,13 @@
+package main
+
+import "xtverify/internal/cells"
+
+// cellLibrary returns the library cell names in declaration order.
+func cellLibrary() []string {
+	lib := cells.Library()
+	out := make([]string, 0, len(lib))
+	for _, c := range lib {
+		out = append(out, c.Name)
+	}
+	return out
+}

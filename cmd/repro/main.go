@@ -1,0 +1,176 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro [flags] <experiment>...
+//
+// where experiment is one of: table1 table2 table3 table4 fig3 fig4 fig5
+// fig6 fig7 prune all. Scaled-down runs (for quick checks) use -scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/exp"
+	"xtverify/internal/glitch"
+)
+
+var (
+	scale = flag.Float64("scale", 1.0, "population scale factor (0 < scale <= 1); smaller runs fewer cases")
+	seed  = flag.Int64("seed", 1999, "synthetic DSP seed")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 prune analytic timing em prop all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, a := range args {
+		if a == "all" {
+			args = []string{"table1", "table2", "table3", "table4", "prune", "analytic", "fig3", "fig4", "fig6", "fig7"}
+			break
+		}
+	}
+	for _, a := range args {
+		t0 := time.Now()
+		out, err := run(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %.1fs]\n\n", a, time.Since(t0).Seconds())
+	}
+}
+
+func scaled(n int) int {
+	m := int(float64(n) * *scale)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func dspCfg() dsp.Config {
+	cfg := dsp.DefaultConfig()
+	cfg.Seed = *seed
+	if *scale < 1 {
+		cfg.Channels = scaled(cfg.Channels)
+	}
+	return cfg
+}
+
+func accuracyCfg() exp.AccuracyConfig {
+	cfg := exp.AccuracyConfig{}
+	if *scale < 1 {
+		cfg.LengthsPerCell = scaled(8)
+	}
+	return cfg
+}
+
+func allCellNames() []string {
+	names := make([]string, 0, 53)
+	for _, c := range cellLibrary() {
+		names = append(names, c)
+	}
+	if *scale < 1 {
+		names = names[:scaled(len(names))]
+	}
+	return names
+}
+
+func run(name string) (string, error) {
+	switch name {
+	case "table1":
+		r, err := exp.RunTable1()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "table2":
+		r, err := exp.RunTable2()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "table3":
+		r, err := exp.RunModelAccuracy(glitch.ModelTimingLibrary, accuracyCfg(), allCellNames())
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "table4":
+		r, err := exp.RunModelAccuracy(glitch.ModelNonlinear, accuracyCfg(), allCellNames())
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig3":
+		r, err := exp.RunFig3(exp.Fig3Config{MaxClusters: scaled(113), DSP: dspCfg()})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig4", "fig5":
+		r, err := exp.RunFig45(exp.Fig3Config{MaxClusters: scaled(25), DSP: dspCfg()})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig6":
+		r, err := exp.RunFig67(true, exp.Fig67Config{MaxVictims: scaled(101), DSP: dspCfg()})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig7":
+		r, err := exp.RunFig67(false, exp.Fig67Config{MaxVictims: scaled(101), DSP: dspCfg()})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "analytic":
+		r, err := exp.RunAnalytic()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "timing":
+		r, err := exp.RunTimingImpact(dspCfg(), scaled(200))
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "em":
+		r, err := exp.RunEMStudy(dspCfg(), 200e6, 0)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "prop":
+		r, err := exp.RunPropagation(dspCfg(), scaled(60), 0.10)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "prune":
+		r, err := exp.RunPruneStats(dspCfg())
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,158 @@
+// Command xtverify runs full-chip crosstalk verification on the synthetic
+// DSP design and prints the violation report. It demonstrates the complete
+// flow of the library: generation → extraction → (optional STA) → pruning →
+// SyMPVL reduction → nonlinear transient → report.
+//
+// Usage:
+//
+//	xtverify [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xtverify"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "nonlinear", "driver model: fixed | library | nonlinear")
+		fixedR   = flag.Float64("r", 1000, "drive resistance for -model=fixed (ohms)")
+		thresh   = flag.Float64("threshold", 0.10, "report glitches above this fraction of Vdd")
+		capRatio = flag.Float64("capratio", 0.02, "pruning capacitance-ratio threshold")
+		windows  = flag.Bool("windows", false, "use static-timing windows to exclude aggressors")
+		logic    = flag.Bool("logic", false, "use complementary-pair logic correlation")
+		channels = flag.Int("channels", 2, "synthetic DSP channels")
+		tracks   = flag.Int("tracks", 105, "tracks per channel")
+		seed     = flag.Int64("seed", 1999, "generator seed")
+		spefOut  = flag.String("spef", "", "also write extracted parasitics to this SPEF file")
+		vlogOut  = flag.String("verilog", "", "also write the gate-level netlist to this Verilog file")
+		defOut   = flag.String("def", "", "also write the physical design to this DEF file")
+		defIn    = flag.String("indef", "", "load the design from this DEF file instead of generating one")
+		emFlag   = flag.Bool("em", false, "also run the electromigration current audit")
+		timFlag  = flag.Bool("timing", false, "also run the coupled-delay timing impact report")
+	)
+	flag.Parse()
+
+	cfg := xtverify.Config{
+		FixedOhms:           *fixedR,
+		CapRatioThreshold:   *capRatio,
+		GlitchThresholdFrac: *thresh,
+		UseTimingWindows:    *windows,
+		UseLogicCorrelation: *logic,
+	}
+	switch *model {
+	case "fixed":
+		cfg.Model = xtverify.FixedResistance
+	case "library":
+		cfg.Model = xtverify.TimingLibrary
+	case "nonlinear":
+		cfg.Model = xtverify.NonlinearCellModel
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	dspCfg := xtverify.DefaultDSPConfig()
+	dspCfg.Seed = *seed
+	dspCfg.Channels = *channels
+	dspCfg.TracksPerChannel = *tracks
+
+	var (
+		v   *xtverify.Verifier
+		err error
+	)
+	if *defIn != "" {
+		f, err2 := os.Open(*defIn)
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, err2)
+			os.Exit(1)
+		}
+		v, err = xtverify.NewVerifierFromDEF(f, cfg)
+		f.Close()
+	} else {
+		v, err = xtverify.NewVerifierFromDSP(dspCfg, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	writeVia := func(path string, fn func(io.Writer) error, what string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s to %s\n", what, path)
+	}
+	writeVia(*vlogOut, v.WriteVerilog, "netlist")
+	writeVia(*defOut, v.WriteDEF, "physical design")
+	if *spefOut != "" {
+		f, err := os.Create(*spefOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := v.WriteSPEF(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote parasitics to %s\n", *spefOut)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *timFlag {
+		impacts, err := v.RunTimingImpact(true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("\nworst coupling-induced delay changes:")
+		if err := xtverify.WriteTimingText(os.Stdout, impacts, 10); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *emFlag {
+		rs, err := v.RunEM(xtverify.EMOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(rs) > 10 {
+			rs = rs[:10]
+		}
+		fmt.Println("\nworst electromigration utilizations:")
+		if err := xtverify.WriteEMText(os.Stdout, rs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if len(rep.Violations) > 0 {
+		os.Exit(3) // nonzero exit signals signal-integrity violations
+	}
+}

@@ -1,0 +1,107 @@
+// busnoise demonstrates the tri-state bus policy on a hand-built scenario:
+// a victim control net runs alongside a shared data bus driven by four
+// tri-state buffers of different strengths. Only one bus driver is active
+// at a time in real operation, so the analysis assumes the strongest one
+// switches — the paper's conservative bus rule — and compares that against
+// the (wrong) optimistic choice of the weakest driver.
+//
+// This example exercises the layered internals directly (design model →
+// extractor → pruning → glitch engine); see examples/quickstart for the
+// one-call public API.
+//
+// Run with:
+//
+//	go run ./examples/busnoise
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/design"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+)
+
+func mustCell(name string) *cells.Cell {
+	c, ok := cells.ByName(name)
+	if !ok {
+		log.Fatalf("unknown cell %s", name)
+	}
+	return c
+}
+
+func buildScenario() *design.Design {
+	d := design.New("busnoise")
+	const busLen = 1800.0
+	// The shared bus: four tri-state drivers tapped along the wire.
+	bus := &design.Net{
+		Name: "data_bus",
+		Receivers: []design.Pin{{
+			Inst: "rx", Cell: mustCell("INV_X2"), Pin: "A", PosX: busLen, PosY: 0,
+		}},
+		Route: []design.Segment{{Layer: 2, X0: 0, Y0: 0, X1: busLen, Y1: 0, Width: 0.6}},
+	}
+	for i, tb := range []string{"TBUF_X1", "TBUF_X2", "TBUF_X4", "TBUF_X8"} {
+		bus.Drivers = append(bus.Drivers, design.Pin{
+			Inst: fmt.Sprintf("tbuf%d", i), Cell: mustCell(tb), Pin: "Z",
+			PosX: busLen * float64(i) / 4, PosY: 0,
+		})
+	}
+	d.AddNet(bus)
+	// The victim: a weakly driven control net on the adjacent track feeding
+	// a latch enable.
+	victim := &design.Net{
+		Name:    "latch_en",
+		Drivers: []design.Pin{{Inst: "vdrv", Cell: mustCell("INV_X1"), Pin: "Z", PosX: 0, PosY: 1.2}},
+		Receivers: []design.Pin{{
+			Inst: "lat", Cell: mustCell("LATCH_X1"), Pin: "EN", PosX: busLen, PosY: 1.2,
+		}},
+		Route: []design.Segment{{Layer: 2, X0: 0, Y0: 1.2, X1: busLen, Y1: 1.2, Width: 0.6}},
+	}
+	d.AddNet(victim)
+	return d
+}
+
+func main() {
+	d := buildScenario()
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := par.Stats()
+	fmt.Printf("extracted %d nodes, %d resistors, %d coupling caps (%.0f%% of capacitance couples)\n\n",
+		st.Nodes, st.Resistors, st.Couplings, 100*st.CouplingFrac)
+
+	victim, _ := d.NetByName("latch_en")
+	cl := prune.PruneVictim(par, victim.Index, prune.DefaultOptions())
+	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelNonlinear, TEnd: 5e-9})
+	res, err := eng.AnalyzeGlitch(cl, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bus rule: strongest of the %d tri-state drivers switches -> %s\n",
+		len(d.Nets[0].Drivers), res.Aggressors[0].Cell.Name)
+	fmt.Printf("worst-case glitch on latch enable: %.3f V (%.0f%% of Vdd)\n",
+		res.PeakV, 100*res.PeakV/glitch.Vdd)
+
+	// Contrast: what an optimistic analysis (weakest driver) would report.
+	weak := buildScenario()
+	weak.Nets[0].Drivers = weak.Nets[0].Drivers[:1] // keep only TBUF_X1
+	parW, err := extract.Extract(weak, extract.Tech025())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clW := prune.PruneVictim(parW, 1, prune.DefaultOptions())
+	engW := glitch.NewEngine(parW, glitch.Options{Model: glitch.ModelNonlinear, TEnd: 5e-9})
+	resW, err := engW.AnalyzeGlitch(clW, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimistic (weakest driver only):      %.3f V (%.0f%% of Vdd)\n",
+		resW.PeakV, 100*resW.PeakV/glitch.Vdd)
+	fmt.Printf("\nthe conservative rule reports %.1fx the optimistic glitch — the audit never misses the real case.\n",
+		res.PeakV/resW.PeakV)
+}

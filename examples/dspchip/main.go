@@ -1,0 +1,50 @@
+// dspchip runs the full chip-level verification flow on the synthetic DSP
+// design (the paper's Section 5 scenario): extraction, capacitance-ratio
+// pruning with static-timing windows, logic correlation, SyMPVL reduction,
+// nonlinear driver models, and a violation report of the latch-input nets
+// most at risk of capturing a crosstalk glitch.
+//
+// Run with:
+//
+//	go run ./examples/dspchip
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xtverify"
+)
+
+func main() {
+	dspCfg := xtverify.DefaultDSPConfig()
+	dspCfg.Channels = 2 // keep the example quick; cmd/xtverify runs full scale
+
+	fmt.Println("generating synthetic DSP design and extracting parasitics...")
+	v, err := xtverify.NewVerifierFromDSP(dspCfg, xtverify.Config{
+		Model:               xtverify.NonlinearCellModel,
+		UseTimingWindows:    true,
+		UseLogicCorrelation: true,
+		GlitchThresholdFrac: 0.10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	latch := 0
+	for _, viol := range rep.Violations {
+		if viol.LatchInput {
+			latch++
+		}
+	}
+	fmt.Printf("\n%d of %d violations land on latch inputs — the cases that can flip stored state.\n",
+		latch, len(rep.Violations))
+}

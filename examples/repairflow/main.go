@@ -1,0 +1,89 @@
+// repairflow demonstrates the signal-integrity ECO loop: verify a design,
+// take its worst violating victim, let the repair advisor re-simulate the
+// standard fix menu (driver upsizing, respacing, shield insertion), and dump
+// the offending waveform as a VCD file for a waveform viewer.
+//
+// This example drives the layered internals directly; see
+// examples/quickstart for the one-call public API.
+//
+// Run with:
+//
+//	go run ./examples/repairflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+	"xtverify/internal/waveform"
+)
+
+func main() {
+	cfg := dsp.Config{Seed: 1999, Channels: 1, TracksPerChannel: 60,
+		ChannelLengthUM: 1500, BusFraction: 0.05, LatchFraction: 0.3, ClockSpines: 1}
+	d := dsp.Generate(cfg)
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusters := prune.Clusters(par, prune.DefaultOptions())
+	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelNonlinear, TEnd: 4e-9})
+
+	// Find the worst rising-glitch victim.
+	var worst *glitch.Result
+	var worstCluster *prune.Cluster
+	for _, cl := range clusters {
+		res, err := eng.AnalyzeGlitch(cl, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if worst == nil || res.PeakV > worst.PeakV {
+			worst, worstCluster = res, cl
+		}
+	}
+	if worst == nil {
+		log.Fatal("no coupled victims found")
+	}
+	fmt.Printf("worst victim: %s — %.3f V glitch (%.0f%% of Vdd) from %d aggressors\n\n",
+		worst.VictimName, worst.PeakV, 100*worst.PeakV/glitch.Vdd, worst.ActiveAggressors)
+
+	// Evaluate the ECO menu against a 10%-of-Vdd target.
+	threshold := 0.10 * glitch.Vdd
+	advice, err := eng.AdviseRepairs(worstCluster, true, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair options (target: < %.2f V):\n", threshold)
+	for _, o := range advice.Options {
+		status := "misses target"
+		if !o.Feasible {
+			status = "not applicable"
+		} else if o.Clears {
+			status = "CLEARS"
+		}
+		fmt.Printf("  %-16s %-16s -> %.3f V   [%s]\n", o.Fix, o.Detail, o.PeakV, status)
+	}
+	if rec := advice.Recommended(); rec != nil {
+		fmt.Printf("\nrecommended fix: %s (%s)\n", rec.Fix, rec.Detail)
+	} else {
+		fmt.Println("\nno single fix clears the target; combine fixes or re-route")
+	}
+
+	// Dump the violating waveform for a viewer.
+	f, err := os.Create("glitch.vcd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := waveform.WriteVCD(f, map[string]*waveform.Waveform{
+		worst.VictimName: worst.ReceiverWave,
+	}, 1e-4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote the victim waveform to glitch.vcd")
+}

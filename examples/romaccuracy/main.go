@@ -1,0 +1,80 @@
+// romaccuracy overlays the SyMPVL reduced-order model against the full
+// SPICE-level solution of the same coupled cluster — the comparison behind
+// the paper's Figures 4 and 5. Both engines carry identical linear 1 kΩ
+// drivers, so any difference is pure model-order-reduction error; the plot
+// shows the two waveforms are indistinguishable while the reduced model is
+// an order of magnitude cheaper.
+//
+// This example exercises the layered internals directly; see
+// examples/quickstart for the one-call public API.
+//
+// Run with:
+//
+//	go run ./examples/romaccuracy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+	"xtverify/internal/waveform"
+)
+
+func main() {
+	// Five coupled 2 mm wires: a mid-size cluster.
+	d := dsp.ParallelWires(5, 2000, 1.2, []string{"INV_X4"}, "INV_X1")
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := prune.PruneVictim(par, 2, prune.Options{CapRatioThreshold: 0.001, MinCouplingF: 1e-18})
+	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelFixedR, FixedOhms: 1000, TEnd: 5e-9})
+
+	t0 := time.Now()
+	rom, err := eng.AnalyzeGlitch(cl, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	romTime := time.Since(t0)
+
+	t0 = time.Now()
+	ref, err := eng.SPICEGlitch(cl, true, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spiceTime := time.Since(t0)
+
+	fmt.Printf("cluster: %d nodes unreduced -> %d reduced states\n", rom.ClusterNodes, rom.ReducedOrder)
+	fmt.Printf("peak glitch: MPVL %.4f V, SPICE %.4f V (error %.3f%%)\n",
+		rom.PeakV, ref.PeakV, 100*math.Abs(rom.PeakV-ref.PeakV)/ref.PeakV)
+	fmt.Printf("runtime: MPVL %v, SPICE %v (%.1fx)\n\n",
+		romTime.Round(time.Millisecond), spiceTime.Round(time.Millisecond),
+		spiceTime.Seconds()/romTime.Seconds())
+
+	fmt.Println("victim receiver waveform, MPVL (*) vs SPICE (+):")
+	fmt.Print(waveform.ASCIIPlot(72, 14, rom.ReceiverWave, ref.ReceiverWave))
+
+	// Zoom on the peak, Figure 5 style.
+	span := 0.5e-9
+	zoomR, zoomS := zoom(rom.ReceiverWave, ref.PeakTime, span), zoom(ref.ReceiverWave, ref.PeakTime, span)
+	fmt.Println("\nmagnified peak:")
+	fmt.Print(waveform.ASCIIPlot(72, 14, zoomR, zoomS))
+}
+
+func zoom(w *waveform.Waveform, center, span float64) *waveform.Waveform {
+	out := waveform.New(128)
+	for i := 0; i < 128; i++ {
+		t := center - span/2 + span*float64(i)/127
+		if t < 0 {
+			continue
+		}
+		out.Append(t, w.At(t))
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module xtverify
+
+go 1.22

@@ -1,0 +1,106 @@
+// Package analytic implements the closed-form coupled-line estimates the
+// paper cites as prior art (its references [2], [5], [18]: Sakurai's
+// closed-form interconnect expressions, Kawaguchi/Sakurai's coupled-line
+// noise forms, and charge-sharing bounds in the style of Devgan/Vittal).
+// They serve as the cheap baseline the detailed MPVL flow is compared
+// against: instant to evaluate, but markedly cruder, especially for
+// resistive lines and nonlinear holding drivers.
+package analytic
+
+import "math"
+
+// CoupledLine describes a victim wire with one lumped aggressor neighbour
+// in the classic two-line configuration.
+type CoupledLine struct {
+	// LengthUM is the coupled run length in micrometers.
+	LengthUM float64
+	// RPerUM, CgPerUM, CcPerUM are per-micrometer wire resistance, ground
+	// capacitance and coupling capacitance.
+	RPerUM, CgPerUM, CcPerUM float64
+	// RdrvVictim is the victim's holding resistance; RdrvAggressor the
+	// aggressor's drive resistance.
+	RdrvVictim, RdrvAggressor float64
+	// LoadF is additional lumped load at the victim far end (receiver pins).
+	LoadF float64
+	// SlewS is the aggressor output transition time.
+	SlewS float64
+	// Vdd is the supply.
+	Vdd float64
+}
+
+// wireTotals returns the victim's lumped element values.
+func (c CoupledLine) wireTotals() (rw, cg, cc float64) {
+	return c.RPerUM * c.LengthUM, c.CgPerUM*c.LengthUM + c.LoadF, c.CcPerUM * c.LengthUM
+}
+
+// VictimTau returns the victim's holding time constant against the full
+// (ground + coupling) capacitance, including half the wire resistance in
+// the classic lumped approximation.
+func (c CoupledLine) VictimTau() float64 {
+	rw, cg, cc := c.wireTotals()
+	return (c.RdrvVictim + rw/2) * (cg + cc)
+}
+
+// PeakGlitchChargeShare is the fast-aggressor upper bound: the capacitive
+// divider Cc/(Cc+Cg) of the full supply swing. It ignores the holding
+// driver entirely and so is always conservative.
+func (c CoupledLine) PeakGlitchChargeShare() float64 {
+	_, cg, cc := c.wireTotals()
+	if cc == 0 {
+		return 0
+	}
+	return c.Vdd * cc / (cc + cg)
+}
+
+// PeakGlitch is the ramp-response closed form (the Kawaguchi–Sakurai
+// style expression): the charge-share amplitude filtered by the victim's
+// holding time constant against the aggressor transition time,
+//
+//	Vp = Vdd · Cc/(Cc+Cg) · (τ/tr)·(1 − e^(−tr/τ)).
+func (c CoupledLine) PeakGlitch() float64 {
+	amp := c.PeakGlitchChargeShare()
+	tau := c.VictimTau()
+	tr := c.SlewS
+	if tr <= 0 || tau <= 0 {
+		return amp
+	}
+	return amp * (tau / tr) * (1 - math.Exp(-tr/tau))
+}
+
+// PeakGlitchDevganBound is Devgan's slow-ramp noise metric
+// Vp ≤ Rv·Cc·(dV/dt) = Rv·Cc·Vdd/tr, an upper bound that becomes very
+// loose for fast aggressors.
+func (c CoupledLine) PeakGlitchDevganBound() float64 {
+	_, _, cc := c.wireTotals()
+	rw := c.RPerUM * c.LengthUM
+	if c.SlewS <= 0 {
+		return c.PeakGlitchChargeShare()
+	}
+	v := (c.RdrvVictim + rw/2) * cc * c.Vdd / c.SlewS
+	if cs := c.PeakGlitchChargeShare(); v > cs {
+		// The bound cannot exceed the charge-share limit.
+		return cs
+	}
+	return v
+}
+
+// Delay50 is Sakurai's two-pole closed form for the 50 % delay of the
+// victim's own transition: t50 ≈ 0.377·Rw·Cw + 0.693·Rd·(Cw + CL),
+// with the coupling capacitance Miller-multiplied by k (k = 1 quiet
+// neighbours, k = 2 opposite switching, k = 0 same direction).
+func (c CoupledLine) Delay50(miller float64) float64 {
+	rw, cg, cc := c.wireTotals()
+	ceff := cg + miller*cc
+	return 0.377*rw*ceff + 0.693*c.RdrvVictim*ceff
+}
+
+// DelayDeteriorationRatio returns the closed-form prediction of the
+// worst-case coupled delay over the decoupled delay, the quantity Table 2
+// measures.
+func (c CoupledLine) DelayDeteriorationRatio() float64 {
+	quiet := c.Delay50(1)
+	if quiet == 0 {
+		return 1
+	}
+	return c.Delay50(2) / quiet
+}

@@ -1,0 +1,177 @@
+package cellmodel
+
+import (
+	"math"
+	"testing"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/spice"
+	"xtverify/internal/waveform"
+)
+
+func TestIVSurfaceShape(t *testing.T) {
+	c, _ := cells.ByName("INV_X2")
+	s, err := CharacterizeIVSurface(c, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.U) != 5 || len(s.Curves) != 5 {
+		t.Fatalf("surface has %d levels", len(s.U))
+	}
+	// Inverting cell: at input 0 the pullup conducts (sources current at
+	// mid output); at input Vdd the pulldown conducts (sinks).
+	iLow, _ := s.Eval(1.5, 0)
+	iHigh, _ := s.Eval(1.5, Vdd)
+	if iLow <= 0 {
+		t.Errorf("I(1.5V out, 0V in) = %g, want sourcing (positive)", iLow)
+	}
+	if iHigh >= 0 {
+		t.Errorf("I(1.5V out, 3V in) = %g, want sinking (negative)", iHigh)
+	}
+	// Interpolated level lies between its neighbours.
+	uMid := (s.U[1] + s.U[2]) / 2
+	iMid, _ := s.Eval(1.5, uMid)
+	i1, _ := s.Eval(1.5, s.U[1])
+	i2, _ := s.Eval(1.5, s.U[2])
+	lo, hi := math.Min(i1, i2), math.Max(i1, i2)
+	if iMid < lo-1e-12 || iMid > hi+1e-12 {
+		t.Errorf("interpolation %g outside [%g, %g]", iMid, lo, hi)
+	}
+	// Clamping outside the characterized input range.
+	iClamp, _ := s.Eval(1.5, -1)
+	if iClamp != iLow {
+		t.Errorf("clamped eval %g != edge %g", iClamp, iLow)
+	}
+}
+
+func TestIVSurfaceMidInputWeakerThanRail(t *testing.T) {
+	// The motivation for the surface over the two-curve blend: with the
+	// input at mid-swing, both devices have reduced overdrive, so the net
+	// current magnitude anywhere must not exceed the strongest rail curve.
+	c, _ := cells.ByName("INV_X4")
+	s, err := CharacterizeIVSurface(c, 9, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At output = 0 V: rail-on pullup sources maximally.
+	iFull, _ := s.Eval(0, 0)
+	iHalf, _ := s.Eval(0, Vdd/2)
+	if math.Abs(iHalf) >= math.Abs(iFull) {
+		t.Errorf("half-switched drive |%g| should be below rail |%g|", iHalf, iFull)
+	}
+}
+
+func TestSurfaceDriverRailBehaviour(t *testing.T) {
+	c, _ := cells.ByName("INV_X2")
+	tm, err := cells.Characterize(c, cells.CharacterizeOptions{
+		Loads: []float64{10e-15, 60e-15}, Slews: []float64{100e-12}, Dt: 4e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := NewNonlinearSwitching(c, tm, true, 200e-12, 100e-12, 30e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long before the transition (input high for a rising output of an
+	// inverter): output held low → near v=0 current ≈ 0, and the device
+	// sinks for v > 0.
+	i0, _ := drv.Current(0, 0)
+	if math.Abs(i0) > 1e-4 {
+		t.Errorf("pre-transition I(0) = %g, want ≈0", i0)
+	}
+	iup, _ := drv.Current(1.0, 0)
+	if iup >= 0 {
+		t.Errorf("pre-transition I(1V) = %g, want sinking", iup)
+	}
+	// Long after the transition: pullup on, sources at v=0, ≈0 at Vdd.
+	iPost, _ := drv.Current(0, 10e-9)
+	if iPost <= 0 {
+		t.Errorf("post-transition I(0) = %g, want sourcing", iPost)
+	}
+	iVdd, _ := drv.Current(Vdd, 10e-9)
+	if math.Abs(iVdd) > 1e-4 {
+		t.Errorf("post-transition I(Vdd) = %g, want ≈0", iVdd)
+	}
+}
+
+func TestSurfaceDriverMatchesTransistorTransient(t *testing.T) {
+	// Drive a lumped load with the surface model and with the transistor
+	// cell: 50% crossing times and final values must agree closely even at
+	// light load, where the old blend model failed.
+	const (
+		cLoad = 15e-15
+		slew  = 100e-12
+		t0    = 200e-12
+	)
+	c, _ := cells.ByName("INV_X2")
+	tm, err := cells.Characterize(c, cells.CharacterizeOptions{
+		Loads: []float64{10e-15, 60e-15}, Slews: []float64{100e-12}, Dt: 4e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transistor reference (input falls so output rises).
+	gold := spice.NewNetlist("gold")
+	in := gold.Node("in")
+	out := gold.Node("out")
+	vdd := gold.Node("vdd")
+	gold.Drive(vdd, waveform.Const(Vdd))
+	gold.Drive(in, waveform.Ramp(Vdd, 0, t0-slew/2, slew))
+	c.BuildDriver(gold, "u", in, out, vdd)
+	gold.AddC(out, spice.Ground, cLoad+c.OutDiffCapF)
+	gres, err := gold.Transient(spice.Options{TEnd: 2e-9, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, _ := gres.Wave("out")
+
+	// Surface model on the same load, hosted by the SPICE engine as a
+	// behavioural device (so the comparison isolates the model).
+	drv, err := NewNonlinearSwitching(c, tm, true, t0, slew, cLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelNet := spice.NewNetlist("model")
+	mOut := modelNet.Node("out")
+	modelNet.AddC(mOut, spice.Ground, cLoad+c.OutDiffCapF)
+	modelNet.AddBehavioral(mOut, drv)
+	mres, err := modelNet.Transient(spice.Options{TEnd: 2e-9, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, _ := mres.Wave("out")
+
+	if math.Abs(mw.End()-gw.End()) > 0.05 {
+		t.Errorf("final values: model %.3f vs transistor %.3f", mw.End(), gw.End())
+	}
+	tg, ok1 := gw.CrossTime(Vdd/2, true)
+	tmid, ok2 := mw.CrossTime(Vdd/2, true)
+	if !ok1 || !ok2 {
+		t.Fatal("missing 50% crossings")
+	}
+	if d := math.Abs(tg - tmid); d > 60e-12 {
+		t.Errorf("50%% crossing differs by %.0f ps", d*1e12)
+	}
+	// Output slew within 40% of the transistor reference.
+	sg, _ := gw.SlewTime(0.2*Vdd, 0.8*Vdd, true)
+	sm, _ := mw.SlewTime(0.2*Vdd, 0.8*Vdd, true)
+	if sg > 0 && math.Abs(sm-sg)/sg > 0.4 {
+		t.Errorf("slew %.1f ps vs transistor %.1f ps", sm*1e12, sg*1e12)
+	}
+}
+
+func TestSurfaceCaching(t *testing.T) {
+	c, _ := cells.ByName("NOR2_X2")
+	s1, err := CharacterizeIVSurface(c, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := CharacterizeIVSurface(c, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("surface cache returned distinct objects")
+	}
+}

@@ -1,0 +1,232 @@
+package cells
+
+import (
+	"math"
+	"testing"
+
+	"xtverify/internal/devices"
+	"xtverify/internal/spice"
+	"xtverify/internal/waveform"
+)
+
+func TestLibraryHas53Cells(t *testing.T) {
+	lib := Library()
+	if len(lib) != 53 {
+		t.Fatalf("library has %d cells, want 53 (paper Section 4.2)", len(lib))
+	}
+	seen := map[string]bool{}
+	for _, c := range lib {
+		if seen[c.Name] {
+			t.Errorf("duplicate cell name %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Wn <= 0 || c.Wp <= 0 || c.InputCapF <= 0 {
+			t.Errorf("%s has non-positive geometry", c.Name)
+		}
+	}
+	if _, ok := ByName("INV_X4"); !ok {
+		t.Error("INV_X4 missing")
+	}
+	if _, ok := ByName("NOPE"); ok {
+		t.Error("phantom cell found")
+	}
+}
+
+func TestStrengthScalesWidths(t *testing.T) {
+	x1, _ := ByName("INV_X1")
+	x8, _ := ByName("INV_X8")
+	if math.Abs(x8.Wn/x1.Wn-8) > 1e-9 {
+		t.Errorf("X8/X1 width ratio %g, want 8", x8.Wn/x1.Wn)
+	}
+}
+
+func TestTriStateAndSequentialFlags(t *testing.T) {
+	tb, _ := ByName("TBUF_X4")
+	if !tb.TriState {
+		t.Error("TBUF should be tri-state")
+	}
+	d, _ := ByName("DFF_X2")
+	if !d.Sequential {
+		t.Error("DFF should be sequential")
+	}
+	la, _ := ByName("LATCH_X1")
+	if !la.Sequential {
+		t.Error("LATCH should be sequential")
+	}
+}
+
+// driveTransient runs a cell driving a load and returns the output waveform.
+func driveTransient(t *testing.T, c *Cell, inRising bool, load float64) *waveform.Waveform {
+	t.Helper()
+	n := spice.NewNetlist("t_" + c.Name)
+	in := n.Node("in")
+	out := n.Node("out")
+	vdd := n.Node("vdd")
+	n.Drive(vdd, waveform.Const(devices.Vdd025))
+	v0, v1 := 0.0, devices.Vdd025
+	if !inRising {
+		v0, v1 = v1, v0
+	}
+	n.Drive(in, waveform.Ramp(v0, v1, 100e-12, 100e-12))
+	c.BuildDriver(n, "u", in, out, vdd)
+	n.AddC(out, spice.Ground, load)
+	res, err := n.Transient(spice.Options{TEnd: 4e-9, Dt: 2e-12})
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	w, _ := res.Wave("out")
+	return w
+}
+
+func TestEveryCellDrivesFullSwing(t *testing.T) {
+	// Each cell must pull its output rail-to-rail in the transistor-level
+	// view — this exercises every topology branch.
+	const vdd = devices.Vdd025
+	for _, c := range Library() {
+		inRising := c.Polarity() > 0 // make the output rise
+		w := driveTransient(t, c, inRising, 20e-15)
+		if math.Abs(w.End()-vdd) > 0.02 {
+			t.Errorf("%s: output settled at %.3f, want %.1f", c.Name, w.End(), vdd)
+		}
+		w2 := driveTransient(t, c, !inRising, 20e-15)
+		if math.Abs(w2.End()) > 0.02 {
+			t.Errorf("%s: output settled at %.3f, want 0", c.Name, w2.End())
+		}
+	}
+}
+
+func TestBuildHoldingHoldsRails(t *testing.T) {
+	for _, name := range []string{"INV_X2", "BUF_X2", "NAND2_X2", "TBUF_X2"} {
+		c, _ := ByName(name)
+		for _, hold := range []HoldState{HoldLow, HoldHigh} {
+			n := spice.NewNetlist("h")
+			out := n.Node("out")
+			vdd := n.Node("vdd")
+			n.Drive(vdd, waveform.Const(devices.Vdd025))
+			c.BuildHolding(n, "u", out, vdd, hold)
+			v, err := n.DCOperatingPoint(0, spice.Options{})
+			if err != nil {
+				t.Fatalf("%s hold %v: %v", name, hold, err)
+			}
+			want := 0.0
+			if hold == HoldHigh {
+				want = devices.Vdd025
+			}
+			if math.Abs(v[out]-want) > 0.02 {
+				t.Errorf("%s hold=%v: out=%.3f want %.1f", name, hold, v[out], want)
+			}
+		}
+	}
+}
+
+var fastChar = CharacterizeOptions{
+	Loads: []float64{10e-15, 60e-15},
+	Slews: []float64{80e-12, 200e-12},
+	Dt:    4e-12,
+}
+
+func TestCharacterizeInverter(t *testing.T) {
+	c, _ := ByName("INV_X2")
+	tm, err := Characterize(c, fastChar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delay grows with load.
+	if tm.DelayRise[1][0] <= tm.DelayRise[0][0] {
+		t.Errorf("rise delay should grow with load: %v", tm.DelayRise)
+	}
+	if tm.DelayFall[1][0] <= tm.DelayFall[0][0] {
+		t.Errorf("fall delay should grow with load: %v", tm.DelayFall)
+	}
+	// Output transition grows with load.
+	if tm.TransRise[1][0] <= tm.TransRise[0][0] {
+		t.Errorf("rise transition should grow with load: %v", tm.TransRise)
+	}
+	// All values positive and in plausible DSM ranges (< 5 ns).
+	for i := range tm.Loads {
+		for j := range tm.Slews {
+			for _, v := range []float64{tm.DelayRise[i][j], tm.DelayFall[i][j], tm.TransRise[i][j], tm.TransFall[i][j]} {
+				if v <= 0 || v > 5e-9 {
+					t.Errorf("implausible timing value %g", v)
+				}
+			}
+		}
+	}
+}
+
+func TestDriveResistanceOrdering(t *testing.T) {
+	// Stronger cells must have lower drive resistance.
+	weak, _ := ByName("INV_X1")
+	strong, _ := ByName("INV_X8")
+	tw, err := Characterize(weak, fastChar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Characterize(strong, fastChar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := tw.DriveResistance(false)
+	rs := ts.DriveResistance(false)
+	if rs >= rw {
+		t.Errorf("X8 resistance %g should be below X1 %g", rs, rw)
+	}
+	// Plausible kΩ-scale values for X1, sub-kΩ for X8.
+	if rw < 200 || rw > 20000 {
+		t.Errorf("X1 drive resistance %g Ω implausible", rw)
+	}
+	if rs > 3000 {
+		t.Errorf("X8 drive resistance %g Ω implausible", rs)
+	}
+}
+
+func TestEstimateDriveResistance(t *testing.T) {
+	c, _ := ByName("INV_X1")
+	rFall := EstimateDriveResistance(c, false)
+	rRise := EstimateDriveResistance(c, true)
+	if rFall <= 0 || rRise <= 0 {
+		t.Fatal("estimates must be positive")
+	}
+	// PMOS mobility deficit: rise resistance is higher than fall for the
+	// 1:2 width ratio used here.
+	if rRise <= rFall {
+		t.Errorf("rise %g should exceed fall %g", rRise, rFall)
+	}
+}
+
+func TestTimingInterpolation(t *testing.T) {
+	c, _ := ByName("INV_X2")
+	tm, err := Characterize(c, fastChar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolated value between grid points lies between the corners.
+	mid := tm.Delay(35e-15, 140e-12, true)
+	lo := math.Min(math.Min(tm.DelayRise[0][0], tm.DelayRise[0][1]), math.Min(tm.DelayRise[1][0], tm.DelayRise[1][1]))
+	hi := math.Max(math.Max(tm.DelayRise[0][0], tm.DelayRise[0][1]), math.Max(tm.DelayRise[1][0], tm.DelayRise[1][1]))
+	if mid < lo || mid > hi {
+		t.Errorf("interpolation %g outside corners [%g,%g]", mid, lo, hi)
+	}
+	// Clamping outside the grid.
+	if got := tm.Delay(1e-12, 140e-12, true); got < hi-1e-15 && got > lo-1e-15 {
+		_ = got // clamped high-load value; just ensure no panic and finite
+	}
+	if math.IsNaN(tm.Delay(1e-12, 1e-9, false)) {
+		t.Error("clamped interpolation returned NaN")
+	}
+}
+
+func TestCharacterizeCachedMemoizes(t *testing.T) {
+	c, _ := ByName("INV_X12")
+	t1, err := CharacterizeCached(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := CharacterizeCached(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("cache returned distinct objects")
+	}
+}

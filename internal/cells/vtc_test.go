@@ -1,0 +1,99 @@
+package cells
+
+import (
+	"testing"
+
+	"xtverify/internal/devices"
+)
+
+func TestInverterVTCCorners(t *testing.T) {
+	c, _ := ByName("INV_X2")
+	v, err := CharacterizeVTC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := devices.Vdd025
+	// Ordering of the corners.
+	if !(0 < v.VIL && v.VIL < v.VM && v.VM < v.VIH && v.VIH < vdd) {
+		t.Errorf("corner ordering wrong: VIL=%.2f VM=%.2f VIH=%.2f", v.VIL, v.VM, v.VIH)
+	}
+	// Healthy static CMOS: both noise margins positive and a good fraction
+	// of the swing.
+	if v.NML < 0.3 || v.NMH < 0.3 {
+		t.Errorf("noise margins too small: NML=%.2f NMH=%.2f", v.NML, v.NMH)
+	}
+	// Full-swing outputs at the sweep extremes (VOL/VOH are measured at the
+	// unity-gain corners, so they legitimately sit off-rail).
+	if v.Vout[0] < 0.98*vdd || v.Vout[len(v.Vout)-1] > 0.02*vdd {
+		t.Errorf("endpoints not rail-to-rail: %.2f .. %.2f", v.Vout[0], v.Vout[len(v.Vout)-1])
+	}
+	if v.VOH <= v.VOL {
+		t.Errorf("corner outputs inverted: VOL=%.2f VOH=%.2f", v.VOL, v.VOH)
+	}
+}
+
+func TestVTCSkewWithSizing(t *testing.T) {
+	// NAND pulldown stacks are widened; the switching threshold of a NAND's
+	// fast input is still within the sane mid region.
+	c, _ := ByName("NAND2_X2")
+	v, err := CharacterizeVTC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.VM < 0.8 || v.VM > 2.2 {
+		t.Errorf("NAND2 threshold %.2f outside sane band", v.VM)
+	}
+}
+
+func TestVTCCache(t *testing.T) {
+	c, _ := ByName("NOR2_X1")
+	v1, err := CharacterizeVTC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := CharacterizeVTC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Error("VTC cache miss")
+	}
+}
+
+func TestGlitchPropagates(t *testing.T) {
+	c, _ := ByName("INV_X1")
+	v, err := CharacterizeVTC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A glitch below VIL on a low input is filtered; above it propagates.
+	if v.GlitchPropagates(v.VIL-0.1, true) {
+		t.Error("sub-VIL glitch should be filtered")
+	}
+	if !v.GlitchPropagates(v.VIL+0.3, true) {
+		t.Error("super-VIL glitch should propagate")
+	}
+	// High-side: a negative glitch from Vdd.
+	vdd := devices.Vdd025
+	if v.GlitchPropagates(-(vdd-v.VIH)+0.1, false) {
+		t.Error("shallow high-side glitch should be filtered")
+	}
+	if !v.GlitchPropagates(-(vdd-v.VIH)-0.3, false) {
+		t.Error("deep high-side glitch should propagate")
+	}
+}
+
+func TestNonInvertingVTC(t *testing.T) {
+	c, _ := ByName("BUF_X2")
+	v, err := CharacterizeVTC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer output follows input; corners still ordered.
+	if !(v.VIL < v.VIH) {
+		t.Errorf("buffer corners: VIL=%.2f VIH=%.2f", v.VIL, v.VIH)
+	}
+	if v.VOH < v.VOL {
+		t.Error("buffer output levels inverted")
+	}
+}

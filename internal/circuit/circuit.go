@@ -1,0 +1,356 @@
+// Package circuit defines the flat electrical view of an extracted
+// interconnect cluster: a linear RC network with named nodes, grounded and
+// coupling capacitors, and I/O ports where driver and receiver cells attach.
+//
+// This is the "circuit cluster" of the paper's Figure 2 — the unit of work
+// handed to SyMPVL model-order reduction and, for reference runs, to the
+// SPICE-class simulator.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Circuit. The ground node is the negative
+// sentinel Ground and is never stored.
+type NodeID int
+
+// Ground is the global reference node.
+const Ground NodeID = -1
+
+// Resistor is a two-terminal linear resistor.
+type Resistor struct {
+	Name string
+	A, B NodeID
+	Ohms float64
+}
+
+// Capacitor is a two-terminal linear capacitor. Coupling marks capacitors
+// that connect two signal nets (the crosstalk paths); grounded capacitors
+// have B == Ground or Coupling == false.
+type Capacitor struct {
+	Name     string
+	A, B     NodeID
+	Farads   float64
+	Coupling bool
+}
+
+// PortKind describes what attaches to a port.
+type PortKind int
+
+const (
+	// PortDriver is a net's driving-cell output attachment point.
+	PortDriver PortKind = iota
+	// PortReceiver is a load-cell input attachment point.
+	PortReceiver
+)
+
+// Port is an externally visible terminal of the cluster.
+type Port struct {
+	Name string
+	Node NodeID
+	Kind PortKind
+	// Net records which net of the cluster the port belongs to (index into
+	// the owner's net list; -1 when standalone).
+	Net int
+}
+
+// Circuit is a linear RC cluster with ports.
+type Circuit struct {
+	Name      string
+	nodeNames []string
+	nodeIndex map[string]NodeID
+
+	Resistors  []Resistor
+	Capacitors []Capacitor
+	Ports      []Port
+}
+
+// New returns an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, nodeIndex: make(map[string]NodeID)}
+}
+
+// Node returns the NodeID for name, creating the node on first use.
+func (c *Circuit) Node(name string) NodeID {
+	if id, ok := c.nodeIndex[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.nodeNames))
+	c.nodeNames = append(c.nodeNames, name)
+	c.nodeIndex[name] = id
+	return id
+}
+
+// LookupNode returns the NodeID for name without creating it.
+func (c *Circuit) LookupNode(name string) (NodeID, bool) {
+	id, ok := c.nodeIndex[name]
+	return id, ok
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// NodeName returns the name of node id, or "0" for ground.
+func (c *Circuit) NodeName(id NodeID) string {
+	if id == Ground {
+		return "0"
+	}
+	if int(id) >= len(c.nodeNames) {
+		return fmt.Sprintf("<invalid:%d>", id)
+	}
+	return c.nodeNames[id]
+}
+
+// AddResistor appends a resistor between nodes a and b.
+func (c *Circuit) AddResistor(name string, a, b NodeID, ohms float64) {
+	c.Resistors = append(c.Resistors, Resistor{Name: name, A: a, B: b, Ohms: ohms})
+}
+
+// AddCapacitor appends a grounded or internal capacitor.
+func (c *Circuit) AddCapacitor(name string, a, b NodeID, farads float64) {
+	c.Capacitors = append(c.Capacitors, Capacitor{Name: name, A: a, B: b, Farads: farads})
+}
+
+// AddCoupling appends a coupling capacitor between two nets' nodes.
+func (c *Circuit) AddCoupling(name string, a, b NodeID, farads float64) {
+	c.Capacitors = append(c.Capacitors, Capacitor{Name: name, A: a, B: b, Farads: farads, Coupling: true})
+}
+
+// AddPort registers an external terminal at node.
+func (c *Circuit) AddPort(name string, node NodeID, kind PortKind, net int) int {
+	c.Ports = append(c.Ports, Port{Name: name, Node: node, Kind: kind, Net: net})
+	return len(c.Ports) - 1
+}
+
+// PortByName returns the index of the named port or -1.
+func (c *Circuit) PortByName(name string) int {
+	for i, p := range c.Ports {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DriverPorts returns the indices of all driver ports.
+func (c *Circuit) DriverPorts() []int {
+	var out []int
+	for i, p := range c.Ports {
+		if p.Kind == PortDriver {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalCap returns the total capacitance (grounded + coupling) attached to
+// node id.
+func (c *Circuit) TotalCap(id NodeID) float64 {
+	s := 0.0
+	for _, cap := range c.Capacitors {
+		if cap.A == id || cap.B == id {
+			s += cap.Farads
+		}
+	}
+	return s
+}
+
+// CouplingCap returns the total coupling capacitance attached to node id.
+func (c *Circuit) CouplingCap(id NodeID) float64 {
+	s := 0.0
+	for _, cap := range c.Capacitors {
+		if cap.Coupling && (cap.A == id || cap.B == id) {
+			s += cap.Farads
+		}
+	}
+	return s
+}
+
+// Decoupled returns a copy of the circuit with every coupling capacitor
+// split into two grounded capacitors of the same value (the paper's
+// "decoupled" analysis variant used for delay-without-coupling baselines).
+func (c *Circuit) Decoupled() *Circuit {
+	out := c.shallowCopy()
+	out.Name = c.Name + ".decoupled"
+	out.Capacitors = make([]Capacitor, 0, len(c.Capacitors))
+	for _, cap := range c.Capacitors {
+		if !cap.Coupling {
+			out.Capacitors = append(out.Capacitors, cap)
+			continue
+		}
+		if cap.A != Ground {
+			out.Capacitors = append(out.Capacitors, Capacitor{Name: cap.Name + ".a", A: cap.A, B: Ground, Farads: cap.Farads})
+		}
+		if cap.B != Ground {
+			out.Capacitors = append(out.Capacitors, Capacitor{Name: cap.Name + ".b", A: cap.B, B: Ground, Farads: cap.Farads})
+		}
+	}
+	return out
+}
+
+// GroundCoupling returns a copy with the selected coupling capacitors
+// converted to grounded ones (used by pruning to decouple weak aggressors).
+// keep reports whether a given coupling capacitor index should remain a
+// coupler.
+func (c *Circuit) GroundCoupling(keep func(i int, cap Capacitor) bool) *Circuit {
+	out := c.shallowCopy()
+	out.Capacitors = make([]Capacitor, 0, len(c.Capacitors))
+	for i, cap := range c.Capacitors {
+		if !cap.Coupling || keep(i, cap) {
+			out.Capacitors = append(out.Capacitors, cap)
+			continue
+		}
+		if cap.A != Ground {
+			out.Capacitors = append(out.Capacitors, Capacitor{Name: cap.Name + ".a", A: cap.A, B: Ground, Farads: cap.Farads})
+		}
+		if cap.B != Ground {
+			out.Capacitors = append(out.Capacitors, Capacitor{Name: cap.Name + ".b", A: cap.B, B: Ground, Farads: cap.Farads})
+		}
+	}
+	return out
+}
+
+func (c *Circuit) shallowCopy() *Circuit {
+	out := New(c.Name)
+	out.nodeNames = append([]string(nil), c.nodeNames...)
+	for i, n := range out.nodeNames {
+		out.nodeIndex[n] = NodeID(i)
+	}
+	out.Resistors = append([]Resistor(nil), c.Resistors...)
+	out.Capacitors = append([]Capacitor(nil), c.Capacitors...)
+	out.Ports = append([]Port(nil), c.Ports...)
+	return out
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit { return c.shallowCopy() }
+
+// Stats summarizes the circuit contents.
+type Stats struct {
+	Nodes       int
+	Resistors   int
+	GroundCaps  int
+	CouplingCap int
+	Ports       int
+	TotalCapF   float64
+	CouplingF   float64
+}
+
+// Stats computes summary statistics.
+func (c *Circuit) Stats() Stats {
+	s := Stats{Nodes: c.NumNodes(), Resistors: len(c.Resistors), Ports: len(c.Ports)}
+	for _, cap := range c.Capacitors {
+		s.TotalCapF += cap.Farads
+		if cap.Coupling {
+			s.CouplingCap++
+			s.CouplingF += cap.Farads
+		} else {
+			s.GroundCaps++
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants: element terminals reference valid
+// nodes, values are positive, port nodes exist, and every non-ground node is
+// reachable from some port through resistors (no floating resistive islands,
+// which would make the conductance matrix singular).
+func (c *Circuit) Validate() error {
+	n := c.NumNodes()
+	checkNode := func(id NodeID, what string) error {
+		if id == Ground {
+			return nil
+		}
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("circuit %q: %s references invalid node %d", c.Name, what, id)
+		}
+		return nil
+	}
+	for _, r := range c.Resistors {
+		if err := checkNode(r.A, "resistor "+r.Name); err != nil {
+			return err
+		}
+		if err := checkNode(r.B, "resistor "+r.Name); err != nil {
+			return err
+		}
+		if r.Ohms <= 0 {
+			return fmt.Errorf("circuit %q: resistor %s has non-positive value %g", c.Name, r.Name, r.Ohms)
+		}
+		if r.A == r.B {
+			return fmt.Errorf("circuit %q: resistor %s is shorted to itself", c.Name, r.Name)
+		}
+	}
+	for _, cap := range c.Capacitors {
+		if err := checkNode(cap.A, "capacitor "+cap.Name); err != nil {
+			return err
+		}
+		if err := checkNode(cap.B, "capacitor "+cap.Name); err != nil {
+			return err
+		}
+		if cap.Farads <= 0 {
+			return fmt.Errorf("circuit %q: capacitor %s has non-positive value %g", c.Name, cap.Name, cap.Farads)
+		}
+	}
+	for _, p := range c.Ports {
+		if err := checkNode(p.Node, "port "+p.Name); err != nil {
+			return err
+		}
+		if p.Node == Ground {
+			return fmt.Errorf("circuit %q: port %s attached to ground", c.Name, p.Name)
+		}
+	}
+	// Resistive reachability from ports.
+	if n > 0 {
+		adj := make([][]int, n)
+		addEdge := func(a, b NodeID) {
+			if a == Ground || b == Ground {
+				return
+			}
+			adj[a] = append(adj[a], int(b))
+			adj[b] = append(adj[b], int(a))
+		}
+		for _, r := range c.Resistors {
+			addEdge(r.A, r.B)
+		}
+		seen := make([]bool, n)
+		var stack []int
+		for _, p := range c.Ports {
+			if !seen[p.Node] {
+				seen[p.Node] = true
+				stack = append(stack, int(p.Node))
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				return fmt.Errorf("circuit %q: node %s unreachable from any port through resistors", c.Name, c.nodeNames[i])
+			}
+		}
+	}
+	return nil
+}
+
+// NodesSorted returns all node names in deterministic order.
+func (c *Circuit) NodesSorted() []string {
+	out := append([]string(nil), c.nodeNames...)
+	sort.Strings(out)
+	return out
+}
+
+// String returns a one-line summary.
+func (c *Circuit) String() string {
+	s := c.Stats()
+	return fmt.Sprintf("circuit %q: %d nodes, %d R, %d Cg, %d Cc, %d ports",
+		c.Name, s.Nodes, s.Resistors, s.GroundCaps, s.CouplingCap, s.Ports)
+}

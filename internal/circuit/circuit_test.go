@@ -1,0 +1,230 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// ladder builds a simple RC ladder net with nseg segments driven at "in"
+// and received at "out".
+func ladder(t *testing.T, nseg int) *Circuit {
+	t.Helper()
+	c := New("ladder")
+	prev := c.Node("in")
+	c.AddPort("drv", prev, PortDriver, 0)
+	for i := 0; i < nseg; i++ {
+		next := c.Node("n" + string(rune('a'+i)))
+		c.AddResistor("r", prev, next, 100)
+		c.AddCapacitor("c", next, Ground, 1e-15)
+		prev = next
+	}
+	c.AddPort("rcv", prev, PortReceiver, 0)
+	return c
+}
+
+func TestNodeInterning(t *testing.T) {
+	c := New("x")
+	a := c.Node("a")
+	b := c.Node("b")
+	if a == b {
+		t.Fatal("distinct names must get distinct ids")
+	}
+	if c.Node("a") != a {
+		t.Error("repeated Node lookup must return same id")
+	}
+	if c.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", c.NumNodes())
+	}
+	if got, ok := c.LookupNode("a"); !ok || got != a {
+		t.Error("LookupNode failed for existing node")
+	}
+	if _, ok := c.LookupNode("zzz"); ok {
+		t.Error("LookupNode invented a node")
+	}
+	if c.NodeName(a) != "a" || c.NodeName(Ground) != "0" {
+		t.Error("NodeName mapping wrong")
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	c := ladder(t, 5)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid ladder rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	c := New("bad")
+	a, b := c.Node("a"), c.Node("b")
+	c.AddPort("p", a, PortDriver, 0)
+	c.AddResistor("r", a, b, -5)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "non-positive") {
+		t.Errorf("negative resistor not caught: %v", err)
+	}
+	c2 := New("bad2")
+	x := c2.Node("x")
+	c2.AddPort("p", x, PortDriver, 0)
+	c2.AddResistor("r", x, x, 10)
+	if err := c2.Validate(); err == nil || !strings.Contains(err.Error(), "shorted") {
+		t.Errorf("self-loop resistor not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesFloatingNode(t *testing.T) {
+	c := New("float")
+	a := c.Node("a")
+	c.Node("island") // no resistive path to the port
+	c.AddPort("p", a, PortDriver, 0)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("floating node not caught: %v", err)
+	}
+}
+
+func TestDecoupled(t *testing.T) {
+	c := New("pair")
+	a := c.Node("a")
+	b := c.Node("b")
+	c.AddPort("pa", a, PortDriver, 0)
+	c.AddPort("pb", b, PortDriver, 1)
+	c.AddResistor("ra", a, b, 10) // keep connectivity for Validate
+	c.AddCapacitor("cga", a, Ground, 2e-15)
+	c.AddCoupling("cc", a, b, 3e-15)
+	d := c.Decoupled()
+	// Coupling split into two grounded caps; total cap at each node
+	// unchanged.
+	if got := d.TotalCap(a); got != 5e-15 {
+		t.Errorf("TotalCap(a) after decouple = %g, want 5e-15", got)
+	}
+	if got := d.CouplingCap(a); got != 0 {
+		t.Errorf("CouplingCap(a) after decouple = %g, want 0", got)
+	}
+	// Original untouched.
+	if got := c.CouplingCap(a); got != 3e-15 {
+		t.Errorf("original CouplingCap(a) = %g, want 3e-15", got)
+	}
+	for _, cap := range d.Capacitors {
+		if cap.Coupling {
+			t.Error("decoupled circuit still has coupling capacitors")
+		}
+	}
+}
+
+func TestGroundCouplingSelective(t *testing.T) {
+	c := New("sel")
+	a, b, e := c.Node("a"), c.Node("b"), c.Node("e")
+	c.AddPort("pa", a, PortDriver, 0)
+	c.AddResistor("r1", a, b, 1)
+	c.AddResistor("r2", b, e, 1)
+	c.AddCoupling("keepme", a, b, 1e-15)
+	c.AddCoupling("dropme", b, e, 2e-15)
+	out := c.GroundCoupling(func(i int, cap Capacitor) bool { return cap.Name == "keepme" })
+	kept, grounded := 0, 0
+	for _, cap := range out.Capacitors {
+		if cap.Coupling {
+			kept++
+		} else {
+			grounded++
+		}
+	}
+	if kept != 1 || grounded != 2 {
+		t.Errorf("kept=%d grounded=%d, want 1 and 2", kept, grounded)
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	c := ladder(t, 3)
+	c.AddCoupling("cc", c.Node("na"), c.Node("nb"), 4e-15)
+	s := c.Stats()
+	if s.Resistors != 3 || s.GroundCaps != 3 || s.CouplingCap != 1 || s.Ports != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.CouplingF != 4e-15 {
+		t.Errorf("CouplingF = %g", s.CouplingF)
+	}
+	if !strings.Contains(c.String(), "3 R") {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := ladder(t, 2)
+	d := c.Clone()
+	d.AddResistor("extra", d.Node("in"), d.Node("na"), 1)
+	if len(c.Resistors) == len(d.Resistors) {
+		t.Error("Clone shares resistor slice")
+	}
+	// New nodes in the clone must not leak back.
+	d.Node("newnode")
+	if _, ok := c.LookupNode("newnode"); ok {
+		t.Error("Clone shares node table")
+	}
+}
+
+func TestPortQueries(t *testing.T) {
+	c := ladder(t, 2)
+	if c.PortByName("drv") != 0 || c.PortByName("rcv") != 1 {
+		t.Error("PortByName wrong")
+	}
+	if c.PortByName("none") != -1 {
+		t.Error("PortByName should return -1 for unknown")
+	}
+	dp := c.DriverPorts()
+	if len(dp) != 1 || dp[0] != 0 {
+		t.Errorf("DriverPorts = %v", dp)
+	}
+}
+
+func TestNodesSortedDeterministic(t *testing.T) {
+	c := New("s")
+	c.Node("z")
+	c.Node("a")
+	c.Node("m")
+	got := c.NodesSorted()
+	if got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("NodesSorted = %v", got)
+	}
+}
+
+// Property: decoupling preserves each node's total capacitance and doubles
+// nothing (conservation of extracted C).
+func TestDecoupledConservesNodeCapacitance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New("prop")
+		n := 3 + rng.Intn(10)
+		nodes := make([]NodeID, n)
+		for i := range nodes {
+			nodes[i] = c.Node(fmt.Sprintf("n%d", i))
+		}
+		c.AddPort("p", nodes[0], PortDriver, 0)
+		for i := 0; i+1 < n; i++ {
+			c.AddResistor("r", nodes[i], nodes[i+1], 1+rng.Float64()*100)
+		}
+		for k := 0; k < n; k++ {
+			a := nodes[rng.Intn(n)]
+			if rng.Float64() < 0.5 {
+				c.AddCapacitor("cg", a, Ground, 1e-15*(1+rng.Float64()))
+			} else {
+				b := nodes[rng.Intn(n)]
+				if b == a {
+					continue
+				}
+				c.AddCoupling("cc", a, b, 1e-15*(1+rng.Float64()))
+			}
+		}
+		d := c.Decoupled()
+		for _, nd := range nodes {
+			if math.Abs(c.TotalCap(nd)-d.TotalCap(nd)) > 1e-24 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package deflite reads and writes a compact subset of the DEF physical
+// design exchange format: component placements and routed nets with layered
+// wiring. Together with the structural Verilog netlist (internal/verilog)
+// and SPEF parasitics (internal/spef) it makes the synthetic designs fully
+// file-representable, the way real chip data arrives at a verification
+// tool.
+//
+// Supported constructs:
+//
+//	VERSION / DESIGN / UNITS DISTANCE MICRONS headers,
+//	COMPONENTS with fixed placements,
+//	NETS with pin connections and ROUTED METALn segments (NEW continuations),
+//	END markers.
+//
+// Coordinates are stored in DEF database units (UNITS per micron).
+package deflite
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/design"
+)
+
+// dbuPerMicron is the database resolution used by the writer.
+const dbuPerMicron = 1000
+
+// Write serializes the design.
+func Write(w io.Writer, d *design.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n\n", d.Name, dbuPerMicron)
+	// Components: every pin instance with its placement.
+	type comp struct {
+		cell string
+		x, y float64
+	}
+	comps := map[string]comp{}
+	var order []string
+	addComp := func(p design.Pin) error {
+		c, ok := comps[p.Inst]
+		if ok {
+			if c.cell != p.Cell.Name {
+				return fmt.Errorf("deflite: instance %q bound to both %s and %s", p.Inst, c.cell, p.Cell.Name)
+			}
+			return nil
+		}
+		comps[p.Inst] = comp{cell: p.Cell.Name, x: p.PosX, y: p.PosY}
+		order = append(order, p.Inst)
+		return nil
+	}
+	for _, n := range d.Nets {
+		for _, p := range n.Drivers {
+			if err := addComp(p); err != nil {
+				return err
+			}
+		}
+		for _, p := range n.Receivers {
+			if err := addComp(p); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(order))
+	for _, inst := range order {
+		c := comps[inst]
+		fmt.Fprintf(bw, "- %s %s + PLACED ( %d %d ) N ;\n", inst, c.cell, dbu(c.x), dbu(c.y))
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n\n")
+
+	fmt.Fprintf(bw, "NETS %d ;\n", len(d.Nets))
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "- %s", n.Name)
+		for _, p := range n.Drivers {
+			fmt.Fprintf(bw, " ( %s %s )", p.Inst, pinOr(p.Pin, "Z"))
+		}
+		for _, p := range n.Receivers {
+			fmt.Fprintf(bw, " ( %s %s )", p.Inst, pinOr(p.Pin, "A"))
+		}
+		bw.WriteByte('\n')
+		if n.ClockNet {
+			bw.WriteString("+ USE CLOCK\n")
+		}
+		for i, s := range n.Route {
+			kw := "+ ROUTED"
+			if i > 0 {
+				kw = "  NEW"
+			}
+			fmt.Fprintf(bw, "%s METAL%d %d ( %d %d ) ( %d %d )\n",
+				kw, s.Layer, dbu(s.Width), dbu(s.X0), dbu(s.Y0), dbu(s.X1), dbu(s.Y1))
+		}
+		fmt.Fprintf(bw, ";\n")
+	}
+	fmt.Fprintf(bw, "END NETS\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+func dbu(um float64) int { return int(um*dbuPerMicron + 0.5*sign(um)) }
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func pinOr(p, def string) string {
+	if p == "" {
+		return def
+	}
+	return p
+}
+
+// Read parses a DEF-lite file back into a design, resolving cells from the
+// bundled library. The result passes design.Validate and extracts
+// identically to the original.
+func Read(r io.Reader) (*design.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		d        *design.Design
+		dbuPerUM = float64(dbuPerMicron)
+		section  string
+		comps    = map[string]compInfo{}
+		curNet   *design.Net
+		lineNo   int
+	)
+	toUM := func(tok string) (float64, error) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return 0, err
+		}
+		return v / dbuPerUM, nil
+	}
+	flushNet := func() {
+		if curNet != nil && d != nil {
+			d.AddNet(curNet)
+			curNet = nil
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch {
+		case f[0] == "VERSION":
+			// accepted
+		case f[0] == "DESIGN" && len(f) >= 2 && d == nil:
+			d = design.New(f[1])
+		case f[0] == "UNITS":
+			if len(f) >= 4 {
+				v, err := strconv.ParseFloat(f[3], 64)
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("deflite: line %d: bad UNITS", lineNo)
+				}
+				dbuPerUM = v
+			}
+		case f[0] == "COMPONENTS":
+			section = "COMPONENTS"
+		case f[0] == "NETS":
+			section = "NETS"
+		case f[0] == "END":
+			if section == "NETS" {
+				flushNet()
+			}
+			section = ""
+		case strings.HasPrefix(line, "- ") && section == "COMPONENTS":
+			// - inst cell + PLACED ( x y ) N ;
+			if len(f) < 9 {
+				return nil, fmt.Errorf("deflite: line %d: malformed component", lineNo)
+			}
+			x, err1 := toUM(f[6])
+			y, err2 := toUM(f[7])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("deflite: line %d: bad placement", lineNo)
+			}
+			cell, ok := cells.ByName(f[2])
+			if !ok {
+				return nil, fmt.Errorf("deflite: line %d: unknown cell %q", lineNo, f[2])
+			}
+			comps[f[1]] = compInfo{cell: cell, x: x, y: y}
+		case strings.HasPrefix(line, "- ") && section == "NETS":
+			flushNet()
+			curNet = &design.Net{Name: f[1]}
+			// Pin connections: ( inst pin ) groups on the same line.
+			for i := 2; i+3 < len(f)+1; {
+				if f[i] != "(" {
+					break
+				}
+				if i+3 >= len(f) || f[i+3] != ")" {
+					return nil, fmt.Errorf("deflite: line %d: malformed pin group", lineNo)
+				}
+				inst, pin := f[i+1], f[i+2]
+				ci, ok := comps[inst]
+				if !ok {
+					return nil, fmt.Errorf("deflite: line %d: pin on undeclared component %q", lineNo, inst)
+				}
+				dp := design.Pin{Inst: inst, Cell: ci.cell, Pin: pin, PosX: ci.x, PosY: ci.y}
+				if pin == "Z" || pin == "Q" || pin == "QN" || pin == "Y" {
+					curNet.Drivers = append(curNet.Drivers, dp)
+				} else {
+					curNet.Receivers = append(curNet.Receivers, dp)
+				}
+				i += 4
+			}
+		case f[0] == "+" && len(f) > 1 && f[1] == "USE":
+			if curNet == nil {
+				return nil, fmt.Errorf("deflite: line %d: USE outside net", lineNo)
+			}
+			if len(f) >= 3 && f[2] == "CLOCK" {
+				curNet.ClockNet = true
+			}
+		case (f[0] == "+" && len(f) > 1 && f[1] == "ROUTED") || f[0] == "NEW":
+			if curNet == nil {
+				return nil, fmt.Errorf("deflite: line %d: route outside net", lineNo)
+			}
+			// [+ ROUTED|NEW] METALn width ( x0 y0 ) ( x1 y1 )
+			idx := 1
+			if f[0] == "+" {
+				idx = 2
+			}
+			if len(f) < idx+9 {
+				return nil, fmt.Errorf("deflite: line %d: malformed route", lineNo)
+			}
+			layerTok := f[idx]
+			if !strings.HasPrefix(layerTok, "METAL") {
+				return nil, fmt.Errorf("deflite: line %d: bad layer %q", lineNo, layerTok)
+			}
+			layer, err := strconv.Atoi(strings.TrimPrefix(layerTok, "METAL"))
+			if err != nil {
+				return nil, fmt.Errorf("deflite: line %d: bad layer %q", lineNo, layerTok)
+			}
+			width, err := toUM(f[idx+1])
+			if err != nil {
+				return nil, fmt.Errorf("deflite: line %d: bad width", lineNo)
+			}
+			var coords [4]float64
+			ci := 0
+			for _, tok := range f[idx+2:] {
+				if tok == "(" || tok == ")" {
+					continue
+				}
+				if ci >= 4 {
+					break
+				}
+				v, err := toUM(tok)
+				if err != nil {
+					return nil, fmt.Errorf("deflite: line %d: bad coordinate %q", lineNo, tok)
+				}
+				coords[ci] = v
+				ci++
+			}
+			if ci != 4 {
+				return nil, fmt.Errorf("deflite: line %d: route needs 4 coordinates", lineNo)
+			}
+			curNet.Route = append(curNet.Route, design.Segment{
+				Layer: layer, Width: width,
+				X0: coords[0], Y0: coords[1], X1: coords[2], Y1: coords[3],
+			})
+		case f[0] == ";":
+			if section == "NETS" {
+				flushNet()
+			}
+		default:
+			return nil, fmt.Errorf("deflite: line %d: unexpected %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("deflite: no DESIGN statement")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("deflite: reconstructed design invalid: %w", err)
+	}
+	return d, nil
+}
+
+type compInfo struct {
+	cell *cells.Cell
+	x, y float64
+}

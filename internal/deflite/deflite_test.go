@@ -1,0 +1,131 @@
+package deflite
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+)
+
+func TestRoundTripParallelWires(t *testing.T) {
+	d := dsp.ParallelWires(3, 800, 1.2, []string{"INV_X4", "INV_X1"}, "NAND2_X1")
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || len(back.Nets) != len(d.Nets) {
+		t.Fatalf("design shape lost: %s/%d", back.Name, len(back.Nets))
+	}
+	for i, n := range d.Nets {
+		bn := back.Nets[i]
+		if bn.Name != n.Name {
+			t.Fatalf("net %d name %q vs %q", i, bn.Name, n.Name)
+		}
+		if len(bn.Drivers) != len(n.Drivers) || len(bn.Receivers) != len(n.Receivers) {
+			t.Fatalf("net %s pins lost", n.Name)
+		}
+		if bn.Drivers[0].Cell.Name != n.Drivers[0].Cell.Name {
+			t.Fatalf("net %s driver cell %s vs %s", n.Name, bn.Drivers[0].Cell.Name, n.Drivers[0].Cell.Name)
+		}
+		if math.Abs(bn.Length()-n.Length()) > 0.01 {
+			t.Fatalf("net %s length %g vs %g", n.Name, bn.Length(), n.Length())
+		}
+	}
+}
+
+func TestRoundTripExtractionEquivalence(t *testing.T) {
+	// The real test: the reconstructed design must extract to the same
+	// parasitics (within DBU rounding).
+	d := dsp.Generate(dsp.Config{Seed: 23, Channels: 1, TracksPerChannel: 20,
+		ChannelLengthUM: 600, BusFraction: 0.1, LatchFraction: 0.3, ClockSpines: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOrig, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBack, err := extract.Extract(back, extract.Tech025())
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, sb := pOrig.Stats(), pBack.Stats()
+	if so.Nodes != sb.Nodes || so.Resistors != sb.Resistors {
+		t.Fatalf("extraction structure differs: %+v vs %+v", so, sb)
+	}
+	// Coupling counts may flip at the exact coupling-window boundary
+	// (second-neighbour tracks sit at precisely 2.4 µm; DBU quantization
+	// legitimately perturbs those knife-edge cases) — require agreement
+	// within a few percent.
+	if d := float64(so.Couplings - sb.Couplings); math.Abs(d) > 0.05*float64(so.Couplings) {
+		t.Fatalf("coupling count differs beyond quantization: %d vs %d", so.Couplings, sb.Couplings)
+	}
+	if math.Abs(so.TotalCapF-sb.TotalCapF) > 0.03*so.TotalCapF {
+		t.Fatalf("total capacitance differs: %g vs %g", so.TotalCapF, sb.TotalCapF)
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"no design":    "VERSION 5.8 ;\n",
+		"unknown cell": "DESIGN d ;\nCOMPONENTS 1 ;\n- u1 NOPE_X1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\n",
+		"bad layer":    "DESIGN d ;\nCOMPONENTS 1 ;\n- u1 INV_X1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nNETS 1 ;\n- n ( u1 Z )\n+ ROUTED POLY 600 ( 0 0 ) ( 10 0 )\n;\nEND NETS\n",
+		"pin no comp":  "DESIGN d ;\nNETS 1 ;\n- n ( ghost Z )\n;\nEND NETS\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: error not reported", name)
+		}
+	}
+}
+
+func TestWriterEmitsSections(t *testing.T) {
+	d := dsp.ParallelWires(2, 100, 1.2, []string{"BUF_X1"}, "INV_X1")
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VERSION", "DESIGN", "COMPONENTS", "END COMPONENTS", "NETS", "+ ROUTED METAL2", "END DESIGN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestClockNetUseClause(t *testing.T) {
+	d := dsp.Generate(dsp.Config{Seed: 2, Channels: 1, TracksPerChannel: 5,
+		ChannelLengthUM: 300, ClockSpines: 2})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+ USE CLOCK") {
+		t.Fatal("clock nets not marked in DEF")
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := 0
+	for _, n := range back.Nets {
+		if n.ClockNet {
+			clocks++
+		}
+	}
+	if clocks != 2 {
+		t.Errorf("%d clock nets after round trip, want 2", clocks)
+	}
+}

@@ -1,0 +1,114 @@
+// Package devices provides the nonlinear device models used by the
+// SPICE-class reference simulator: a level-1 (Shichman–Hodges) MOSFET with
+// channel-length modulation, plus the 0.25 µm technology parameters the
+// synthetic cell library is built on.
+package devices
+
+// MOSType distinguishes n- and p-channel devices.
+type MOSType int
+
+const (
+	// NMOS is an n-channel device.
+	NMOS MOSType = iota
+	// PMOS is a p-channel device.
+	PMOS
+)
+
+// MOSParams are level-1 model parameters.
+type MOSParams struct {
+	Type MOSType
+	// VT0 is the zero-bias threshold voltage (positive for NMOS, negative
+	// for PMOS).
+	VT0 float64
+	// KP is the transconductance parameter µ·Cox (A/V²).
+	KP float64
+	// Lambda is the channel-length modulation coefficient (1/V).
+	Lambda float64
+}
+
+// Tech025 returns the 0.25 µm level-1 parameters used throughout the
+// reproduction (DESIGN.md Section 6).
+func Tech025(t MOSType) MOSParams {
+	if t == NMOS {
+		return MOSParams{Type: NMOS, VT0: 0.43, KP: 170e-6, Lambda: 0.06}
+	}
+	return MOSParams{Type: PMOS, VT0: -0.40, KP: 60e-6, Lambda: 0.08}
+}
+
+// Vdd025 is the supply voltage of the reproduced experiments (the paper's
+// Tables 3 and 4 state Vdd = 3.0).
+const Vdd025 = 3.0
+
+// MOSFET is a sized level-1 transistor. Terminal order is drain, gate,
+// source; the body is assumed tied to the appropriate rail (no body effect
+// in level 1 without gamma).
+type MOSFET struct {
+	Params MOSParams
+	// W and L are the drawn width and length in meters.
+	W, L float64
+}
+
+// Eval computes the drain current Id flowing into the drain terminal and its
+// partial derivatives gm = ∂Id/∂Vgs and gds = ∂Id/∂Vds, for terminal
+// voltages vd, vg, vs referenced to ground. The model is symmetric: when the
+// channel is reversed (Vds < 0 for NMOS) drain and source roles swap.
+func (m *MOSFET) Eval(vd, vg, vs float64) (id, gm, gds float64) {
+	switch m.Params.Type {
+	case NMOS:
+		if vd >= vs {
+			id, gm, gds = m.forward(vg-vs, vd-vs)
+		} else {
+			// Reversed channel: physical source is the drain terminal.
+			ir, gmr, gdsr := m.forward(vg-vd, vs-vd)
+			// Id(into drain) = -Ir; derivatives by the chain rule:
+			// vgs' = vg - vd, vds' = vs - vd.
+			// ∂Id/∂Vgs where Vgs = vg - vs: ∂Id/∂vg = -gmr; ∂Id/∂vs = -gdsr.
+			// Express in (gm, gds) of the unprimed orientation:
+			// Id = -Ir(vg - vd, vs - vd)
+			// gm = ∂Id/∂vg (holding vs, vd) = -gmr
+			// gds = ∂Id/∂vd = gmr + gdsr
+			id = -ir
+			gm = -gmr
+			gds = gmr + gdsr
+		}
+		return id, gm, gds
+	default: // PMOS: mirror all voltages.
+		idn, gmn, gdsn := (&MOSFET{
+			Params: MOSParams{Type: NMOS, VT0: -m.Params.VT0, KP: m.Params.KP, Lambda: m.Params.Lambda},
+			W:      m.W, L: m.L,
+		}).Eval(-vd, -vg, -vs)
+		return -idn, gmn, gdsn
+	}
+}
+
+// forward evaluates the NMOS equations for vds >= 0.
+func (m *MOSFET) forward(vgs, vds float64) (id, gm, gds float64) {
+	beta := m.Params.KP * m.W / m.L
+	vov := vgs - m.Params.VT0
+	lam := m.Params.Lambda
+	if vov <= 0 {
+		// Cutoff: a tiny subthreshold-style conductance keeps Newton
+		// iterations well-conditioned without visibly changing waveforms.
+		const gleak = 1e-12
+		return gleak * vds, 0, gleak
+	}
+	clm := 1 + lam*vds
+	if vds < vov {
+		// Triode region.
+		id = beta * (vov*vds - 0.5*vds*vds) * clm
+		gm = beta * vds * clm
+		gds = beta*(vov-vds)*clm + beta*(vov*vds-0.5*vds*vds)*lam
+	} else {
+		// Saturation.
+		id = 0.5 * beta * vov * vov * clm
+		gm = beta * vov * clm
+		gds = 0.5 * beta * vov * vov * lam
+	}
+	return id, gm, gds
+}
+
+// IdsAt is a convenience that returns only the current.
+func (m *MOSFET) IdsAt(vd, vg, vs float64) float64 {
+	id, _, _ := m.Eval(vd, vg, vs)
+	return id
+}

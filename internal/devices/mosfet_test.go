@@ -1,0 +1,118 @@
+package devices
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nmos() *MOSFET { return &MOSFET{Params: Tech025(NMOS), W: 1e-6, L: 0.25e-6} }
+func pmos() *MOSFET { return &MOSFET{Params: Tech025(PMOS), W: 2e-6, L: 0.25e-6} }
+
+func TestNMOSRegions(t *testing.T) {
+	m := nmos()
+	// Cutoff: vgs below VT.
+	id, gm, _ := m.Eval(1.5, 0.2, 0)
+	if math.Abs(id) > 1e-9 || gm != 0 {
+		t.Errorf("cutoff: id=%g gm=%g", id, gm)
+	}
+	// Saturation: vds > vov.
+	idSat, gmSat, gdsSat := m.Eval(3, 1.5, 0)
+	if idSat <= 0 || gmSat <= 0 || gdsSat <= 0 {
+		t.Errorf("saturation: id=%g gm=%g gds=%g", idSat, gmSat, gdsSat)
+	}
+	// Triode: small vds, conductive.
+	idTri, _, gdsTri := m.Eval(0.1, 3, 0)
+	if idTri <= 0 || gdsTri <= gdsSat {
+		t.Errorf("triode should have high gds: id=%g gds=%g", idTri, gdsTri)
+	}
+}
+
+func TestNMOSRegionContinuity(t *testing.T) {
+	m := nmos()
+	vgs := 1.5
+	vov := vgs - m.Params.VT0
+	below, _, _ := m.Eval(vov-1e-9, vgs, 0)
+	above, _, _ := m.Eval(vov+1e-9, vgs, 0)
+	if math.Abs(below-above) > 1e-9*math.Abs(above) {
+		t.Errorf("discontinuity at triode/sat boundary: %g vs %g", below, above)
+	}
+}
+
+func TestNMOSDerivativesNumeric(t *testing.T) {
+	m := nmos()
+	const h = 1e-7
+	for _, pt := range [][3]float64{{2.0, 1.2, 0}, {0.3, 2.5, 0}, {1.0, 1.0, 0.2}} {
+		vd, vg, vs := pt[0], pt[1], pt[2]
+		_, gm, gds := m.Eval(vd, vg, vs)
+		idP := m.IdsAt(vd, vg+h, vs)
+		idM := m.IdsAt(vd, vg-h, vs)
+		numGm := (idP - idM) / (2 * h)
+		if math.Abs(numGm-gm) > 1e-4*(math.Abs(gm)+1e-9) {
+			t.Errorf("gm mismatch at %v: analytic %g numeric %g", pt, gm, numGm)
+		}
+		idP = m.IdsAt(vd+h, vg, vs)
+		idM = m.IdsAt(vd-h, vg, vs)
+		numGds := (idP - idM) / (2 * h)
+		if math.Abs(numGds-gds) > 1e-4*(math.Abs(gds)+1e-9) {
+			t.Errorf("gds mismatch at %v: analytic %g numeric %g", pt, gds, numGds)
+		}
+	}
+}
+
+func TestReversedChannelAntisymmetry(t *testing.T) {
+	// Swapping drain and source negates the current.
+	m := nmos()
+	f := func(vdRaw, vgRaw uint8) bool {
+		vd := float64(vdRaw) / 255 * 3
+		vg := float64(vgRaw) / 255 * 3
+		fwd := m.IdsAt(vd, vg, 0.5)
+		rev := m.IdsAt(0.5, vg, vd)
+		return math.Abs(fwd+rev) <= 1e-9*(math.Abs(fwd)+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	p := pmos()
+	// A PMOS with source at Vdd and gate low conducts, pulling the drain up:
+	// current into the drain is negative (conventional current flows out of
+	// the drain into the node it charges).
+	id, _, _ := p.Eval(0, 0, 3)
+	if id >= 0 {
+		t.Errorf("conducting PMOS drain current = %g, want negative", id)
+	}
+	// Gate at Vdd: off.
+	idOff, _, _ := p.Eval(0, 3, 3)
+	if math.Abs(idOff) > 1e-9 {
+		t.Errorf("off PMOS leaks %g", idOff)
+	}
+}
+
+func TestWidthScaling(t *testing.T) {
+	a := &MOSFET{Params: Tech025(NMOS), W: 1e-6, L: 0.25e-6}
+	b := &MOSFET{Params: Tech025(NMOS), W: 4e-6, L: 0.25e-6}
+	ia := a.IdsAt(3, 2, 0)
+	ib := b.IdsAt(3, 2, 0)
+	if math.Abs(ib/ia-4) > 1e-9 {
+		t.Errorf("current should scale with W: ratio %g", ib/ia)
+	}
+}
+
+func TestSaturationCurrentMagnitude(t *testing.T) {
+	// Sanity: a 1µm/0.25µm NMOS at vgs=vds=3 V delivers on the order of
+	// a few mA (beta/2·vov²·(1+λvds)).
+	m := nmos()
+	id := m.IdsAt(3, 3, 0)
+	beta := m.Params.KP * m.W / m.L
+	vov := 3 - m.Params.VT0
+	want := 0.5 * beta * vov * vov * (1 + m.Params.Lambda*3)
+	if math.Abs(id-want) > 1e-12 {
+		t.Errorf("saturation current %g, want %g", id, want)
+	}
+	if id < 1e-3 || id > 1e-2 {
+		t.Errorf("current %g A implausible for 0.25µm device", id)
+	}
+}

@@ -1,0 +1,272 @@
+// Package dsp synthesizes digital designs for the experiments: the simple
+// parallel-wire structures of the paper's Figure 1 (Tables 1–2) and a
+// deterministic pseudo-random "leading edge DSP" stand-in for the Section 5
+// case study, with channel-routed buses, tri-state nets, latch-input victims
+// and complementary flip-flop output pairs.
+package dsp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/design"
+)
+
+// mustCell resolves a library cell or panics (generator-internal names are
+// compile-time constants).
+func mustCell(name string) *cells.Cell {
+	c, ok := cells.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("dsp: unknown cell %q", name))
+	}
+	return c
+}
+
+// ParallelWires builds the Figure 1 test structure: n parallel wires of the
+// given length at pitch pitchUM, each driven by driverNames[i] (cycled) and
+// received by receiverName. Wire 0 is conventionally the victim when n is
+// odd the middle wire is a better victim; callers decide.
+func ParallelWires(n int, lengthUM, pitchUM float64, driverNames []string, receiverName string) *design.Design {
+	d := design.New(fmt.Sprintf("lines_%dx%.0fum", n, lengthUM))
+	recv := mustCell(receiverName)
+	for i := 0; i < n; i++ {
+		drv := mustCell(driverNames[i%len(driverNames)])
+		y := float64(i) * pitchUM
+		net := &design.Net{
+			Name: fmt.Sprintf("w%d", i),
+			Drivers: []design.Pin{{
+				Inst: fmt.Sprintf("U%d", i), Cell: drv, Pin: "Z", PosX: 0, PosY: y,
+			}},
+			Receivers: []design.Pin{{
+				Inst: fmt.Sprintf("L%d", i), Cell: recv, Pin: "A", PosX: lengthUM, PosY: y,
+			}},
+			Route: []design.Segment{{Layer: 2, X0: 0, Y0: y, X1: lengthUM, Y1: y, Width: 0.6}},
+		}
+		d.AddNet(net)
+	}
+	return d
+}
+
+// Config parameterizes the synthetic DSP.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Channels is the number of routing channels.
+	Channels int
+	// TracksPerChannel is the channel height in routed tracks; every track
+	// carries one net, so a full channel couples (transitively) into one
+	// pre-pruning cluster of about this many nets.
+	TracksPerChannel int
+	// ChannelLengthUM is the channel span in micrometers.
+	ChannelLengthUM float64
+	// BusFraction is the fraction of nets that are tri-state buses.
+	BusFraction float64
+	// LatchFraction is the fraction of nets whose receiver is a latch input
+	// (the Section 5 victim population).
+	LatchFraction float64
+	// ComplementaryFraction is the fraction of adjacent net pairs marked as
+	// Q/QN outputs of the same flip-flop.
+	ComplementaryFraction float64
+	// ClockSpines adds long, strongly driven clock nets through channels.
+	ClockSpines int
+}
+
+// DefaultConfig sizes the design so the Section 5 experiment populations
+// (113 coupled clusters with 2–12 aggressors; 101 latch-input victims) are
+// available.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1999,
+		Channels:              8,
+		TracksPerChannel:      105,
+		ChannelLengthUM:       2400,
+		BusFraction:           0.06,
+		LatchFraction:         0.25,
+		ComplementaryFraction: 0.05,
+		ClockSpines:           2,
+	}
+}
+
+// driver cell pool with rough frequency weights (strong buffers rarer).
+var driverPool = []struct {
+	name string
+	w    int
+}{
+	{"INV_X1", 8}, {"INV_X2", 10}, {"INV_X4", 8}, {"INV_X8", 3},
+	{"BUF_X1", 6}, {"BUF_X2", 8}, {"BUF_X4", 6}, {"BUF_X8", 3},
+	{"NAND2_X1", 8}, {"NAND2_X2", 8}, {"NAND2_X4", 4},
+	{"NOR2_X1", 6}, {"NOR2_X2", 6}, {"NOR2_X4", 3},
+	{"NAND3_X1", 3}, {"NOR3_X1", 2},
+	{"AOI21_X1", 3}, {"OAI21_X1", 3}, {"AOI22_X1", 2}, {"OAI22_X1", 2},
+	{"DFF_X1", 6}, {"DFF_X2", 5}, {"DFF_X4", 2},
+	{"DLY_X1", 1}, {"DLY_X2", 1},
+}
+
+var receiverPool = []struct {
+	name string
+	w    int
+}{
+	{"INV_X1", 10}, {"INV_X2", 8}, {"NAND2_X1", 8}, {"NOR2_X1", 6},
+	{"NAND3_X1", 3}, {"AOI21_X1", 3}, {"OAI21_X1", 3}, {"BUF_X1", 4},
+	{"DFF_X1", 4},
+}
+
+func pick(rng *rand.Rand, pool []struct {
+	name string
+	w    int
+}) *cells.Cell {
+	total := 0
+	for _, p := range pool {
+		total += p.w
+	}
+	r := rng.Intn(total)
+	for _, p := range pool {
+		r -= p.w
+		if r < 0 {
+			return mustCell(p.name)
+		}
+	}
+	return mustCell(pool[0].name)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Generate builds the synthetic DSP design.
+func Generate(cfg Config) *design.Design {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := design.New("dsp")
+	const (
+		pitch      = 1.2  // µm track pitch (0.6 width + 0.6 space)
+		channelGap = 60.0 // µm between channels
+		wireWidth  = 0.6
+	)
+	latch := mustCell("LATCH_X1")
+	tbuf := []string{"TBUF_X1", "TBUF_X2", "TBUF_X4", "TBUF_X8"}
+	var prevNet *design.Net
+	for ch := 0; ch < cfg.Channels; ch++ {
+		yBase := float64(ch) * (float64(cfg.TracksPerChannel)*pitch + channelGap)
+		// Datapath bus bundles: runs of adjacent tracks sharing one long
+		// span, the dominant source of large coupled clusters in a DSP.
+		bundleLeft := 0
+		var bundleX0, bundleX1 float64
+		for tr := 0; tr < cfg.TracksPerChannel; tr++ {
+			y := yBase + float64(tr)*pitch
+			var x0, x1 float64
+			if bundleLeft == 0 && rng.Float64() < 0.05 {
+				bundleLeft = 10 + rng.Intn(30)
+				span := (0.55 + 0.35*rng.Float64()) * cfg.ChannelLengthUM
+				bundleX0 = rng.Float64() * (cfg.ChannelLengthUM - span)
+				bundleX1 = bundleX0 + span
+			}
+			if bundleLeft > 0 {
+				bundleLeft--
+				// Per-bit jitter at the bundle ends.
+				x0 = bundleX0 + rng.Float64()*20
+				x1 = bundleX1 - rng.Float64()*20
+			} else {
+				// Random-logic net: mixture of short local and medium spans.
+				var length float64
+				switch {
+				case rng.Float64() < 0.15:
+					length = 800 + rng.Float64()*1200 // long
+				case rng.Float64() < 0.45:
+					length = 300 + rng.Float64()*600 // medium
+				default:
+					length = 60 + rng.Float64()*300 // short
+				}
+				if length > cfg.ChannelLengthUM {
+					length = cfg.ChannelLengthUM
+				}
+				x0 = rng.Float64() * (cfg.ChannelLengthUM - length)
+				x1 = x0 + length
+			}
+
+			name := fmt.Sprintf("ch%d/n%d", ch, tr)
+			net := &design.Net{Name: name}
+			net.Route = []design.Segment{{Layer: 2, X0: x0, Y0: y, X1: x1, Y1: y, Width: wireWidth}}
+			// Short escape stubs on layer 1.
+			stub := 3 + rng.Float64()*8
+			net.Route = append(net.Route,
+				design.Segment{Layer: 1, X0: x0, Y0: y, X1: x0, Y1: y + stub, Width: wireWidth},
+				design.Segment{Layer: 1, X0: x1, Y0: y, X1: x1, Y1: y - stub, Width: wireWidth},
+			)
+
+			if rng.Float64() < cfg.BusFraction {
+				// Tri-state bus with 2–4 drivers distributed along the wire.
+				nd := 2 + rng.Intn(3)
+				for k := 0; k < nd; k++ {
+					px := x0 + (x1-x0)*float64(k)/float64(nd)
+					net.Drivers = append(net.Drivers, design.Pin{
+						Inst: fmt.Sprintf("%s_tb%d", name, k),
+						Cell: mustCell(tbuf[rng.Intn(len(tbuf))]),
+						Pin:  "Z", PosX: px, PosY: y,
+					})
+				}
+			} else {
+				net.Drivers = []design.Pin{{
+					Inst: name + "_drv", Cell: pick(rng, driverPool), Pin: "Z",
+					PosX: x0, PosY: y + stub,
+				}}
+			}
+			// Receivers: 1–3 fanouts at the far end; some latch inputs.
+			nr := 1 + rng.Intn(3)
+			for k := 0; k < nr; k++ {
+				rc := pick(rng, receiverPool)
+				if k == 0 && rng.Float64() < cfg.LatchFraction {
+					rc = latch
+				}
+				net.Receivers = append(net.Receivers, design.Pin{
+					Inst: fmt.Sprintf("%s_rcv%d", name, k),
+					Cell: rc, Pin: "D",
+					PosX: x1, PosY: y - stub,
+				})
+			}
+			// Combinational drivers are fed by up to two earlier nets in the
+			// same channel, forming the DAG static timing walks. Sequential
+			// drivers (DFF/LATCH outputs) launch fresh from the clock.
+			if !net.IsBus() && !net.Drivers[0].Cell.Sequential && tr > 0 {
+				base := d.Nets[len(d.Nets)-1].Index // last added net so far
+				nf := 1 + rng.Intn(2)
+				for k := 0; k < nf && k <= tr-1; k++ {
+					fi := base - rng.Intn(minInt(tr, 12))
+					if fi >= 0 && fi != len(d.Nets) {
+						net.Fanins = append(net.Fanins, fi)
+					}
+				}
+			}
+			d.AddNet(net)
+			// Complementary Q/QN pairs on adjacent tracks.
+			if prevNet != nil && tr > 0 && rng.Float64() < cfg.ComplementaryFraction &&
+				!net.IsBus() && !prevNet.IsBus() {
+				d.MarkComplementary(prevNet.Index, net.Index)
+			}
+			prevNet = net
+		}
+		// Clock spines: strong long aggressors along the channel.
+		for s := 0; s < cfg.ClockSpines; s++ {
+			y := yBase + float64(cfg.TracksPerChannel)*pitch + 1.2*float64(s+1)
+			net := &design.Net{
+				Name:     fmt.Sprintf("ch%d/clk%d", ch, s),
+				ClockNet: true,
+				Drivers: []design.Pin{{
+					Inst: fmt.Sprintf("ch%d_clkbuf%d", ch, s),
+					Cell: mustCell("CLKBUF_X16"), Pin: "Z", PosX: 0, PosY: y,
+				}},
+				Receivers: []design.Pin{{
+					Inst: fmt.Sprintf("ch%d_clkload%d", ch, s),
+					Cell: mustCell("BUF_X4"), Pin: "A", PosX: cfg.ChannelLengthUM, PosY: y,
+				}},
+				Route: []design.Segment{{Layer: 2, X0: 0, Y0: y, X1: cfg.ChannelLengthUM, Y1: y, Width: wireWidth}},
+			}
+			d.AddNet(net)
+		}
+		prevNet = nil
+	}
+	return d
+}

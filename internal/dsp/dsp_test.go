@@ -1,0 +1,123 @@
+package dsp
+
+import (
+	"testing"
+
+	"xtverify/internal/cells"
+)
+
+func TestParallelWires(t *testing.T) {
+	d := ParallelWires(3, 1000, 1.2, []string{"INV_X4", "INV_X2"}, "NAND2_X1")
+	if len(d.Nets) != 3 {
+		t.Fatalf("%d nets", len(d.Nets))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Drivers cycle through the list.
+	if d.Nets[0].Drivers[0].Cell.Name != "INV_X4" || d.Nets[1].Drivers[0].Cell.Name != "INV_X2" {
+		t.Error("driver cycling wrong")
+	}
+	if d.Nets[2].Length() != 1000 {
+		t.Errorf("length %g", d.Nets[2].Length())
+	}
+	// Wires at the requested pitch.
+	if d.Nets[1].Route[0].Y0-d.Nets[0].Route[0].Y0 != 1.2 {
+		t.Error("pitch wrong")
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	cfg := Config{Seed: 11, Channels: 2, TracksPerChannel: 30, ChannelLengthUM: 800,
+		BusFraction: 0.1, LatchFraction: 0.3, ComplementaryFraction: 0.1, ClockSpines: 1}
+	d1 := Generate(cfg)
+	if err := d1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := Generate(cfg)
+	if len(d1.Nets) != len(d2.Nets) {
+		t.Fatal("non-deterministic net count")
+	}
+	for i := range d1.Nets {
+		if d1.Nets[i].Name != d2.Nets[i].Name || d1.Nets[i].Length() != d2.Nets[i].Length() {
+			t.Fatalf("net %d differs across runs", i)
+		}
+	}
+}
+
+func TestGeneratePopulations(t *testing.T) {
+	d := Generate(DefaultConfig())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	wantNets := 8*105 + 8*2 // tracks + clock spines
+	if s.Nets != wantNets {
+		t.Errorf("nets = %d, want %d", s.Nets, wantNets)
+	}
+	if s.BusNets == 0 {
+		t.Error("no tri-state buses generated")
+	}
+	if s.ClockNets != 16 {
+		t.Errorf("clock nets = %d", s.ClockNets)
+	}
+	// Latch-input victims: the Section 5 population needs at least 101.
+	latchInputs := 0
+	for _, n := range d.Nets {
+		for _, r := range n.Receivers {
+			if r.Cell.Sequential {
+				latchInputs++
+				break
+			}
+		}
+	}
+	if latchInputs < 101 {
+		t.Errorf("only %d latch-input nets; need ≥101 for Figures 6–7", latchInputs)
+	}
+	if len(d.Complementary) == 0 {
+		t.Error("no complementary pairs generated")
+	}
+}
+
+func TestFaninsAreDAG(t *testing.T) {
+	d := Generate(Config{Seed: 5, Channels: 1, TracksPerChannel: 50, ChannelLengthUM: 1000})
+	for _, n := range d.Nets {
+		for _, f := range n.Fanins {
+			if f >= n.Index {
+				t.Fatalf("net %d has forward fanin %d", n.Index, f)
+			}
+		}
+	}
+}
+
+func TestBusDriversAreTriState(t *testing.T) {
+	d := Generate(Config{Seed: 13, Channels: 1, TracksPerChannel: 80, ChannelLengthUM: 1500, BusFraction: 0.3})
+	buses := 0
+	for _, n := range d.Nets {
+		if n.IsBus() {
+			buses++
+			for _, p := range n.Drivers {
+				if !p.Cell.TriState {
+					t.Errorf("bus %s driven by %s", n.Name, p.Cell.Name)
+				}
+			}
+		}
+	}
+	if buses == 0 {
+		t.Error("no buses at 30% fraction")
+	}
+}
+
+func TestComplementaryPairsAreAdjacentNets(t *testing.T) {
+	d := Generate(Config{Seed: 17, Channels: 1, TracksPerChannel: 100, ChannelLengthUM: 1500, ComplementaryFraction: 0.3})
+	if len(d.Complementary) == 0 {
+		t.Skip("no pairs this seed")
+	}
+	for _, p := range d.Complementary {
+		if p[1]-p[0] != 1 {
+			t.Errorf("pair %v not adjacent", p)
+		}
+	}
+}
+
+var _ = cells.Library

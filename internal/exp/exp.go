@@ -1,0 +1,113 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (see DESIGN.md §4 for the index and
+// EXPERIMENTS.md for paper-vs-measured records). Each experiment returns a
+// structured result with a Render method used by cmd/repro and the
+// repository benchmarks.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"xtverify/internal/cellmodel"
+	"xtverify/internal/cells"
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+)
+
+// linesCluster extracts the Figure 1 parallel-wire structure (two aggressors
+// around one victim, per the paper's A1/V/A2 drawing) and returns the
+// analysis inputs.
+func linesCluster(lengthUM float64, driver, victimDriver string) (*extract.Parasitics, *prune.Cluster, error) {
+	d := dsp.ParallelWires(3, lengthUM, 1.2, []string{driver, victimDriver, driver}, "INV_X1")
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := prune.PruneVictim(par, 1, prune.Options{CapRatioThreshold: 0.001, MinCouplingF: 1e-18})
+	if len(cl.Aggressors) == 0 {
+		return nil, nil, fmt.Errorf("exp: no coupling extracted at %g µm", lengthUM)
+	}
+	return par, cl, nil
+}
+
+// pairCluster builds a single aggressor + victim pair for the Table 3/4
+// model-accuracy sweeps.
+func pairCluster(lengthUM float64, aggressorDriver, victimDriver string) (*extract.Parasitics, *prune.Cluster, error) {
+	d := dsp.ParallelWires(2, lengthUM, 1.2, []string{aggressorDriver, victimDriver}, "INV_X1")
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := prune.PruneVictim(par, 1, prune.Options{CapRatioThreshold: 0.001, MinCouplingF: 1e-18})
+	if len(cl.Aggressors) == 0 {
+		return nil, nil, fmt.Errorf("exp: no coupling extracted at %g µm", lengthUM)
+	}
+	return par, cl, nil
+}
+
+// glitchTEnd adapts the transient span to the wire length so slow victims
+// settle.
+func glitchTEnd(lengthUM float64) float64 {
+	t := 3e-9 + lengthUM*1.2e-12
+	return t
+}
+
+// dspPopulation generates the Section 5 design, extracts, and prunes it.
+func dspPopulation(cfg dsp.Config, maxAggressors int) (*extract.Parasitics, []*prune.Cluster, error) {
+	d := dsp.Generate(cfg)
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		return nil, nil, err
+	}
+	cls := prune.Clusters(par, prune.Options{
+		CapRatioThreshold: 0.02,
+		MinCouplingF:      0.5e-15,
+		MaxAggressors:     maxAggressors,
+	})
+	sort.Slice(cls, func(i, j int) bool { return cls[i].Victim < cls[j].Victim })
+	return par, cls, nil
+}
+
+// warmCells pre-runs the one-time cell characterizations (NLDM tables and
+// static I–V curves) for every driver cell appearing in the clusters, so
+// timed comparisons measure analysis cost only.
+func warmCells(par *extract.Parasitics, clusters []*prune.Cluster) error {
+	seen := map[string]bool{}
+	warm := func(c *cells.Cell) error {
+		if seen[c.Name] {
+			return nil
+		}
+		seen[c.Name] = true
+		if _, err := cells.CharacterizeCached(c); err != nil {
+			return err
+		}
+		if _, err := cellmodel.CharacterizeIV(c, cellmodel.StagePullDown, 0); err != nil {
+			return err
+		}
+		_, err := cellmodel.CharacterizeIV(c, cellmodel.StagePullUp, 0)
+		return err
+	}
+	for _, cl := range clusters {
+		for _, m := range cl.MemberNets() {
+			for _, pin := range par.Design.Nets[m].Drivers {
+				if err := warm(pin.Cell); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// engineFor constructs a glitch engine with the experiment defaults.
+func engineFor(par *extract.Parasitics, model glitch.ModelKind, tEnd float64) *glitch.Engine {
+	return glitch.NewEngine(par, glitch.Options{
+		Model:     model,
+		FixedOhms: 1000,
+		TEnd:      tEnd,
+		Dt:        2e-12,
+	})
+}

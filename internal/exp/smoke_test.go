@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/glitch"
+)
+
+// smallDSP keeps the experiment smoke tests fast while preserving the
+// population structure.
+func smallDSP(seed int64) dsp.Config {
+	return dsp.Config{Seed: seed, Channels: 1, TracksPerChannel: 70,
+		ChannelLengthUM: 1200, BusFraction: 0.05, LatchFraction: 0.35, ClockSpines: 1}
+}
+
+func TestTable1ShapeMonotone(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].GlitchV <= res.Rows[i-1].GlitchV {
+			t.Errorf("Table 1 not monotone: %+v", res.Rows)
+		}
+	}
+	// All glitches positive, below supply.
+	for _, r := range res.Rows {
+		if r.GlitchV <= 0 || r.GlitchV >= 3 {
+			t.Errorf("glitch %g out of range for %s", r.GlitchV, r.Name)
+		}
+	}
+	if !strings.Contains(res.Render(), "ckt4") {
+		t.Error("render missing circuits")
+	}
+}
+
+func TestTable2ShapeCouplingWorsensDelay(t *testing.T) {
+	res, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.RiseWith <= r.RiseWithout {
+			t.Errorf("%s: rise with coupling %.3g should exceed without %.3g", r.Name, r.RiseWith, r.RiseWithout)
+		}
+		if r.FallWith <= r.FallWithout {
+			t.Errorf("%s: fall with coupling %.3g should exceed without %.3g", r.Name, r.FallWith, r.FallWithout)
+		}
+	}
+	// Delay deterioration grows with coupled length.
+	d1 := res.Rows[0].RiseWith - res.Rows[0].RiseWithout
+	d4 := res.Rows[3].RiseWith - res.Rows[3].RiseWithout
+	if d4 <= d1 {
+		t.Errorf("deterioration should grow with length: %g vs %g", d1, d4)
+	}
+	if !strings.Contains(res.Render(), "ns") {
+		t.Error("render missing units")
+	}
+}
+
+var accuracySmokeCells = []string{"INV_X1", "INV_X4", "NAND2_X2", "NOR2_X1", "BUF_X2"}
+
+func TestModelAccuracySmoke(t *testing.T) {
+	cfg := AccuracyConfig{LengthsPerCell: 3, Dt: 4e-12}
+	lin, err := RunModelAccuracy(glitch.ModelTimingLibrary, cfg, accuracySmokeCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := RunModelAccuracy(glitch.ModelNonlinear, cfg, accuracySmokeCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Cases == 0 || nl.Cases == 0 {
+		t.Fatal("no cases measured")
+	}
+	// The Section 4 headline: the nonlinear model is more accurate.
+	if nl.Summary.AbsMean >= lin.Summary.AbsMean {
+		t.Errorf("nonlinear |err| %.2f%% should beat linear %.2f%%", nl.Summary.AbsMean, lin.Summary.AbsMean)
+	}
+	// Table 4's quality bar at smoke scale: most cases within 10%.
+	if nl.PctWithin10 < 0.7 {
+		t.Errorf("only %.0f%% of nonlinear cases within 10%%", 100*nl.PctWithin10)
+	}
+	if !strings.Contains(nl.Render(), "Table 4") || !strings.Contains(lin.Render(), "Table 3") {
+		t.Error("render titles wrong")
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	res, err := RunFig3(Fig3Config{MaxClusters: 12, DSP: smallDSP(31), Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) < 5 {
+		t.Fatalf("only %d cases", len(res.Cases))
+	}
+	// The Figure 3 regime: MOR-only error is far below driver-model error.
+	if res.MaxAbsErrPct > 3 {
+		t.Errorf("max |err| %.2f%% too large for identical-driver comparison", res.MaxAbsErrPct)
+	}
+	if res.Speedup < 2 {
+		t.Errorf("speedup %.1fx implausibly low", res.Speedup)
+	}
+	if !strings.Contains(res.Render(), "speedup") {
+		t.Error("render missing speedup")
+	}
+}
+
+func TestFig45Smoke(t *testing.T) {
+	res, err := RunFig45(Fig3Config{MaxClusters: 6, DSP: smallDSP(32), Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROMWave == nil || res.SPICEWave == nil {
+		t.Fatal("missing waveforms")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "Figure 5") {
+		t.Error("render missing figures")
+	}
+	// The two waveforms must be close everywhere (not just at the peak).
+	// Figure 4's point is that they are indistinguishable at full scale.
+	maxDiff := 0.0
+	for i := 0; i < 200; i++ {
+		tt := res.SPICEWave.T[0] + (res.SPICEWave.T[len(res.SPICEWave.T)-1]-res.SPICEWave.T[0])*float64(i)/199
+		d := math.Abs(res.ROMWave.At(tt) - res.SPICEWave.At(tt))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.1 {
+		t.Errorf("waveform deviation %.3f V too large", maxDiff)
+	}
+}
+
+func TestFig67Smoke(t *testing.T) {
+	res, err := RunFig67(true, Fig67Config{MaxVictims: 6, DSP: smallDSP(33), Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Over10.N == 0 {
+		t.Skip("no >10% Vdd latch-input glitches in the small population")
+	}
+	// Error band should be within a paper-like envelope (generous at smoke
+	// scale): ±20%.
+	if res.Over10.Min < -20 || res.Over10.Max > 20 {
+		t.Errorf("error range [%.1f, %.1f] outside ±20%%", res.Over10.Min, res.Over10.Max)
+	}
+	if res.Speedup < 1 {
+		t.Errorf("speedup %.1fx: reduced-order flow slower than SPICE", res.Speedup)
+	}
+	fall, err := RunFig67(false, Fig67Config{MaxVictims: 4, DSP: smallDSP(33), Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fall.Render(), "Figure 7") {
+		t.Error("falling render title wrong")
+	}
+}
+
+func TestPruneStatsSmoke(t *testing.T) {
+	res, err := RunPruneStats(smallDSP(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.PrunedMeanSize < 2 || s.PrunedMeanSize > 8 {
+		t.Errorf("pruned mean %.1f outside regime", s.PrunedMeanSize)
+	}
+	if s.RawMeanSize <= s.PrunedMeanSize {
+		t.Errorf("raw mean %.1f should exceed pruned %.1f", s.RawMeanSize, s.PrunedMeanSize)
+	}
+	if !strings.Contains(res.Render(), "pruning") {
+		t.Error("render wrong")
+	}
+}
+
+func TestAnalyticComparisonSmoke(t *testing.T) {
+	res, err := RunAnalytic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// MPVL must track SPICE far better than the closed forms do.
+		mpvlErr := math.Abs(r.MPVLV - r.SPICEV)
+		analyticErr := math.Abs(r.AnalyticV - r.SPICEV)
+		if mpvlErr > analyticErr && analyticErr > 0.01 {
+			t.Errorf("l=%g: MPVL err %.3f should beat analytic err %.3f", r.LengthUM, mpvlErr, analyticErr)
+		}
+		// Charge-share stays a true upper bound on the reference.
+		if r.ChargeShareV < r.SPICEV {
+			t.Errorf("l=%g: charge-share %.3f below SPICE %.3f", r.LengthUM, r.ChargeShareV, r.SPICEV)
+		}
+	}
+	if !strings.Contains(res.Render(), "charge-share") {
+		t.Error("render malformed")
+	}
+}
+
+func TestPropagationSmoke(t *testing.T) {
+	res, err := RunPropagation(smallDSP(35), 8, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimsTraced == 0 {
+		t.Skip("no glitches above the floor in the small population")
+	}
+	total := res.DepthHistogram.Total()
+	if total != res.VictimsTraced {
+		t.Errorf("histogram total %d vs traced %d", total, res.VictimsTraced)
+	}
+	// Filtered and ReachedLatch may overlap (a depth-0 glitch whose victim
+	// itself feeds a latch counts in both), but each is bounded by the
+	// traced population.
+	if res.Filtered > res.VictimsTraced || res.ReachedLatch > res.VictimsTraced {
+		t.Errorf("counters inconsistent: %+v", res)
+	}
+	if !strings.Contains(res.Render(), "propagation depth") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xtverify/internal/devices"
+	"xtverify/internal/glitch"
+	"xtverify/internal/stats"
+)
+
+// Table1Row is one coupled-length data point.
+type Table1Row struct {
+	Name     string
+	LengthUM float64
+	GlitchV  float64
+	FracVdd  float64
+}
+
+// Table1Result reproduces Table 1: peak glitch versus coupled wire length.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Lengths are the paper's test-circuit lengths (ckt1–ckt4).
+var Table1Lengths = []float64{100, 1000, 2000, 4000}
+
+// RunTable1 analyzes the Figure 1 structure at each coupled length using
+// the nonlinear cell model.
+func RunTable1() (*Table1Result, error) {
+	out := &Table1Result{}
+	for i, l := range Table1Lengths {
+		par, cl, err := linesCluster(l, "INV_X4", "INV_X1")
+		if err != nil {
+			return nil, err
+		}
+		eng := engineFor(par, glitch.ModelNonlinear, glitchTEnd(l))
+		res, err := eng.AnalyzeGlitch(cl, true)
+		if err != nil {
+			return nil, fmt.Errorf("exp: table1 ckt%d: %w", i+1, err)
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Name:     fmt.Sprintf("ckt%d", i+1),
+			LengthUM: l,
+			GlitchV:  res.PeakV,
+			FracVdd:  res.PeakV / devices.Vdd025,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Coupled wire length and glitch\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%10s", r.Name)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s", "length")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%8.0fum", r.LengthUM)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s", "glitch")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%9.3fv", r.GlitchV)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Table2Row is one circuit's delay set.
+type Table2Row struct {
+	Name                  string
+	LengthUM              float64
+	RiseWithout, RiseWith float64
+	FallWithout, FallWith float64
+}
+
+// Table2Result reproduces Table 2: interconnect delays with and without
+// coupling (aggressors switching opposite to the victim in the coupled
+// case).
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 measures rise/fall delays for ckt1–ckt4.
+func RunTable2() (*Table2Result, error) {
+	out := &Table2Result{}
+	for i, l := range Table1Lengths {
+		par, cl, err := linesCluster(l, "INV_X4", "INV_X1")
+		if err != nil {
+			return nil, err
+		}
+		eng := engineFor(par, glitch.ModelNonlinear, glitchTEnd(l)+3e-9)
+		row := Table2Row{Name: fmt.Sprintf("ckt%d", i+1), LengthUM: l}
+		for _, rising := range []bool{true, false} {
+			for _, coupled := range []bool{true, false} {
+				dr, err := eng.AnalyzeDelay(cl, rising, coupled)
+				if err != nil {
+					return nil, fmt.Errorf("exp: table2 %s rising=%v coupled=%v: %w", row.Name, rising, coupled, err)
+				}
+				switch {
+				case rising && coupled:
+					row.RiseWith = dr.Delay
+				case rising && !coupled:
+					row.RiseWithout = dr.Delay
+				case !rising && coupled:
+					row.FallWith = dr.Delay
+				default:
+					row.FallWithout = dr.Delay
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Interconnect delays (ns)\n")
+	fmt.Fprintf(&b, "%-6s %14s %14s %14s %14s\n", "ckt",
+		"Rise w/o coup", "Rise w/ coup", "Fall w/o coup", "Fall w/ coup")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-6s %11.4f ns %11.4f ns %11.4f ns %11.4f ns\n",
+			r.Name, r.RiseWithout*1e9, r.RiseWith*1e9, r.FallWithout*1e9, r.FallWith*1e9)
+	}
+	return b.String()
+}
+
+// AccuracyConfig sizes the Table 3/4 model-accuracy sweeps.
+type AccuracyConfig struct {
+	// Cells restricts the cell population (default: whole library).
+	Cells []string
+	// LengthsPerCell is the number of wire lengths per cell (default 8,
+	// spread over 10–5000 µm with per-cell jitter so >60 distinct lengths
+	// appear overall, as in the paper).
+	LengthsPerCell int
+	// Dt is the transient step (default 2 ps).
+	Dt float64
+}
+
+// BinStats is one glitch-magnitude row of Table 3/4.
+type BinStats struct {
+	LoV, HiV float64
+	N        int
+	// Errors are percentages relative to the SPICE peak.
+	AvgErrPct, StdErrPct, MinErrPct, MaxErrPct float64
+}
+
+// ModelAccuracyResult reproduces Table 3 (linear timing-library model) or
+// Table 4 (nonlinear cell model): rising-glitch peak errors versus
+// transistor-level SPICE, grouped by glitch magnitude.
+type ModelAccuracyResult struct {
+	Model           glitch.ModelKind
+	Cases           int
+	DistinctLengths int
+	Bins            []BinStats
+	// PctWithin10 is the fraction of cases with |err| < 10 %; PctOver50 the
+	// fraction beyond 50 % (the paper quotes >85 % and ≤2 cases).
+	PctWithin10, PctOver50 float64
+	// Summary aggregates all errors.
+	Summary stats.Summary
+}
+
+func defaultLengths(cellIdx, perCell int) []float64 {
+	base := []float64{10, 50, 150, 400, 800, 1500, 3000, 5000}
+	out := make([]float64, 0, perCell)
+	for k := 0; k < perCell; k++ {
+		// Spread the picks over the whole ladder when fewer than len(base)
+		// lengths are requested, so scaled-down sweeps still cover short,
+		// medium and long wires.
+		var l float64
+		if perCell < len(base) {
+			l = base[(k*len(base))/perCell+len(base)/(2*perCell)]
+		} else {
+			l = base[k%len(base)]
+		}
+		// Deterministic per-cell jitter spreads the sweep over >60 distinct
+		// lengths without randomness.
+		jitter := 1 + 0.06*float64((cellIdx%7)-3)/3
+		out = append(out, math.Round(l*jitter))
+	}
+	return out
+}
+
+// RunModelAccuracy executes the sweep for the given driver model.
+func RunModelAccuracy(model glitch.ModelKind, cfg AccuracyConfig, cellNames []string) (*ModelAccuracyResult, error) {
+	if cfg.LengthsPerCell == 0 {
+		cfg.LengthsPerCell = 8
+	}
+	if cfg.Dt == 0 {
+		cfg.Dt = 2e-12
+	}
+	if cfg.Cells != nil {
+		cellNames = cfg.Cells
+	}
+	var keys, errsPct []float64
+	seen := map[float64]bool{}
+	for ci, cellName := range cellNames {
+		for _, l := range defaultLengths(ci, cfg.LengthsPerCell) {
+			seen[l] = true
+			par, cl, err := pairCluster(l, "BUF_X4", cellName)
+			if err != nil {
+				return nil, err
+			}
+			eng := engineFor(par, model, glitchTEnd(l))
+			eng.Opt.Dt = cfg.Dt
+			rom, err := eng.AnalyzeGlitch(cl, true)
+			if err != nil {
+				return nil, fmt.Errorf("exp: accuracy %s @%gum (model): %w", cellName, l, err)
+			}
+			gold, err := eng.SPICEGlitch(cl, true, true)
+			if err != nil {
+				return nil, fmt.Errorf("exp: accuracy %s @%gum (spice): %w", cellName, l, err)
+			}
+			if gold.PeakV < 0.02 {
+				continue // glitch too small to define a relative error
+			}
+			keys = append(keys, gold.PeakV)
+			errsPct = append(errsPct, 100*(rom.PeakV-gold.PeakV)/gold.PeakV)
+		}
+	}
+	res := &ModelAccuracyResult{Model: model, Cases: len(errsPct), DistinctLengths: len(seen)}
+	res.Summary = stats.Summarize(errsPct)
+	within10, over50 := 0, 0
+	for _, e := range errsPct {
+		if math.Abs(e) < 10 {
+			within10++
+		}
+		if math.Abs(e) > 50 {
+			over50++
+		}
+	}
+	if len(errsPct) > 0 {
+		res.PctWithin10 = float64(within10) / float64(len(errsPct))
+		res.PctOver50 = float64(over50) / float64(len(errsPct))
+	}
+	for _, bin := range stats.BinBy(keys, errsPct, []float64{0.3, 0.6, 1.0, 1.5}) {
+		s := stats.Summarize(bin.Values)
+		res.Bins = append(res.Bins, BinStats{
+			LoV: bin.Lo, HiV: bin.Hi, N: s.N,
+			AvgErrPct: s.Mean, StdErrPct: s.Std, MinErrPct: s.Min, MaxErrPct: s.Max,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *ModelAccuracyResult) Render() string {
+	name := "Table 3: Timing library based model"
+	if r.Model == glitch.ModelNonlinear {
+		name = "Table 4: Non-linear cell model"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (Vdd = 3.0), %d cases, %d distinct lengths\n", name, r.Cases, r.DistinctLengths)
+	fmt.Fprintf(&b, "%-14s %5s %9s %9s %9s %9s\n", "peak glitch(v)", "n", "avg err", "std err", "min err", "max err")
+	for _, bin := range r.Bins {
+		if bin.N == 0 {
+			continue
+		}
+		lo := fmt.Sprintf("%.1f", bin.LoV)
+		if math.IsInf(bin.LoV, -1) {
+			lo = "0.0"
+		}
+		hi := fmt.Sprintf("%.1f", bin.HiV)
+		if math.IsInf(bin.HiV, 1) {
+			hi = "+"
+		}
+		fmt.Fprintf(&b, "%-14s %5d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			lo+" .. "+hi, bin.N, bin.AvgErrPct, bin.StdErrPct, bin.MinErrPct, bin.MaxErrPct)
+	}
+	fmt.Fprintf(&b, "cases with |err| < 10%%: %.0f%%   cases with |err| > 50%%: %.1f%%\n",
+		100*r.PctWithin10, 100*r.PctOver50)
+	return b.String()
+}

@@ -1,0 +1,513 @@
+// Package glitch is the chip-level crosstalk analysis engine: it takes a
+// pruned cluster, sets up the worst-case stimulus under the paper's analysis
+// policies (aggressors aligned within timing windows, tri-state buses driven
+// by their strongest driver, complementary flip-flop outputs never switching
+// the same way), attaches driver models, and predicts the victim's glitch
+// peak or coupled delay using the SyMPVL reduced-order model.
+//
+// For validation it can also run the identical cluster through the
+// SPICE-class reference engine, either with the same driver models or at
+// transistor level, which is how the paper's Figures 3–7 are produced.
+package glitch
+
+import (
+	"fmt"
+	"math"
+
+	"xtverify/internal/cellmodel"
+	"xtverify/internal/cells"
+	"xtverify/internal/circuit"
+	"xtverify/internal/design"
+	"xtverify/internal/devices"
+	"xtverify/internal/extract"
+	"xtverify/internal/mna"
+	"xtverify/internal/prune"
+	"xtverify/internal/romsim"
+	"xtverify/internal/sympvl"
+	"xtverify/internal/waveform"
+)
+
+// Vdd is the analysis supply.
+const Vdd = devices.Vdd025
+
+// ModelKind selects the driver model family.
+type ModelKind int
+
+// Driver model kinds.
+const (
+	// ModelFixedR uses one fixed linear drive resistance for every driver
+	// (the Figure 3 setup with 1 kΩ).
+	ModelFixedR ModelKind = iota
+	// ModelTimingLibrary uses per-cell linear resistances deduced from the
+	// NLDM tables (Section 4.1 / Table 3).
+	ModelTimingLibrary
+	// ModelNonlinear uses the pre-characterized nonlinear cell models
+	// (Section 4.2 / Table 4).
+	ModelNonlinear
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Model selects the driver model family.
+	Model ModelKind
+	// FixedOhms is the drive resistance for ModelFixedR (default 1000).
+	FixedOhms float64
+	// Order is the reduced-model order (default OrderFactor·ports, capped
+	// by cluster size).
+	Order int
+	// OrderFactor sets the order as a multiple of the port count when Order
+	// is zero (default 6).
+	OrderFactor int
+	// TEnd and Dt control the transient (defaults 4 ns / 2 ps).
+	TEnd, Dt float64
+	// AlignTime is the nominal aggressor switching instant when timing
+	// windows are not used (default 200 ps).
+	AlignTime float64
+	// InputSlew is the aggressors' driver input transition (default 120 ps).
+	InputSlew float64
+	// UseTimingWindows aligns aggressors inside their STA windows and
+	// silences those that cannot overlap the victim's window.
+	UseTimingWindows bool
+	// UseLogicCorrelation makes complementary aggressor pairs switch in
+	// opposite directions.
+	UseLogicCorrelation bool
+}
+
+func (o *Options) setDefaults() {
+	if o.FixedOhms == 0 {
+		o.FixedOhms = 1000
+	}
+	if o.TEnd == 0 {
+		o.TEnd = 4e-9
+	}
+	if o.Dt == 0 {
+		o.Dt = 2e-12
+	}
+	if o.AlignTime == 0 {
+		o.AlignTime = 200e-12
+	}
+	if o.InputSlew == 0 {
+		o.InputSlew = 120e-12
+	}
+}
+
+// AggressorPlan describes the stimulus decided for one aggressor.
+type AggressorPlan struct {
+	Net      int
+	Cell     *cells.Cell
+	Rising   bool
+	Quiet    bool // excluded by timing windows
+	SwitchAt float64
+	Inverted bool // flipped by logic correlation
+}
+
+// Result is the outcome of a glitch analysis.
+type Result struct {
+	VictimName string
+	// PeakV is the signed worst glitch deviation at the victim receivers.
+	PeakV float64
+	// PeakTime is when it occurs.
+	PeakTime float64
+	// ReceiverWave is the waveform at the worst receiver port.
+	ReceiverWave *waveform.Waveform
+	// Aggressors records the stimulus plan.
+	Aggressors []AggressorPlan
+	// ActiveAggressors counts non-quiet aggressors.
+	ActiveAggressors int
+	// ReducedOrder is the SyMPVL model order used.
+	ReducedOrder int
+	// ClusterNodes is the unreduced node count.
+	ClusterNodes int
+}
+
+// Engine performs analyses against one design's parasitics.
+type Engine struct {
+	Par *extract.Parasitics
+	Opt Options
+}
+
+// NewEngine constructs an engine.
+func NewEngine(par *extract.Parasitics, opt Options) *Engine {
+	opt.setDefaults()
+	return &Engine{Par: par, Opt: opt}
+}
+
+// strongestPin returns the driver pin with the widest output stage —
+// the paper's tri-state bus rule ("strongest of all bus drivers is
+// switching").
+func strongestPin(pins []design.Pin) (int, design.Pin) {
+	best := 0
+	for i, p := range pins[1:] {
+		if p.Cell.Wn > pins[best].Cell.Wn {
+			best = i + 1
+		}
+	}
+	return best, pins[best]
+}
+
+// clusterPorts resolves which circuit port drives/observes what.
+type clusterPorts struct {
+	ckt *circuit.Circuit
+	// victimDriver is the active victim driver port index.
+	victimDriver int
+	// idleDrivers are bus driver ports held tri-stated (open).
+	idleDrivers []int
+	// aggDrivers[i] is the active driver port of aggressor i.
+	aggDrivers []int
+	// receivers are the victim receiver port indices.
+	receivers []int
+}
+
+func resolvePorts(p *extract.Parasitics, cl *prune.Cluster, ckt *circuit.Circuit) (*clusterPorts, error) {
+	cp := &clusterPorts{ckt: ckt, victimDriver: -1}
+	d := p.Design
+	members := cl.MemberNets()
+	// Per member net, the port indices of its drivers in declaration order.
+	drvPorts := make([][]int, len(members))
+	for pi, port := range ckt.Ports {
+		switch port.Kind {
+		case circuit.PortDriver:
+			drvPorts[port.Net] = append(drvPorts[port.Net], pi)
+		case circuit.PortReceiver:
+			cp.receivers = append(cp.receivers, pi)
+		}
+	}
+	for pos, m := range members {
+		pins := d.Nets[m].Drivers
+		if len(drvPorts[pos]) != len(pins) {
+			return nil, fmt.Errorf("glitch: net %s has %d driver ports for %d pins", d.Nets[m].Name, len(drvPorts[pos]), len(pins))
+		}
+		active, _ := strongestPin(pins)
+		for k, pi := range drvPorts[pos] {
+			switch {
+			case k == active && pos == 0:
+				cp.victimDriver = pi
+			case k == active:
+				cp.aggDrivers = append(cp.aggDrivers, pi)
+			default:
+				cp.idleDrivers = append(cp.idleDrivers, pi)
+			}
+		}
+	}
+	if cp.victimDriver < 0 {
+		return nil, fmt.Errorf("glitch: victim driver port missing")
+	}
+	if len(cp.receivers) == 0 {
+		return nil, fmt.Errorf("glitch: victim has no receiver ports")
+	}
+	return cp, nil
+}
+
+// planAggressors applies the alignment and correlation policies. glitchRising
+// selects the glitch polarity under analysis: rising glitches are produced
+// by rising aggressors against a low victim.
+func (e *Engine) planAggressors(cl *prune.Cluster, glitchRising bool) []AggressorPlan {
+	d := e.Par.Design
+	vNet := d.Nets[cl.Victim]
+	plans := make([]AggressorPlan, len(cl.Aggressors))
+	for i, a := range cl.Aggressors {
+		aNet := d.Nets[a.Net]
+		_, pin := strongestPin(aNet.Drivers)
+		plan := AggressorPlan{Net: a.Net, Cell: pin.Cell, Rising: glitchRising, SwitchAt: e.Opt.AlignTime}
+		if e.Opt.UseTimingWindows && vNet.Window.Valid && aNet.Window.Valid {
+			if !vNet.Window.Overlaps(aNet.Window) {
+				plan.Quiet = true
+			} else {
+				// Align inside the window intersection, as close to the
+				// nominal alignment point as allowed.
+				lo := math.Max(vNet.Window.Early, aNet.Window.Early)
+				hi := math.Min(vNet.Window.Late, aNet.Window.Late)
+				at := math.Min(math.Max(e.Opt.AlignTime, lo), hi)
+				plan.SwitchAt = at
+			}
+		}
+		plans[i] = plan
+	}
+	if e.Opt.UseLogicCorrelation {
+		// Complementary pairs cannot switch the same direction: flip the
+		// weaker partner.
+		for i := range plans {
+			for j := i + 1; j < len(plans); j++ {
+				if d.AreComplementary(plans[i].Net, plans[j].Net) &&
+					plans[i].Rising == plans[j].Rising && !plans[i].Quiet && !plans[j].Quiet {
+					weaker := j
+					if plans[i].Cell.Wn < plans[j].Cell.Wn {
+						weaker = i
+					}
+					plans[weaker].Rising = !plans[weaker].Rising
+					plans[weaker].Inverted = true
+				}
+			}
+		}
+	}
+	return plans
+}
+
+// aggressorSource builds the driver-input stimulus for an aggressor plan:
+// the cell INPUT ramp that produces the desired OUTPUT transition.
+func (e *Engine) aggressorSource(plan AggressorPlan) (inRising bool, src waveform.Source) {
+	inRising = plan.Rising
+	if plan.Cell.Polarity() < 0 {
+		inRising = !plan.Rising
+	}
+	v0, v1 := 0.0, Vdd
+	if !inRising {
+		v0, v1 = Vdd, 0
+	}
+	start := plan.SwitchAt - e.Opt.InputSlew/2
+	if start < 0 {
+		start = 0
+	}
+	return inRising, waveform.Ramp(v0, v1, start, e.Opt.InputSlew)
+}
+
+// driverTermination builds the romsim termination for a switching aggressor.
+func (e *Engine) driverTermination(plan AggressorPlan, loadEst float64) (romsim.Termination, error) {
+	if plan.Quiet {
+		// Quiet aggressor: held at its current state by its driver. Model as
+		// holding low (direction is irrelevant for a non-switching line's
+		// small-signal behaviour; its driver still loads the line).
+		return e.holdTermination(plan.Cell, cells.HoldLow)
+	}
+	switch e.Opt.Model {
+	case ModelFixedR:
+		// With a fixed resistance the "driver" is an ideal ramp behind R —
+		// the source follows the intended OUTPUT transition directly.
+		v0, v1 := 0.0, Vdd
+		if !plan.Rising {
+			v0, v1 = Vdd, 0
+		}
+		start := plan.SwitchAt - e.Opt.InputSlew/2
+		if start < 0 {
+			start = 0
+		}
+		return romsim.Termination{Linear: &romsim.Linear{
+			G: 1 / e.Opt.FixedOhms, Vs: waveform.Ramp(v0, v1, start, e.Opt.InputSlew),
+		}}, nil
+	case ModelTimingLibrary:
+		tm, err := cells.CharacterizeCached(plan.Cell)
+		if err != nil {
+			return romsim.Termination{}, err
+		}
+		drv := cellmodel.NewLinearSwitching(tm, plan.Rising, plan.SwitchAt, e.Opt.InputSlew, loadEst)
+		return drv.Termination(), nil
+	case ModelNonlinear:
+		tm, err := cells.CharacterizeCached(plan.Cell)
+		if err != nil {
+			return romsim.Termination{}, err
+		}
+		drv, err := cellmodel.NewNonlinearSwitching(plan.Cell, tm, plan.Rising, plan.SwitchAt, e.Opt.InputSlew, loadEst)
+		if err != nil {
+			return romsim.Termination{}, err
+		}
+		return drv.Termination(), nil
+	default:
+		return romsim.Termination{}, fmt.Errorf("glitch: unknown model kind %d", e.Opt.Model)
+	}
+}
+
+// holdTermination builds the victim-side holding termination.
+func (e *Engine) holdTermination(c *cells.Cell, hold cells.HoldState) (romsim.Termination, error) {
+	rail := waveform.Const(0)
+	if hold == cells.HoldHigh {
+		rail = waveform.Const(Vdd)
+	}
+	switch e.Opt.Model {
+	case ModelFixedR:
+		return romsim.Termination{Linear: &romsim.Linear{G: 1 / e.Opt.FixedOhms, Vs: rail}}, nil
+	case ModelTimingLibrary:
+		tm, err := cells.CharacterizeCached(c)
+		if err != nil {
+			return romsim.Termination{}, err
+		}
+		return cellmodel.NewLinearHolding(tm, hold).Termination(), nil
+	case ModelNonlinear:
+		drv, err := cellmodel.NewNonlinearHolding(c, hold)
+		if err != nil {
+			return romsim.Termination{}, err
+		}
+		return drv.Termination(), nil
+	default:
+		return romsim.Termination{}, fmt.Errorf("glitch: unknown model kind %d", e.Opt.Model)
+	}
+}
+
+// reducedOrder resolves the SyMPVL order for a cluster with p ports.
+func (e *Engine) reducedOrder(p int) int {
+	if e.Opt.Order > 0 {
+		return e.Opt.Order
+	}
+	f := e.Opt.OrderFactor
+	if f <= 0 {
+		f = 6
+	}
+	return f * p
+}
+
+// loadEstimate approximates the total load a net's driver sees (wire +
+// pins), used to parameterize the driver models.
+func (e *Engine) loadEstimate(net int) float64 {
+	return e.Par.Nets[net].TotalCapF()
+}
+
+// AnalyzeGlitch predicts the worst glitch of the given polarity on the
+// cluster's victim using the reduced-order flow.
+func (e *Engine) AnalyzeGlitch(cl *prune.Cluster, glitchRising bool) (*Result, error) {
+	return e.analyzeGlitchCustom(cl, glitchRising, nil, nil)
+}
+
+// analyzeGlitchCustom is AnalyzeGlitch with two hooks used by the repair
+// advisor: transform edits the cluster circuit before reduction (e.g.
+// shield insertion), and victimCell overrides the victim's holding cell
+// (e.g. driver upsizing).
+func (e *Engine) analyzeGlitchCustom(cl *prune.Cluster, glitchRising bool,
+	transform func(*circuit.Circuit) *circuit.Circuit, victimCell *cells.Cell) (*Result, error) {
+	ckt, err := prune.BuildCircuit(e.Par, cl)
+	if err != nil {
+		return nil, err
+	}
+	if transform != nil {
+		ckt = transform(ckt)
+	}
+	cp, err := resolvePorts(e.Par, cl, ckt)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		return nil, err
+	}
+	order := e.reducedOrder(sys.P)
+	model, err := sympvl.Reduce(sys, sympvl.Options{Order: order})
+	if err != nil {
+		return nil, err
+	}
+	plans := e.planAggressors(cl, glitchRising)
+
+	// Victim held at the opposite rail of the glitch direction.
+	hold := cells.HoldLow
+	baseline := 0.0
+	if !glitchRising {
+		hold = cells.HoldHigh
+		baseline = Vdd
+	}
+	terms := make([]romsim.Termination, len(ckt.Ports))
+	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
+	vCell := vPin.Cell
+	if victimCell != nil {
+		vCell = victimCell
+	}
+	if terms[cp.victimDriver], err = e.holdTermination(vCell, hold); err != nil {
+		return nil, err
+	}
+	for i, pi := range cp.aggDrivers {
+		if terms[pi], err = e.driverTermination(plans[i], e.loadEstimate(plans[i].Net)); err != nil {
+			return nil, err
+		}
+	}
+	// Idle bus drivers are tri-stated: open terminations (zero Termination).
+	simRes, err := romsim.Simulate(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		VictimName:   e.Par.Design.Nets[cl.Victim].Name,
+		Aggressors:   plans,
+		ReducedOrder: model.Order,
+		ClusterNodes: sys.N,
+	}
+	for _, p := range plans {
+		if !p.Quiet {
+			res.ActiveAggressors++
+		}
+	}
+	for _, pi := range cp.receivers {
+		pk := simRes.Ports[pi].PeakDeviation(baseline)
+		if pk.Abs > math.Abs(res.PeakV) {
+			res.PeakV = pk.Value
+			res.PeakTime = pk.Time
+			res.ReceiverWave = simRes.Ports[pi]
+		}
+	}
+	if res.ReceiverWave == nil {
+		res.ReceiverWave = simRes.Ports[cp.receivers[0]]
+	}
+	return res, nil
+}
+
+// DelayResult reports coupled-delay analysis (the paper's Table 2 view).
+type DelayResult struct {
+	VictimName string
+	// Delay is the 50 %–50 % delay from the victim driver switching instant
+	// to the worst receiver crossing.
+	Delay float64
+	// Slew is the receiver-end 20–80 % transition scaled to full swing.
+	Slew float64
+	// WithCoupling records whether coupling capacitors were active.
+	WithCoupling bool
+}
+
+// AnalyzeDelay measures the victim's interconnect delay while aggressors
+// switch in the opposite direction (worst case) or with coupling grounded
+// (the decoupled baseline).
+func (e *Engine) AnalyzeDelay(cl *prune.Cluster, victimRising, withCoupling bool) (*DelayResult, error) {
+	ckt, err := prune.BuildCircuit(e.Par, cl)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := resolvePorts(e.Par, cl, ckt)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := mna.FromCircuit(ckt, mna.Options{DecoupleAll: !withCoupling})
+	if err != nil {
+		return nil, err
+	}
+	order := e.reducedOrder(sys.P)
+	model, err := sympvl.Reduce(sys, sympvl.Options{Order: order})
+	if err != nil {
+		return nil, err
+	}
+	// Victim switches; aggressors switch opposite (worst case for delay).
+	plans := e.planAggressors(cl, !victimRising)
+	terms := make([]romsim.Termination, len(ckt.Ports))
+	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
+	vPlan := AggressorPlan{Net: cl.Victim, Cell: vPin.Cell, Rising: victimRising, SwitchAt: e.Opt.AlignTime}
+	if terms[cp.victimDriver], err = e.driverTermination(vPlan, e.loadEstimate(cl.Victim)); err != nil {
+		return nil, err
+	}
+	for i, pi := range cp.aggDrivers {
+		if !withCoupling {
+			// Decoupled baseline: aggressors electrically irrelevant; hold.
+			if terms[pi], err = e.holdTermination(plans[i].Cell, cells.HoldLow); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if terms[pi], err = e.driverTermination(plans[i], e.loadEstimate(plans[i].Net)); err != nil {
+			return nil, err
+		}
+	}
+	simRes, err := romsim.Simulate(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt})
+	if err != nil {
+		return nil, err
+	}
+	res := &DelayResult{VictimName: e.Par.Design.Nets[cl.Victim].Name, WithCoupling: withCoupling}
+	worst := -math.MaxFloat64
+	for _, pi := range cp.receivers {
+		w := simRes.Ports[pi]
+		cross, ok := w.LastCrossTime(Vdd/2, victimRising)
+		if !ok {
+			return nil, fmt.Errorf("glitch: victim receiver never crossed 50%% in delay analysis")
+		}
+		d := cross - e.Opt.AlignTime
+		if d > worst {
+			worst = d
+			res.Delay = d
+			if s, ok := w.SlewTime(0.2*Vdd, 0.8*Vdd, victimRising); ok {
+				res.Slew = s / 0.6
+			}
+		}
+	}
+	return res, nil
+}

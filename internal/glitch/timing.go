@@ -1,0 +1,66 @@
+package glitch
+
+import (
+	"fmt"
+	"sort"
+
+	"xtverify/internal/prune"
+)
+
+// TimingImpact records the coupling-induced delay change of one victim net —
+// the "timing recalculation" use of the driver models the paper's Section
+// 4.2 calls out, and the chip-level generalization of Table 2.
+type TimingImpact struct {
+	Victim string
+	// Rising selects the analyzed victim transition.
+	Rising bool
+	// BaseDelay is the decoupled (grounded-coupling) interconnect delay;
+	// CoupledDelay has all aggressors switching opposite.
+	BaseDelay, CoupledDelay float64
+	// DeltaS = CoupledDelay − BaseDelay.
+	DeltaS float64
+	// DeteriorationPct is DeltaS/BaseDelay × 100.
+	DeteriorationPct float64
+	// BaseSlew and CoupledSlew are the receiver transition times.
+	BaseSlew, CoupledSlew float64
+	// Aggressors counts the cluster's aggressors.
+	Aggressors int
+}
+
+// TimingImpactReport measures the worst-case coupling delay deterioration
+// for every cluster, sorted by absolute delay change (largest first).
+func (e *Engine) TimingImpactReport(clusters []*prune.Cluster, rising bool) ([]TimingImpact, error) {
+	out := make([]TimingImpact, 0, len(clusters))
+	for _, cl := range clusters {
+		base, err := e.AnalyzeDelay(cl, rising, false)
+		if err != nil {
+			return nil, fmt.Errorf("glitch: timing impact of %s (base): %w", e.Par.Design.Nets[cl.Victim].Name, err)
+		}
+		coupled, err := e.AnalyzeDelay(cl, rising, true)
+		if err != nil {
+			return nil, fmt.Errorf("glitch: timing impact of %s (coupled): %w", e.Par.Design.Nets[cl.Victim].Name, err)
+		}
+		ti := TimingImpact{
+			Victim:       base.VictimName,
+			Rising:       rising,
+			BaseDelay:    base.Delay,
+			CoupledDelay: coupled.Delay,
+			DeltaS:       coupled.Delay - base.Delay,
+			BaseSlew:     base.Slew,
+			CoupledSlew:  coupled.Slew,
+			Aggressors:   len(cl.Aggressors),
+		}
+		if base.Delay > 0 {
+			ti.DeteriorationPct = 100 * ti.DeltaS / base.Delay
+		}
+		out = append(out, ti)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].DeltaS, out[j].DeltaS
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Victim < out[j].Victim
+	})
+	return out, nil
+}

@@ -1,0 +1,265 @@
+// Package liberty writes and reads the NLDM timing views of the cell
+// library in the Liberty (.lib) format — the file the paper's Section 4.1
+// calls "the cell timing library" and deduces linear drive resistances
+// from. The supported subset covers what the flow produces and consumes:
+// a library header with units, per-cell area/pin groups, pin capacitance,
+// and cell_rise/cell_fall/rise_transition/fall_transition lookup tables
+// over (load, input transition) template axes.
+//
+// Units: time in ns, capacitance in pF (declared in the header).
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xtverify/internal/cells"
+)
+
+// timeUnit and capUnit are the emitted Liberty units.
+const (
+	timeUnitS = 1e-9  // 1ns
+	capUnitF  = 1e-12 // 1pF
+)
+
+// Write emits a Liberty library for the given characterized cells.
+func Write(w io.Writer, libName string, tables []*cells.Timing) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", libName)
+	fmt.Fprintf(bw, "  delay_model : table_lookup;\n")
+	fmt.Fprintf(bw, "  time_unit : \"1ns\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, pf);\n")
+	fmt.Fprintf(bw, "  voltage_unit : \"1V\";\n")
+	fmt.Fprintf(bw, "  nom_voltage : 3.0;\n")
+	for ti, tm := range tables {
+		if err := writeCell(bw, ti, tm); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func writeCell(bw *bufio.Writer, idx int, tm *cells.Timing) error {
+	c := tm.Cell
+	fmt.Fprintf(bw, "  cell (%s) {\n", c.Name)
+	fmt.Fprintf(bw, "    area : %.3f;\n", c.Strength)
+	// Input pin(s): capacitance only.
+	fmt.Fprintf(bw, "    pin (A) {\n      direction : input;\n      capacitance : %.6f;\n    }\n",
+		c.InputCapF/capUnitF)
+	// Output pin with the four NLDM tables.
+	fmt.Fprintf(bw, "    pin (Z) {\n      direction : output;\n")
+	fmt.Fprintf(bw, "      timing () {\n        related_pin : \"A\";\n")
+	writeTable(bw, "cell_rise", tm.Loads, tm.Slews, tm.DelayRise)
+	writeTable(bw, "cell_fall", tm.Loads, tm.Slews, tm.DelayFall)
+	writeTable(bw, "rise_transition", tm.Loads, tm.Slews, tm.TransRise)
+	writeTable(bw, "fall_transition", tm.Loads, tm.Slews, tm.TransFall)
+	fmt.Fprintf(bw, "      }\n    }\n  }\n")
+	return nil
+}
+
+func writeTable(bw *bufio.Writer, name string, loads, slews []float64, tab [][]float64) {
+	fmt.Fprintf(bw, "        %s (tmpl_%dx%d) {\n", name, len(loads), len(slews))
+	fmt.Fprintf(bw, "          index_1 (\"%s\");\n", joinScaled(loads, capUnitF))
+	fmt.Fprintf(bw, "          index_2 (\"%s\");\n", joinScaled(slews, timeUnitS))
+	fmt.Fprintf(bw, "          values ( \\\n")
+	for i := range loads {
+		sep := ", \\"
+		if i == len(loads)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(bw, "            \"%s\"%s\n", joinScaled(tab[i], timeUnitS), sep)
+	}
+	fmt.Fprintf(bw, "          );\n        }\n")
+}
+
+func joinScaled(xs []float64, unit float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x/unit, 'g', 8, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Library is a parsed .lib file.
+type Library struct {
+	Name  string
+	Cells map[string]*CellTiming
+}
+
+// CellTiming holds one cell's parsed view.
+type CellTiming struct {
+	Name      string
+	Area      float64
+	InputCapF float64
+	// Loads and Slews are the table axes in farads/seconds.
+	Loads, Slews []float64
+	// Tables maps table name (cell_rise, ...) to [load][slew] seconds.
+	Tables map[string][][]float64
+}
+
+// CellNamesSorted lists the parsed cells.
+func (l *Library) CellNamesSorted() []string {
+	out := make([]string, 0, len(l.Cells))
+	for n := range l.Cells {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse reads the Liberty subset emitted by Write.
+func Parse(r io.Reader) (*Library, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize line continuations.
+	src := strings.ReplaceAll(string(data), "\\\n", " ")
+	lib := &Library{Cells: map[string]*CellTiming{}}
+	var cur *CellTiming
+	var curTable string
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "/*") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "library"):
+			lib.Name = groupArg(line)
+		case strings.HasPrefix(line, "cell "), strings.HasPrefix(line, "cell("):
+			cur = &CellTiming{Name: groupArg(line), Tables: map[string][][]float64{}}
+			lib.Cells[cur.Name] = cur
+		case strings.HasPrefix(line, "area"):
+			if cur != nil {
+				cur.Area = attrFloat(line)
+			}
+		case strings.HasPrefix(line, "capacitance"):
+			if cur != nil {
+				cur.InputCapF = attrFloat(line) * capUnitF
+			}
+		case tableName(line) != "":
+			curTable = tableName(line)
+		case strings.HasPrefix(line, "index_1"):
+			if cur == nil {
+				return nil, fmt.Errorf("liberty: line %d: index outside cell", ln+1)
+			}
+			cur.Loads = scale(parseList(line), capUnitF)
+		case strings.HasPrefix(line, "index_2"):
+			if cur == nil {
+				return nil, fmt.Errorf("liberty: line %d: index outside cell", ln+1)
+			}
+			cur.Slews = scale(parseList(line), timeUnitS)
+		case strings.HasPrefix(line, "values"):
+			if cur == nil || curTable == "" {
+				return nil, fmt.Errorf("liberty: line %d: values outside table", ln+1)
+			}
+			rows := parseRows(line)
+			tab := make([][]float64, len(rows))
+			for i, row := range rows {
+				tab[i] = scale(row, timeUnitS)
+				if len(cur.Slews) > 0 && len(tab[i]) != len(cur.Slews) {
+					return nil, fmt.Errorf("liberty: line %d: row %d has %d values, want %d", ln+1, i, len(tab[i]), len(cur.Slews))
+				}
+			}
+			if len(cur.Loads) > 0 && len(tab) != len(cur.Loads) {
+				return nil, fmt.Errorf("liberty: line %d: %d rows, want %d", ln+1, len(tab), len(cur.Loads))
+			}
+			cur.Tables[curTable] = tab
+			curTable = ""
+		}
+	}
+	if lib.Name == "" {
+		return nil, fmt.Errorf("liberty: missing library statement")
+	}
+	return lib, nil
+}
+
+func tableName(line string) string {
+	for _, n := range []string{"cell_rise", "cell_fall", "rise_transition", "fall_transition"} {
+		if strings.HasPrefix(line, n+" ") || strings.HasPrefix(line, n+"(") {
+			return n
+		}
+	}
+	return ""
+}
+
+// groupArg extracts NAME from `keyword (NAME) {`.
+func groupArg(line string) string {
+	i := strings.IndexByte(line, '(')
+	j := strings.IndexByte(line, ')')
+	if i < 0 || j < i {
+		return ""
+	}
+	return strings.TrimSpace(line[i+1 : j])
+}
+
+// attrFloat extracts X from `name : X;`.
+func attrFloat(line string) float64 {
+	i := strings.IndexByte(line, ':')
+	if i < 0 {
+		return 0
+	}
+	s := strings.Trim(strings.TrimSpace(line[i+1:]), ";")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// parseList extracts the numbers inside the first quoted string.
+func parseList(line string) []float64 {
+	i := strings.IndexByte(line, '"')
+	j := strings.LastIndexByte(line, '"')
+	if i < 0 || j <= i {
+		return nil
+	}
+	return parseCSV(line[i+1 : j])
+}
+
+// parseRows extracts each quoted string as one row.
+func parseRows(line string) [][]float64 {
+	var rows [][]float64
+	for {
+		i := strings.IndexByte(line, '"')
+		if i < 0 {
+			break
+		}
+		rest := line[i+1:]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			break
+		}
+		rows = append(rows, parseCSV(rest[:j]))
+		line = rest[j+1:]
+	}
+	return rows
+}
+
+func parseCSV(s string) []float64 {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func scale(xs []float64, unit float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * unit
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"xtverify/internal/cells"
+)
+
+var charOpt = cells.CharacterizeOptions{
+	Loads: []float64{10e-15, 60e-15},
+	Slews: []float64{80e-12, 200e-12},
+	Dt:    4e-12,
+}
+
+func characterized(t *testing.T, names ...string) []*cells.Timing {
+	t.Helper()
+	out := make([]*cells.Timing, 0, len(names))
+	for _, n := range names {
+		c, ok := cells.ByName(n)
+		if !ok {
+			t.Fatalf("cell %s missing", n)
+		}
+		tm, err := cells.Characterize(c, charOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tm)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	tables := characterized(t, "INV_X2", "NAND2_X1")
+	var buf bytes.Buffer
+	if err := Write(&buf, "xtverify_025", tables); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Name != "xtverify_025" {
+		t.Errorf("library name %q", lib.Name)
+	}
+	if got := lib.CellNamesSorted(); len(got) != 2 || got[0] != "INV_X2" || got[1] != "NAND2_X1" {
+		t.Fatalf("cells %v", got)
+	}
+	for _, tm := range tables {
+		ct := lib.Cells[tm.Cell.Name]
+		if ct == nil {
+			t.Fatalf("%s missing", tm.Cell.Name)
+		}
+		// Axes round trip.
+		if len(ct.Loads) != len(tm.Loads) || len(ct.Slews) != len(tm.Slews) {
+			t.Fatalf("%s axes lost", tm.Cell.Name)
+		}
+		for i := range tm.Loads {
+			if math.Abs(ct.Loads[i]-tm.Loads[i]) > 1e-20 {
+				t.Errorf("%s load[%d] %g vs %g", tm.Cell.Name, i, ct.Loads[i], tm.Loads[i])
+			}
+		}
+		// All four tables round trip within print precision.
+		for name, want := range map[string][][]float64{
+			"cell_rise": tm.DelayRise, "cell_fall": tm.DelayFall,
+			"rise_transition": tm.TransRise, "fall_transition": tm.TransFall,
+		} {
+			got := ct.Tables[name]
+			if got == nil {
+				t.Fatalf("%s table %s missing", tm.Cell.Name, name)
+			}
+			for i := range want {
+				for j := range want[i] {
+					if rel := math.Abs(got[i][j]-want[i][j]) / want[i][j]; rel > 1e-6 {
+						t.Errorf("%s %s[%d][%d]: %g vs %g", tm.Cell.Name, name, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+		// Input capacitance in pF round trips.
+		if math.Abs(ct.InputCapF-tm.Cell.InputCapF) > 1e-18 {
+			t.Errorf("%s input cap %g vs %g", tm.Cell.Name, ct.InputCapF, tm.Cell.InputCapF)
+		}
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	tables := characterized(t, "BUF_X1")
+	var buf bytes.Buffer
+	if err := Write(&buf, "lib", tables); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"library (lib) {", "delay_model : table_lookup", "cell (BUF_X1)",
+		"direction : output", "cell_rise", "fall_transition", "index_1", "values",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("cell (X) {}\n")); err == nil {
+		t.Error("missing library statement accepted")
+	}
+	bad := `library (l) {
+  cell (c) {
+    pin (Z) {
+      cell_rise (t) {
+        index_1 ("1, 2");
+        index_2 ("3, 4");
+        values ( "1, 2, 3" );
+      }
+    }
+  }
+}`
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("ragged values table accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package matrix
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ZDense is a row-major dense complex matrix, used for frequency-domain
+// evaluation of interconnect transfer functions (G + jωC solves).
+type ZDense struct {
+	rows, cols int
+	data       []complex128
+}
+
+// NewZDense returns a rows×cols zero complex matrix.
+func NewZDense(rows, cols int) *ZDense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &ZDense{rows: rows, cols: cols, data: make([]complex128, rows*cols)}
+}
+
+// Rows returns the row count.
+func (m *ZDense) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *ZDense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *ZDense) At(i, j int) complex128 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *ZDense) Set(i, j int, v complex128) { m.data[i*m.cols+j] = v }
+
+// Add accumulates into element (i, j).
+func (m *ZDense) Add(i, j int, v complex128) { m.data[i*m.cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *ZDense) Clone() *ZDense {
+	out := NewZDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MulVec computes A·x.
+func (m *ZDense) MulVec(x []complex128) []complex128 {
+	if len(x) != m.cols {
+		panic("matrix: ZDense.MulVec length mismatch")
+	}
+	out := make([]complex128, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := complex(0, 0)
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ZLU is a dense complex LU factorization with partial pivoting.
+type ZLU struct {
+	lu  *ZDense
+	piv []int
+}
+
+// FactorZLU computes the LU factorization of a square complex matrix.
+func FactorZLU(a *ZDense) (*ZLU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: FactorZLU needs square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		maxv := cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu.At(i, k)); v > maxv {
+				maxv, p = v, i
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu.data[k*n : (k+1)*n]
+			rp := lu.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			lik := lu.At(i, k) / pivot
+			lu.Set(i, k, lik)
+			if lik == 0 {
+				continue
+			}
+			ri := lu.data[i*n : (i+1)*n]
+			rk := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= lik * rk[j]
+			}
+		}
+	}
+	return &ZLU{lu: lu, piv: piv}, nil
+}
+
+// Solve solves A·x = b.
+func (f *ZLU) Solve(b []complex128) ([]complex128, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: ZLU.Solve length mismatch")
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		ri := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		d := ri[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,89 @@
+package matrix
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZLUSolveKnown(t *testing.T) {
+	// (1+j)x = 2 → x = 1−j.
+	a := NewZDense(1, 1)
+	a.Set(0, 0, complex(1, 1))
+	lu, err := FactorZLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve([]complex128{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(1, -1)) > 1e-14 {
+		t.Errorf("x = %v, want 1-1j", x[0])
+	}
+}
+
+func TestZLUResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := NewZDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+			a.Add(i, i, complex(float64(3*n), 0)) // diagonally dominant
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		lu, err := FactorZLU(a)
+		if err != nil {
+			return false
+		}
+		x, err := lu.Solve(b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		for i := range r {
+			if cmplx.Abs(r[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZLUSingular(t *testing.T) {
+	a := NewZDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorZLU(a); err == nil {
+		t.Error("singular complex matrix accepted")
+	}
+}
+
+func TestZDenseOps(t *testing.T) {
+	m := NewZDense(2, 2)
+	m.Set(0, 1, complex(1, 2))
+	m.Add(0, 1, complex(0, -1))
+	if m.At(0, 1) != complex(1, 1) {
+		t.Errorf("At = %v", m.At(0, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 1, 0)
+	if m.At(0, 1) == 0 {
+		t.Error("Clone aliases data")
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Error("dims wrong")
+	}
+}

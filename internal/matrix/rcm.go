@@ -1,0 +1,94 @@
+package matrix
+
+import "sort"
+
+// RCM computes a reverse Cuthill–McKee ordering for the graph given by the
+// adjacency lists. It returns perm with perm[old] = new, chosen to reduce the
+// matrix profile before skyline factorization. Disconnected components are
+// handled by restarting from the lowest-degree unvisited node.
+func RCM(adj [][]int) []int {
+	n := len(adj)
+	order := make([]int, 0, n) // Cuthill–McKee visit order (old indices)
+	visited := make([]bool, n)
+	deg := make([]int, n)
+	for i, a := range adj {
+		deg[i] = len(a)
+	}
+	for len(order) < n {
+		// Pick the unvisited node with minimum degree as the component root.
+		root := -1
+		for i := 0; i < n; i++ {
+			if !visited[i] && (root == -1 || deg[i] < deg[root]) {
+				root = i
+			}
+		}
+		visited[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			// Enqueue unvisited neighbours in increasing degree order.
+			nbrs := make([]int, 0, len(adj[v]))
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					nbrs = append(nbrs, w)
+				}
+			}
+			sort.Slice(nbrs, func(a, b int) bool { return deg[nbrs[a]] < deg[nbrs[b]] })
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse the Cuthill–McKee order and convert to old→new form.
+	perm := make([]int, n)
+	for newIdx, oldIdx := range order {
+		perm[oldIdx] = n - 1 - newIdx
+	}
+	return perm
+}
+
+// InvertPerm returns the inverse permutation: if perm[old] = new, the result
+// maps new → old.
+func InvertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for old, new := range perm {
+		inv[new] = old
+	}
+	return inv
+}
+
+// PermuteVec returns y with y[perm[i]] = x[i].
+func PermuteVec(x []float64, perm []int) []float64 {
+	out := make([]float64, len(x))
+	for i, p := range perm {
+		out[p] = x[i]
+	}
+	return out
+}
+
+// UnpermuteVec returns y with y[i] = x[perm[i]]; it inverts PermuteVec.
+func UnpermuteVec(x []float64, perm []int) []float64 {
+	out := make([]float64, len(x))
+	for i, p := range perm {
+		out[i] = x[p]
+	}
+	return out
+}
+
+// Profile returns the skyline profile size (number of stored entries of the
+// lower triangle including the diagonal) of the sparse matrix pattern under
+// the identity ordering.
+func Profile(adj [][]int) int {
+	total := 0
+	for i, nbrs := range adj {
+		first := i
+		for _, j := range nbrs {
+			if j < first {
+				first = j
+			}
+		}
+		total += i - first + 1
+	}
+	return total
+}

@@ -1,0 +1,177 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xtverify/internal/circuit"
+	"xtverify/internal/matrix"
+)
+
+// coupledPair builds two parallel RC lines with coupling, each with a driver
+// port, mirroring the paper's Figure 1 test structure in miniature.
+func coupledPair() *circuit.Circuit {
+	c := circuit.New("pair")
+	a0 := c.Node("a0")
+	a1 := c.Node("a1")
+	v0 := c.Node("v0")
+	v1 := c.Node("v1")
+	c.AddPort("aggr", a0, circuit.PortDriver, 0)
+	c.AddPort("vict", v0, circuit.PortDriver, 1)
+	c.AddResistor("ra", a0, a1, 50)
+	c.AddResistor("rv", v0, v1, 50)
+	c.AddCapacitor("ca", a1, circuit.Ground, 10e-15)
+	c.AddCapacitor("cv", v1, circuit.Ground, 10e-15)
+	c.AddCoupling("cc", a1, v1, 20e-15)
+	return c
+}
+
+func TestFromCircuitShapes(t *testing.T) {
+	sys, err := FromCircuit(coupledPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N != 4 || sys.P != 2 {
+		t.Fatalf("N=%d P=%d, want 4 and 2", sys.N, sys.P)
+	}
+	if sys.B.At(0, 0) != 1 || sys.B.At(2, 1) != 1 {
+		t.Error("B incidence wrong")
+	}
+	if sys.PortNames[0] != "aggr" || sys.PortNames[1] != "vict" {
+		t.Errorf("port names %v", sys.PortNames)
+	}
+}
+
+func TestGStampValues(t *testing.T) {
+	sys, err := FromCircuit(coupledPair(), Options{Gmin: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conductance 1/50 between a0 (node 0) and a1 (node 1), plus gmin on the
+	// diagonal.
+	if got := sys.G.At(0, 1); math.Abs(got+0.02) > 1e-15 {
+		t.Errorf("G(0,1) = %g, want -0.02", got)
+	}
+	if got := sys.G.At(0, 0); math.Abs(got-(0.02+1e-12)) > 1e-15 {
+		t.Errorf("G(0,0) = %g, want 0.02+gmin", got)
+	}
+}
+
+func TestCStampCoupling(t *testing.T) {
+	sys, err := FromCircuit(coupledPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 is node 1, v1 is node 3: diagonal = own + coupling; off-diagonal
+	// = -coupling.
+	if got := sys.C.At(1, 1); math.Abs(got-30e-15) > 1e-27 {
+		t.Errorf("C(1,1) = %g, want 30f", got)
+	}
+	if got := sys.C.At(1, 3); math.Abs(got+20e-15) > 1e-27 {
+		t.Errorf("C(1,3) = %g, want -20f", got)
+	}
+}
+
+func TestDecoupleAllOption(t *testing.T) {
+	sys, err := FromCircuit(coupledPair(), Options{DecoupleAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal coupling disappears but node totals stay.
+	if got := sys.C.At(1, 3); got != 0 {
+		t.Errorf("decoupled C(1,3) = %g, want 0", got)
+	}
+	if got := sys.C.At(1, 1); math.Abs(got-30e-15) > 1e-27 {
+		t.Errorf("decoupled C(1,1) = %g, want 30f", got)
+	}
+}
+
+func TestGIsPositiveDefinite(t *testing.T) {
+	sys, err := FromCircuit(coupledPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := matrix.FactorCholesky(sys.G.Dense()); err != nil {
+		t.Errorf("G with Gmin must be positive definite: %v", err)
+	}
+	if !sys.G.Dense().IsSymmetric(1e-12) || !sys.C.Dense().IsSymmetric(1e-12) {
+		t.Error("G and C must be symmetric")
+	}
+}
+
+func TestNoPortsRejected(t *testing.T) {
+	c := circuit.New("np")
+	c.Node("a")
+	if _, err := FromCircuit(c, Options{}); err == nil {
+		t.Error("expected error for circuit without ports")
+	}
+}
+
+func TestInvalidCircuitRejected(t *testing.T) {
+	c := circuit.New("bad")
+	a := c.Node("a")
+	c.AddPort("p", a, circuit.PortDriver, 0)
+	c.AddCapacitor("c", a, circuit.Ground, -1)
+	if _, err := FromCircuit(c, Options{}); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestPortCapacitance(t *testing.T) {
+	sys, err := FromCircuit(coupledPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := sys.PortCapacitance()
+	// Port nodes a0 and v0 carry no direct capacitance in this fixture.
+	if pc[0] != 0 || pc[1] != 0 {
+		t.Errorf("PortCapacitance = %v, want zeros", pc)
+	}
+}
+
+// Property: without resistors to ground, every G row sums to Gmin exactly
+// (Kirchhoff conservation of the conductance stamps).
+func TestGRowSumConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.New("prop")
+		n := 2 + rng.Intn(12)
+		nodes := make([]circuit.NodeID, n)
+		for i := range nodes {
+			nodes[i] = c.Node(fmt.Sprintf("n%d", i))
+		}
+		c.AddPort("p", nodes[0], circuit.PortDriver, 0)
+		for i := 0; i+1 < n; i++ {
+			c.AddResistor("r", nodes[i], nodes[i+1], 1+rng.Float64()*1000)
+		}
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.AddResistor("rx", nodes[a], nodes[b], 1+rng.Float64()*1000)
+			}
+		}
+		c.AddCapacitor("c0", nodes[n-1], circuit.Ground, 1e-15)
+		const gmin = 1e-9
+		sys, err := FromCircuit(c, Options{Gmin: gmin})
+		if err != nil {
+			return false
+		}
+		g := sys.G.Dense()
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += g.At(i, j)
+			}
+			if math.Abs(sum-gmin) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package romsim
+
+import (
+	"math"
+	"testing"
+
+	"xtverify/internal/mna"
+	"xtverify/internal/sympvl"
+	"xtverify/internal/waveform"
+)
+
+// TestDenseNewtonMatchesWoodbury checks that the ablation solver path is
+// numerically equivalent to the Sherman–Morrison–Woodbury path; the
+// benchmark comparing their cost is only meaningful if they agree.
+func TestDenseNewtonMatchesWoodbury(t *testing.T) {
+	ckt := coupledPair(8, 6e-15)
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sympvl.Reduce(sys, sympvl.Options{Order: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One nonlinear termination (victim hold), one linear aggressor, one
+	// open receiver: exercises every Jacobian contribution.
+	terms := []Termination{
+		{Linear: &Linear{G: 1 / 200.0, Vs: waveform.Ramp(0, 3, 50e-12, 100e-12)}},
+		{Dev: saturatingHold{}},
+		{},
+	}
+	opt := Options{TEnd: 2e-9, Dt: 2e-12}
+	wres, err := Simulate(m, terms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.DenseNewton = true
+	dres, err := Simulate(m, terms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range wres.Ports {
+		if d := waveform.MaxAbsDiff(wres.Ports[p], dres.Ports[p], 400); d > 1e-7 {
+			t.Errorf("port %d: dense and Woodbury paths differ by %g V", p, d)
+		}
+	}
+}
+
+// saturatingHold is a nonlinear pulldown-like termination with a saturating
+// I–V curve (definitely not representable by a linear conductance):
+// i = −Imax·tanh(v/v0).
+type saturatingHold struct{}
+
+func (saturatingHold) Current(v, t float64) (float64, float64) {
+	const (
+		imax = 2e-3
+		v0   = 0.8
+	)
+	th := math.Tanh(v / v0)
+	return -imax * th, -imax * (1 - th*th) / v0
+}

@@ -1,0 +1,360 @@
+// Package romsim integrates the SyMPVL reduced-order model together with
+// linear (Thevenin) and nonlinear driver terminations — the paper's
+// Equations 4–7.
+//
+// The reduced cluster x̂ + T·dx̂/dt = ρ·i, v_port = ρᵀ·x̂ is combined with
+// port terminations:
+//
+//   - linear:    i_j = g_j·(Vs_j(t) − v_j)  (Thevenin source + resistor)
+//   - nonlinear: i_k = i_k(v_k, t)          (pre-characterized cell model)
+//   - open:      i_j = 0                     (observation-only receiver port)
+//
+// Folding the linear conductances into the left-hand side yields
+// M·x̂ + T·dx̂/dt = f(t) + Σ ρ_k·i_k with M = I + Σ g_j·ρ_j·ρ_jᵀ. The
+// generalized symmetric pair (T, M) is diagonalized once per analysis
+// (M = L·Lᵀ, then eigendecomposition of L⁻¹·T·L⁻ᵀ), giving the diagonal
+// system D·ẏ + y = η·i of paper Eq. 5. A trapezoidal (linear multistep)
+// integrator then advances y; each Newton step solves a diagonal-plus-rank-k
+// Jacobian by the Sherman–Morrison–Woodbury identity (Eq. 7), which is what
+// makes the method so much cheaper than SPICE.
+package romsim
+
+import (
+	"fmt"
+	"math"
+
+	"xtverify/internal/matrix"
+	"xtverify/internal/sympvl"
+	"xtverify/internal/waveform"
+)
+
+// Device is a nonlinear one-port termination. Current returns the current
+// flowing from the device into the network for a given port voltage v and
+// time t, together with its derivative with respect to v.
+type Device interface {
+	Current(v, t float64) (i, didv float64)
+}
+
+// Termination attaches behaviour to one model port. Exactly one of Linear or
+// Dev may be set; a zero Termination is an open (observation) port.
+type Termination struct {
+	// Linear, when non-nil, is a Thevenin termination.
+	Linear *Linear
+	// Dev, when non-nil, is a nonlinear device termination.
+	Dev Device
+}
+
+// Linear is a Thevenin termination: conductance G in series behaviour
+// i = G·(Vs(t) − v).
+type Linear struct {
+	G  float64
+	Vs waveform.Source
+}
+
+// Options configures the transient run.
+type Options struct {
+	// TEnd is the simulation span (seconds).
+	TEnd float64
+	// Dt is the fixed time step; TEnd/1000 if zero.
+	Dt float64
+	// NewtonTol is the voltage-scale convergence tolerance (volts);
+	// 1e-9 if zero.
+	NewtonTol float64
+	// MaxNewton bounds Newton iterations per step; 50 if zero.
+	MaxNewton int
+	// NoInitDC starts from y = 0 instead of the DC operating point.
+	NoInitDC bool
+	// DenseNewton solves each Newton step with a dense LU factorization of
+	// the full Jacobian instead of the Sherman–Morrison–Woodbury
+	// diagonal-plus-rank-k solve. It exists only to quantify the benefit of
+	// the paper's Eq. 7 structure exploitation (BenchmarkAblationWoodbury).
+	DenseNewton bool
+}
+
+// Result holds the transient outcome.
+type Result struct {
+	// Ports holds one waveform per model port, indexed like the model.
+	Ports []*waveform.Waveform
+	// Steps is the number of accepted time steps.
+	Steps int
+	// NewtonIterations is the total Newton iteration count.
+	NewtonIterations int
+}
+
+// Simulate runs a transient analysis of the reduced model with the given
+// terminations (len(terms) must equal the model port count).
+func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error) {
+	if len(terms) != m.Ports {
+		return nil, fmt.Errorf("romsim: %d terminations for %d ports", len(terms), m.Ports)
+	}
+	if opt.TEnd <= 0 {
+		return nil, fmt.Errorf("romsim: TEnd must be positive")
+	}
+	dt := opt.Dt
+	if dt <= 0 {
+		dt = opt.TEnd / 1000
+	}
+	tol := opt.NewtonTol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	maxNewton := opt.MaxNewton
+	if maxNewton <= 0 {
+		maxNewton = 50
+	}
+	q := m.Order
+
+	// Partition ports.
+	var linPorts, nlPorts []int
+	for j, tm := range terms {
+		if tm.Linear != nil && tm.Dev != nil {
+			return nil, fmt.Errorf("romsim: port %d has both linear and nonlinear terminations", j)
+		}
+		if tm.Linear != nil {
+			if tm.Linear.G < 0 {
+				return nil, fmt.Errorf("romsim: port %d has negative conductance", j)
+			}
+			linPorts = append(linPorts, j)
+		}
+		if tm.Dev != nil {
+			nlPorts = append(nlPorts, j)
+		}
+	}
+
+	// M = I + Σ g_j ρ_j ρ_jᵀ over linear ports.
+	mm := matrix.Identity(q)
+	for _, j := range linPorts {
+		g := terms[j].Linear.G
+		col := m.Rho.Col(j)
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				mm.Add(a, b, g*col[a]*col[b])
+			}
+		}
+	}
+	chol, err := matrix.FactorCholesky(mm)
+	if err != nil {
+		return nil, fmt.Errorf("romsim: termination matrix not SPD: %w", err)
+	}
+	// T̃ = L⁻¹·T·L⁻ᵀ.
+	ttil := matrix.NewDense(q, q)
+	for j := 0; j < q; j++ {
+		// Column j of T·L⁻ᵀ ... compute L⁻¹ T L⁻ᵀ column by column.
+		ej := make([]float64, q)
+		ej[j] = 1
+		lj := chol.SolveUpper(ej)            // L⁻ᵀ e_j
+		tlj := m.T.MulVec(lj)                // T L⁻ᵀ e_j
+		ttil.SetCol(j, chol.SolveLower(tlj)) // L⁻¹ T L⁻ᵀ e_j
+	}
+	// Symmetrize against roundoff and diagonalize.
+	for a := 0; a < q; a++ {
+		for b := a + 1; b < q; b++ {
+			v := 0.5 * (ttil.At(a, b) + ttil.At(b, a))
+			ttil.Set(a, b, v)
+			ttil.Set(b, a, v)
+		}
+	}
+	dvals, qmat, err := matrix.EigenSym(ttil)
+	if err != nil {
+		return nil, fmt.Errorf("romsim: diagonalization failed: %w", err)
+	}
+	// Clamp tiny negative roundoff eigenvalues; the SyMPVL guarantee makes
+	// true eigenvalues non-negative.
+	for i, d := range dvals {
+		if d < 0 {
+			if maxd := dvals[len(dvals)-1]; d < -1e-9*math.Max(1, maxd) {
+				return nil, fmt.Errorf("romsim: model has significantly negative time constant %g", d)
+			}
+			dvals[i] = 0
+		}
+	}
+
+	// W = Qᵀ·L⁻¹, η = W·ρ. The diagonal system is D·ẏ + y = η_lin·u(t) + η_nl·i.
+	eta := matrix.NewDense(q, m.Ports)
+	for j := 0; j < m.Ports; j++ {
+		w := chol.SolveLower(m.Rho.Col(j)) // L⁻¹ ρ_j
+		eta.SetCol(j, qmat.MulVecT(w))     // Qᵀ (L⁻¹ ρ_j)
+	}
+
+	// Cache η columns once: the transient loop reads them every step.
+	etaCols := make([][]float64, m.Ports)
+	for j := 0; j < m.Ports; j++ {
+		etaCols[j] = eta.Col(j)
+	}
+
+	// Forcing from linear sources: f(t) = Σ g_j·Vs_j(t)·η_j.
+	force := func(t float64) []float64 {
+		f := make([]float64, q)
+		for _, j := range linPorts {
+			lt := terms[j].Linear
+			matrix.Axpy(lt.G*lt.Vs(t), etaCols[j], f)
+		}
+		return f
+	}
+
+	portV := func(y []float64, j int) float64 { return matrix.Dot(etaCols[j], y) }
+
+	// newtonSolve solves (Δ + Σ_nl (−di_k/dv)·η_k·η_kᵀ)·x = r via Woodbury,
+	// where Δ = diag(delta). s holds the −di/dv factors per nonlinear port.
+	nNL := len(nlPorts)
+	newtonSolve := func(delta []float64, s []float64, r []float64) ([]float64, error) {
+		if opt.DenseNewton {
+			// Ablation path: assemble J = Δ + Σ s_c·η_c·η_cᵀ densely.
+			j := matrix.NewDense(q, q)
+			for i := 0; i < q; i++ {
+				j.Set(i, i, delta[i])
+			}
+			for c, jp := range nlPorts {
+				col := etaCols[jp]
+				sc := s[c]
+				if sc == 0 {
+					continue
+				}
+				for a := 0; a < q; a++ {
+					for b := 0; b < q; b++ {
+						j.Add(a, b, sc*col[a]*col[b])
+					}
+				}
+			}
+			lu, err := matrix.FactorLU(j)
+			if err != nil {
+				return nil, err
+			}
+			return lu.Solve(r)
+		}
+		dinvr := make([]float64, q)
+		for i := range r {
+			dinvr[i] = r[i] / delta[i]
+		}
+		if nNL == 0 {
+			return dinvr, nil
+		}
+		// Small core system: (I + S·UᵀΔ⁻¹U)·z = S·UᵀΔ⁻¹r, x = Δ⁻¹r − Δ⁻¹U·z.
+		core := matrix.Identity(nNL)
+		rhs := make([]float64, nNL)
+		dinvU := make([][]float64, nNL)
+		for c, j := range nlPorts {
+			col := etaCols[j]
+			du := make([]float64, q)
+			for i := 0; i < q; i++ {
+				du[i] = col[i] / delta[i]
+			}
+			dinvU[c] = du
+		}
+		for a, ja := range nlPorts {
+			ua := etaCols[ja]
+			for b := 0; b < nNL; b++ {
+				core.Add(a, b, s[a]*matrix.Dot(ua, dinvU[b]))
+			}
+			rhs[a] = s[a] * matrix.Dot(ua, dinvr)
+		}
+		lu, err := matrix.FactorLU(core)
+		if err != nil {
+			return nil, fmt.Errorf("romsim: Woodbury core singular: %w", err)
+		}
+		z, err := lu.Solve(rhs)
+		if err != nil {
+			return nil, err
+		}
+		x := dinvr
+		for c := range nlPorts {
+			matrix.Axpy(-z[c], dinvU[c], x)
+		}
+		return x, nil
+	}
+
+	// residual computes R(y) = Δ∘y − base − η_nl·i(v,t) and the s = −di/dv
+	// factors, for a given diagonal delta and constant part base.
+	residual := func(delta, base, y []float64, t float64) (r []float64, s []float64) {
+		r = make([]float64, q)
+		for i := range r {
+			r[i] = delta[i]*y[i] - base[i]
+		}
+		s = make([]float64, nNL)
+		for c, j := range nlPorts {
+			v := portV(y, j)
+			i, di := terms[j].Dev.Current(v, t)
+			matrix.Axpy(-i, etaCols[j], r)
+			s[c] = -di
+		}
+		return r, s
+	}
+
+	// newtonLoop drives y to R(y)=0 for the given delta/base/t.
+	totalNewton := 0
+	newtonLoop := func(delta, base, y0 []float64, t float64) ([]float64, error) {
+		y := matrix.CloneVec(y0)
+		for it := 0; it < maxNewton; it++ {
+			totalNewton++
+			r, s := residual(delta, base, y, t)
+			dy, err := newtonSolve(delta, s, r)
+			if err != nil {
+				return nil, err
+			}
+			matrix.Axpy(-1, dy, yAlias(y))
+			// Convergence on the port-voltage scale: η is bounded, so the
+			// state-space norm is a safe proxy.
+			if matrix.NormInf(dy) < tol {
+				return y, nil
+			}
+		}
+		return nil, fmt.Errorf("romsim: Newton failed to converge at t=%g", t)
+	}
+
+	// Initial condition: DC operating point (ẏ = 0 ⇒ Δ = 1).
+	y := make([]float64, q)
+	if !opt.NoInitDC {
+		ones := make([]float64, q)
+		for i := range ones {
+			ones[i] = 1
+		}
+		y0, err := newtonLoop(ones, force(0), y, 0)
+		if err != nil {
+			return nil, fmt.Errorf("romsim: DC init: %w", err)
+		}
+		y = y0
+	}
+	// ẏ at t=0 from D·ẏ = −R_alg(y); with DC init it is ~0. For simplicity
+	// and stability start trapezoidal with ẏ = 0 (consistent after DC init).
+	ydot := make([]float64, q)
+
+	nSteps := int(math.Round(opt.TEnd / dt))
+	if nSteps < 1 {
+		nSteps = 1
+	}
+	res := &Result{Ports: make([]*waveform.Waveform, m.Ports)}
+	for j := range res.Ports {
+		res.Ports[j] = waveform.New(nSteps + 1)
+		res.Ports[j].Append(0, portV(y, j))
+	}
+
+	a := 2 / dt
+	for n := 1; n <= nSteps; n++ {
+		t := float64(n) * dt
+		// Trapezoidal: D·(a·(y−y_prev) − ẏ_prev) + y = f(t) + η·i.
+		// Δ_i = a·D_i + 1; base = f(t) + D∘(a·y_prev + ẏ_prev).
+		delta := make([]float64, q)
+		base := force(t)
+		for i := 0; i < q; i++ {
+			delta[i] = a*dvals[i] + 1
+			base[i] += dvals[i] * (a*y[i] + ydot[i])
+		}
+		ynew, err := newtonLoop(delta, base, y, t)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < q; i++ {
+			ydot[i] = a*(ynew[i]-y[i]) - ydot[i]
+		}
+		y = ynew
+		for j := range res.Ports {
+			res.Ports[j].Append(t, portV(y, j))
+		}
+		res.Steps++
+	}
+	res.NewtonIterations = totalNewton
+	return res, nil
+}
+
+// yAlias exists to make the in-place Axpy destination explicit.
+func yAlias(y []float64) []float64 { return y }

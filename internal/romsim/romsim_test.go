@@ -1,0 +1,248 @@
+package romsim
+
+import (
+	"math"
+	"testing"
+
+	"xtverify/internal/circuit"
+	"xtverify/internal/mna"
+	"xtverify/internal/sympvl"
+	"xtverify/internal/waveform"
+)
+
+// lumpedRC is a one-node circuit: port at "a" with capacitance C to ground.
+// Driven through a Thevenin resistor R it is an exact first-order system.
+func lumpedRC(c float64) *circuit.Circuit {
+	ckt := circuit.New("rc")
+	a := ckt.Node("a")
+	ckt.AddPort("drv", a, circuit.PortDriver, 0)
+	ckt.AddCapacitor("c", a, circuit.Ground, c)
+	return ckt
+}
+
+func reduce(t *testing.T, ckt *circuit.Circuit, order int) *sympvl.Model {
+	t.Helper()
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sympvl.Reduce(sys, sympvl.Options{Order: order})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// linearDevice adapts a Thevenin termination to the nonlinear Device
+// interface, to cross-check the Woodbury path against the folded-linear path.
+type linearDevice struct {
+	g  float64
+	vs waveform.Source
+}
+
+func (d linearDevice) Current(v, t float64) (float64, float64) {
+	return d.g * (d.vs(t) - v), -d.g
+}
+
+func TestFirstOrderStepResponse(t *testing.T) {
+	const (
+		C = 50e-15
+		R = 1000.0
+	)
+	m := reduce(t, lumpedRC(C), 2)
+	tau := R * C
+	t0 := tau / 2 // step after t=0 so the DC init sees the low source
+	res, err := Simulate(m, []Termination{{Linear: &Linear{G: 1 / R, Vs: waveform.Ramp(0, 1, t0, 0)}}},
+		Options{TEnd: t0 + 8*tau, Dt: tau / 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Ports[0]
+	for _, frac := range []float64{0.5, 1, 2, 4} {
+		tt := frac * tau
+		want := 1 - math.Exp(-tt/tau)
+		got := w.At(t0 + tt)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("v(%.1fτ) = %.4f, want %.4f", frac, got, want)
+		}
+	}
+	if math.Abs(w.End()-1) > 1e-3 {
+		t.Errorf("final value %.4f, want 1", w.End())
+	}
+}
+
+func TestNonlinearPathMatchesLinear(t *testing.T) {
+	const (
+		C = 20e-15
+		R = 500.0
+	)
+	m := reduce(t, lumpedRC(C), 2)
+	src := waveform.Ramp(0, 3, 10e-12, 100e-12)
+	opt := Options{TEnd: 2e-9, Dt: 1e-12}
+	lin, err := Simulate(m, []Termination{{Linear: &Linear{G: 1 / R, Vs: src}}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Simulate(m, []Termination{{Dev: linearDevice{g: 1 / R, vs: src}}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := waveform.MaxAbsDiff(lin.Ports[0], nl.Ports[0], 500); d > 1e-6 {
+		t.Errorf("Woodbury path deviates from folded-linear path by %g V", d)
+	}
+}
+
+// coupledPair builds aggressor and victim RC lines with coupling; ports:
+// 0 = aggressor driver, 1 = victim driver, 2 = victim receiver.
+func coupledPair(nseg int, cc float64) *circuit.Circuit {
+	ckt := circuit.New("pair")
+	var aPrev, vPrev circuit.NodeID
+	for l, name := range []string{"a", "v"} {
+		n0 := ckt.Node(name + "0")
+		ckt.AddPort(name+"drv", n0, circuit.PortDriver, l)
+		prev := n0
+		for s := 1; s <= nseg; s++ {
+			n := ckt.Node(name + string(rune('0'+s)))
+			ckt.AddResistor(name+"r", prev, n, 50)
+			ckt.AddCapacitor(name+"c", n, circuit.Ground, 4e-15)
+			prev = n
+		}
+		if l == 0 {
+			aPrev = prev
+		} else {
+			vPrev = prev
+		}
+	}
+	_ = aPrev
+	for s := 1; s <= nseg; s++ {
+		a, _ := ckt.LookupNode("a" + string(rune('0'+s)))
+		v, _ := ckt.LookupNode("v" + string(rune('0'+s)))
+		ckt.AddCoupling("cc", a, v, cc)
+	}
+	ckt.AddPort("vrcv", vPrev, circuit.PortReceiver, 1)
+	return ckt
+}
+
+func simulateGlitch(t *testing.T, cc float64) float64 {
+	t.Helper()
+	m := reduce(t, coupledPair(6, cc), 12)
+	res, err := Simulate(m, []Termination{
+		{Linear: &Linear{G: 1 / 200.0, Vs: waveform.Ramp(0, 3, 50e-12, 100e-12)}}, // aggressor rises
+		{Linear: &Linear{G: 1 / 1000.0, Vs: waveform.Const(0)}},                   // victim held low
+		{}, // receiver open
+	}, Options{TEnd: 3e-9, Dt: 2e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Ports[2].PeakDeviation(0).Value
+}
+
+func TestGlitchPositiveAndGrowsWithCoupling(t *testing.T) {
+	small := simulateGlitch(t, 2e-15)
+	big := simulateGlitch(t, 10e-15)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("glitches must be positive for rising aggressor: small=%g big=%g", small, big)
+	}
+	if big <= small {
+		t.Errorf("glitch should grow with coupling: %g (2f) vs %g (10f)", small, big)
+	}
+	if big > 3 {
+		t.Errorf("glitch %g exceeds the supply", big)
+	}
+}
+
+func TestVictimReturnsToBaseline(t *testing.T) {
+	m := reduce(t, coupledPair(4, 6e-15), 10)
+	res, err := Simulate(m, []Termination{
+		{Linear: &Linear{G: 1 / 200.0, Vs: waveform.Ramp(0, 3, 50e-12, 100e-12)}},
+		{Linear: &Linear{G: 1 / 500.0, Vs: waveform.Const(0)}},
+		{},
+	}, Options{TEnd: 5e-9, Dt: 2e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end := res.Ports[2].End(); math.Abs(end) > 1e-3 {
+		t.Errorf("victim should settle back to 0, got %g", end)
+	}
+}
+
+func TestOpenReceiverTracksDriverAtDC(t *testing.T) {
+	// Single line: driver steps to 3V; open receiver must settle at 3V.
+	ckt := circuit.New("line")
+	n0 := ckt.Node("n0")
+	ckt.AddPort("drv", n0, circuit.PortDriver, 0)
+	prev := n0
+	for s := 1; s <= 5; s++ {
+		n := ckt.Node("n" + string(rune('0'+s)))
+		ckt.AddResistor("r", prev, n, 100)
+		ckt.AddCapacitor("c", n, circuit.Ground, 5e-15)
+		prev = n
+	}
+	ckt.AddPort("rcv", prev, circuit.PortReceiver, 0)
+	m := reduce(t, ckt, 8)
+	res, err := Simulate(m, []Termination{
+		{Linear: &Linear{G: 1 / 300.0, Vs: waveform.Ramp(0, 3, 20e-12, 80e-12)}},
+		{},
+	}, Options{TEnd: 4e-9, Dt: 2e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end := res.Ports[1].End(); math.Abs(end-3) > 5e-3 {
+		t.Errorf("receiver DC value %g, want 3", end)
+	}
+	// Receiver must lag the driver (RC delay): 50% crossing later.
+	td, okd := res.Ports[0].CrossTime(1.5, true)
+	tr, okr := res.Ports[1].CrossTime(1.5, true)
+	if !okd || !okr || tr <= td {
+		t.Errorf("receiver should lag driver: drv=%g rcv=%g", td, tr)
+	}
+}
+
+func TestTerminationValidation(t *testing.T) {
+	m := reduce(t, lumpedRC(1e-15), 1)
+	if _, err := Simulate(m, nil, Options{TEnd: 1e-9}); err == nil {
+		t.Error("wrong termination count accepted")
+	}
+	both := Termination{Linear: &Linear{G: 1, Vs: waveform.Const(0)}, Dev: linearDevice{g: 1, vs: waveform.Const(0)}}
+	if _, err := Simulate(m, []Termination{both}, Options{TEnd: 1e-9}); err == nil {
+		t.Error("double termination accepted")
+	}
+	neg := Termination{Linear: &Linear{G: -1, Vs: waveform.Const(0)}}
+	if _, err := Simulate(m, []Termination{neg}, Options{TEnd: 1e-9}); err == nil {
+		t.Error("negative conductance accepted")
+	}
+	if _, err := Simulate(m, []Termination{{}}, Options{TEnd: 0}); err == nil {
+		t.Error("zero TEnd accepted")
+	}
+}
+
+func TestDCInitStartsSettled(t *testing.T) {
+	// Victim held at 3V via its driver: with DC init the waveform starts at
+	// 3V, not 0.
+	m := reduce(t, lumpedRC(10e-15), 1)
+	res, err := Simulate(m, []Termination{
+		{Linear: &Linear{G: 1 / 100.0, Vs: waveform.Const(3)}},
+	}, Options{TEnd: 1e-10, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 := res.Ports[0].Start(); math.Abs(v0-3) > 1e-2 {
+		t.Errorf("DC init start = %g, want 3", v0)
+	}
+}
+
+func TestStepsAndNewtonCounters(t *testing.T) {
+	m := reduce(t, lumpedRC(1e-15), 1)
+	res, err := Simulate(m, []Termination{
+		{Linear: &Linear{G: 1e-3, Vs: waveform.Const(1)}},
+	}, Options{TEnd: 1e-9, Dt: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 100 {
+		t.Errorf("steps = %d, want 100", res.Steps)
+	}
+	if res.NewtonIterations == 0 {
+		t.Error("Newton counter not incremented")
+	}
+}

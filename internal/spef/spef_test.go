@@ -1,0 +1,226 @@
+package spef
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+)
+
+func roundTrip(t *testing.T, p *extract.Parasitics) *File {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRoundTripParallelWires(t *testing.T) {
+	d := dsp.ParallelWires(3, 500, 1.2, []string{"INV_X2"}, "NAND2_X1")
+	p, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := roundTrip(t, p)
+	if f.Design != d.Name {
+		t.Errorf("design name %q", f.Design)
+	}
+	if len(f.Nets) != 3 {
+		t.Fatalf("%d nets", len(f.Nets))
+	}
+	// Resistance round trip.
+	n0, ok := f.NetByName("w0")
+	if !ok {
+		t.Fatal("w0 missing")
+	}
+	var rTot float64
+	for _, r := range n0.Ress {
+		rTot += r.Ohms
+	}
+	var want float64
+	for _, r := range p.Nets[0].Res {
+		want += r.Ohms
+	}
+	if math.Abs(rTot-want) > 1e-6*want {
+		t.Errorf("resistance round trip: %g vs %g", rTot, want)
+	}
+	// Cap round trip within the fF print precision.
+	var cTot float64
+	for _, c := range n0.Caps {
+		cTot += c.Farads
+	}
+	wantC := p.Nets[0].TotalCapF()
+	for _, cf := range p.NetCouplingF[0] {
+		wantC += cf
+	}
+	if math.Abs(cTot-wantC) > 1e-3*wantC {
+		t.Errorf("cap round trip: %g vs %g", cTot, wantC)
+	}
+	// Pins preserved with directions.
+	drv, rcv := 0, 0
+	for _, pin := range n0.Pins {
+		switch pin.Dir {
+		case "O":
+			drv++
+		case "I":
+			rcv++
+		}
+	}
+	if drv != 1 || rcv != 1 {
+		t.Errorf("pins: %d drivers, %d receivers", drv, rcv)
+	}
+}
+
+func TestRoundTripDSPStats(t *testing.T) {
+	d := dsp.Generate(dsp.Config{Seed: 12, Channels: 1, TracksPerChannel: 25, ChannelLengthUM: 700, BusFraction: 0.1})
+	p, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := roundTrip(t, p)
+	st := f.Stats()
+	ps := p.Stats()
+	if st.Nets != ps.Nets {
+		t.Errorf("nets %d vs %d", st.Nets, ps.Nets)
+	}
+	if st.CouplingCaps != ps.Couplings {
+		t.Errorf("couplings %d vs %d", st.CouplingCaps, ps.Couplings)
+	}
+	if st.Resistors != ps.Resistors {
+		t.Errorf("resistors %d vs %d", st.Resistors, ps.Resistors)
+	}
+	if math.Abs(st.TotalCapF-ps.TotalCapF) > 1e-3*ps.TotalCapF {
+		t.Errorf("total cap %g vs %g", st.TotalCapF, ps.TotalCapF)
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	src := `*SPEF "x"
+*DESIGN "u"
+*C_UNIT 1 PF
+*R_UNIT 1 KOHM
+*D_NET n 1.0
+*CAP
+1 n:0 2.0
+*RES
+1 n:0 n:1 3.0
+*END
+`
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Nets[0]
+	if math.Abs(n.Caps[0].Farads-2e-12) > 1e-20 {
+		t.Errorf("PF cap = %g", n.Caps[0].Farads)
+	}
+	if math.Abs(n.Ress[0].Ohms-3000) > 1e-9 {
+		t.Errorf("KOHM res = %g", n.Ress[0].Ohms)
+	}
+	if math.Abs(n.TotalCapF-1e-12) > 1e-20 {
+		t.Errorf("total cap = %g", n.TotalCapF)
+	}
+}
+
+func TestParseCoupling(t *testing.T) {
+	src := `*SPEF "x"
+*C_UNIT 1 FF
+*D_NET a 1.0
+*CAP
+1 a:3 b:7 0.5
+*END
+`
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Nets[0].Caps[0]
+	if c.OtherNet != "b" || c.OtherNode != 7 || c.Node != 3 {
+		t.Errorf("coupling parse: %+v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"data outside net": "1 a:0 2.0\n",
+		"bad D_NET":        "*D_NET onlyname\n",
+		"bad unit":         "*C_UNIT 1 PARSEC\n",
+		"section outside":  "*CAP\n",
+		"malformed cap":    "*D_NET n 1.0\n*CAP\n1 n:0\n*END\n",
+		"bad node":         "*D_NET n 1.0\n*RES\n1 n:0 nocolon 5\n*END\n",
+		"conn outside":     "*D_NET n 1.0\n*I a:Z O *N n:0\n*END\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: error not reported", name)
+		}
+	}
+}
+
+func TestNetNamesSorted(t *testing.T) {
+	src := "*SPEF \"x\"\n*D_NET z 0\n*END\n*D_NET a 0\n*END\n"
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := f.NetNamesSorted()
+	if names[0] != "a" || names[1] != "z" {
+		t.Errorf("sorted names %v", names)
+	}
+}
+
+func TestNameMapEmittedAndResolved(t *testing.T) {
+	d := dsp.ParallelWires(2, 300, 1.2, []string{"INV_X2"}, "INV_X1")
+	p, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*NAME_MAP") || !strings.Contains(out, "*1 w0") {
+		t.Fatal("NAME_MAP section missing")
+	}
+	// Net bodies use mapped references, not raw names.
+	if strings.Contains(out, "*D_NET w0") {
+		t.Error("D_NET should use mapped reference")
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parsed nets carry the resolved full names.
+	if _, ok := f.NetByName("w0"); !ok {
+		t.Fatal("mapped net name not resolved")
+	}
+	// Coupling references resolve through the map too.
+	n0, _ := f.NetByName("w0")
+	found := false
+	for _, c := range n0.Caps {
+		if c.OtherNet == "w1" {
+			found = true
+		}
+		if strings.HasPrefix(c.OtherNet, "*") {
+			t.Errorf("unresolved coupling reference %q", c.OtherNet)
+		}
+	}
+	n1, _ := f.NetByName("w1")
+	for _, c := range n1.Caps {
+		if c.OtherNet == "w0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("coupling between w0 and w1 lost")
+	}
+}

@@ -1,0 +1,328 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"xtverify/internal/devices"
+	"xtverify/internal/waveform"
+)
+
+func TestRCStepMatchesAnalytic(t *testing.T) {
+	const (
+		R   = 1000.0
+		C   = 100e-15
+		tau = R * C
+	)
+	n := NewNetlist("rc")
+	in := n.Node("in")
+	out := n.Node("out")
+	n.Drive(in, waveform.Ramp(0, 1, tau/2, 0))
+	n.AddR(in, out, R)
+	n.AddC(out, Ground, C)
+	res, err := n.Transient(Options{TEnd: tau/2 + 8*tau, Dt: tau / 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.Wave("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.5, 1, 2, 4} {
+		tt := tau/2 + frac*tau
+		want := 1 - math.Exp(-frac)
+		if got := w.At(tt); math.Abs(got-want) > 0.005 {
+			t.Errorf("v(%.1fτ) = %.4f, want %.4f", frac, got, want)
+		}
+	}
+}
+
+func TestDividerDC(t *testing.T) {
+	n := NewNetlist("div")
+	top := n.Node("top")
+	mid := n.Node("mid")
+	n.Drive(top, waveform.Const(3))
+	n.AddR(top, mid, 1000)
+	n.AddR(mid, Ground, 2000)
+	v, err := n.DCOperatingPoint(0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[mid]-2.0) > 1e-4 {
+		t.Errorf("divider mid = %g, want 2", v[mid])
+	}
+}
+
+// buildInverter wires a CMOS inverter with the 0.25µm devices.
+func buildInverter(n *Netlist, in, out, vdd Node, wn, wp float64) {
+	nm := &devices.MOSFET{Params: devices.Tech025(devices.NMOS), W: wn, L: 0.25e-6}
+	pm := &devices.MOSFET{Params: devices.Tech025(devices.PMOS), W: wp, L: 0.25e-6}
+	n.AddMOS(out, in, Ground, nm.Eval)
+	n.AddMOS(out, in, vdd, pm.Eval)
+}
+
+func TestInverterVTC(t *testing.T) {
+	n := NewNetlist("inv")
+	in := n.Node("in")
+	out := n.Node("out")
+	vdd := n.Node("vdd")
+	n.Drive(vdd, waveform.Const(devices.Vdd025))
+	n.Drive(in, waveform.Const(0))
+	buildInverter(n, in, out, vdd, 1e-6, 2e-6)
+	// Sweep the input and check the transfer curve is monotone decreasing
+	// with full-swing endpoints.
+	prev := math.Inf(1)
+	for _, vin := range []float64{0, 0.5, 1.0, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0} {
+		n.Drive(in, waveform.Const(vin))
+		v, err := n.DCOperatingPoint(0, Options{})
+		if err != nil {
+			t.Fatalf("vin=%g: %v", vin, err)
+		}
+		if v[out] > prev+1e-6 {
+			t.Errorf("VTC not monotone at vin=%g: %g > %g", vin, v[out], prev)
+		}
+		prev = v[out]
+		switch vin {
+		case 0:
+			if math.Abs(v[out]-3) > 0.01 {
+				t.Errorf("out(0) = %g, want ≈3", v[out])
+			}
+		case 3:
+			if math.Abs(v[out]) > 0.01 {
+				t.Errorf("out(3) = %g, want ≈0", v[out])
+			}
+		}
+	}
+}
+
+func TestInverterTransient(t *testing.T) {
+	n := NewNetlist("invtr")
+	in := n.Node("in")
+	out := n.Node("out")
+	vdd := n.Node("vdd")
+	n.Drive(vdd, waveform.Const(devices.Vdd025))
+	n.Drive(in, waveform.Ramp(0, 3, 100e-12, 100e-12))
+	buildInverter(n, in, out, vdd, 2e-6, 4e-6)
+	n.AddC(out, Ground, 20e-15)
+	res, err := n.Transient(Options{TEnd: 2e-9, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.Wave("out")
+	if math.Abs(w.Start()-3) > 0.01 {
+		t.Errorf("output starts at %g, want 3", w.Start())
+	}
+	if math.Abs(w.End()) > 0.01 {
+		t.Errorf("output ends at %g, want 0", w.End())
+	}
+	// 50% output crossing must trail 50% input crossing (causal delay).
+	tin := 150e-12 // input crosses 1.5V midway through its ramp
+	tout, ok := w.CrossTime(1.5, false)
+	if !ok || tout <= tin {
+		t.Errorf("output crossing %g should trail input %g", tout, tin)
+	}
+}
+
+func TestCouplingGlitchInSPICE(t *testing.T) {
+	// Aggressor coupled to a resistively held victim produces a positive
+	// glitch proportional to coupling.
+	glitch := func(cc float64) float64 {
+		n := NewNetlist("pair")
+		asrc := n.Node("asrc")
+		a := n.Node("a")
+		v := n.Node("v")
+		n.Drive(asrc, waveform.Ramp(0, 3, 100e-12, 100e-12))
+		n.AddR(asrc, a, 200)
+		n.AddR(v, Ground, 1000) // victim holding resistor
+		n.AddC(a, Ground, 20e-15)
+		n.AddC(v, Ground, 20e-15)
+		n.AddC(a, v, cc)
+		res, err := n.Transient(Options{TEnd: 2e-9, Dt: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := res.Wave("v")
+		return w.PeakDeviation(0).Value
+	}
+	small := glitch(5e-15)
+	big := glitch(20e-15)
+	if small <= 0 || big <= small {
+		t.Errorf("glitch should be positive and grow with coupling: %g, %g", small, big)
+	}
+}
+
+func TestBehavioralMatchesResistor(t *testing.T) {
+	// A behavioral i(v) = (Vs−v)/R termination must match a resistor to a
+	// driven node.
+	build := func(useBehavioral bool) *waveform.Waveform {
+		n := NewNetlist("beh")
+		out := n.Node("out")
+		n.AddC(out, Ground, 50e-15)
+		src := waveform.Ramp(0, 3, 50e-12, 200e-12)
+		if useBehavioral {
+			n.AddBehavioral(out, thevenin{g: 1e-3, vs: src})
+		} else {
+			in := n.Node("in")
+			n.Drive(in, src)
+			n.AddR(in, out, 1000)
+		}
+		res, err := n.Transient(Options{TEnd: 2e-9, Dt: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := res.Wave("out")
+		return w
+	}
+	a := build(false)
+	b := build(true)
+	if d := waveform.MaxAbsDiff(a, b, 500); d > 1e-5 {
+		t.Errorf("behavioral path deviates by %g V", d)
+	}
+}
+
+type thevenin struct {
+	g  float64
+	vs waveform.Source
+}
+
+func (th thevenin) Current(v, t float64) (float64, float64) {
+	return th.g * (th.vs(t) - v), -th.g
+}
+
+func TestOptionsValidation(t *testing.T) {
+	n := NewNetlist("bad")
+	n.Node("a")
+	if _, err := n.Transient(Options{TEnd: 0}); err == nil {
+		t.Error("zero TEnd accepted")
+	}
+	all := NewNetlist("alldriven")
+	x := all.Node("x")
+	all.Drive(x, waveform.Const(1))
+	if _, err := all.Transient(Options{TEnd: 1e-9}); err == nil {
+		t.Error("netlist without free nodes accepted")
+	}
+}
+
+func TestBadElementPanics(t *testing.T) {
+	n := NewNetlist("p")
+	a := n.Node("a")
+	for _, f := range []func(){
+		func() { n.AddR(a, Ground, 0) },
+		func() { n.AddC(a, Ground, -1) },
+		func() { n.Drive(Ground, waveform.Const(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNetlistReusableAfterTransient(t *testing.T) {
+	// Companion state must be reset so back-to-back runs agree.
+	n := NewNetlist("reuse")
+	in := n.Node("in")
+	out := n.Node("out")
+	n.Drive(in, waveform.Ramp(0, 1, 1e-10, 1e-10))
+	n.AddR(in, out, 1000)
+	n.AddC(out, Ground, 100e-15)
+	r1, err := n.Transient(Options{TEnd: 1e-9, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := n.Transient(Options{TEnd: 1e-9, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := r1.Wave("out")
+	w2, _ := r2.Wave("out")
+	if d := waveform.MaxAbsDiff(w1, w2, 200); d > 1e-12 {
+		t.Errorf("re-run deviates by %g", d)
+	}
+}
+
+func TestCostCounters(t *testing.T) {
+	n := NewNetlist("cnt")
+	in := n.Node("in")
+	out := n.Node("out")
+	n.Drive(in, waveform.Const(1))
+	n.AddR(in, out, 100)
+	n.AddC(out, Ground, 1e-15)
+	res, err := n.Transient(Options{TEnd: 1e-10, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 100 || res.NewtonIterations < res.Steps || res.Factorizations < res.Steps {
+		t.Errorf("counters: steps=%d newton=%d factor=%d", res.Steps, res.NewtonIterations, res.Factorizations)
+	}
+	if _, err := res.Wave("nope"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestAdaptiveMatchesFixedStep(t *testing.T) {
+	build := func() *Netlist {
+		n := NewNetlist("ad")
+		in := n.Node("in")
+		out := n.Node("out")
+		far := n.Node("far")
+		n.Drive(in, waveform.Pulse(0, 3, 200e-12, 100e-12, 1.5e-9, 100e-12))
+		n.AddR(in, out, 500)
+		n.AddR(out, far, 500)
+		n.AddC(out, Ground, 40e-15)
+		n.AddC(far, Ground, 40e-15)
+		return n
+	}
+	fixed, err := build().Transient(Options{TEnd: 3e-9, Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := build().Transient(Options{TEnd: 3e-9, Dt: 1e-12, Adaptive: true, LTETol: 0.5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _ := fixed.Wave("far")
+	wa, _ := adaptive.Wave("far")
+	if d := waveform.MaxAbsDiff(wf, wa, 600); d > 0.02 {
+		t.Errorf("adaptive deviates from fixed-step by %g V", d)
+	}
+	if adaptive.Steps >= fixed.Steps {
+		t.Errorf("adaptive used %d steps, fixed %d — no savings", adaptive.Steps, fixed.Steps)
+	}
+	t.Logf("steps: fixed %d, adaptive %d (%.1fx fewer)", fixed.Steps, adaptive.Steps,
+		float64(fixed.Steps)/float64(adaptive.Steps))
+}
+
+func TestAdaptiveRefinesEdges(t *testing.T) {
+	// The step density around the input edge must exceed the density in the
+	// quiet tail.
+	n := NewNetlist("edges")
+	in := n.Node("in")
+	out := n.Node("out")
+	n.Drive(in, waveform.Ramp(0, 3, 1e-9, 50e-12))
+	n.AddR(in, out, 1000)
+	n.AddC(out, Ground, 50e-15)
+	res, err := n.Transient(Options{TEnd: 4e-9, Dt: 2e-12, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.Wave("out")
+	countIn := func(lo, hi float64) int {
+		c := 0
+		for _, tt := range w.T {
+			if tt >= lo && tt < hi {
+				c++
+			}
+		}
+		return c
+	}
+	edge := countIn(1.0e-9, 1.4e-9)
+	tail := countIn(3.4e-9, 3.8e-9)
+	if edge <= tail {
+		t.Errorf("edge density %d should exceed quiet tail %d", edge, tail)
+	}
+}

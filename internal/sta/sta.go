@@ -1,0 +1,165 @@
+// Package sta is a lightweight static timing analyzer whose only job in the
+// verification flow is to attach switching windows ([early, late] arrival
+// ranges plus driver input slews) to every net. The paper uses this timing
+// correlation information to exclude aggressors that cannot switch while the
+// victim is sensitive, tightening the otherwise worst-case analysis.
+//
+// The delay model is deliberately simple — an effective-resistance gate
+// delay against the extracted net capacitance plus an Elmore wire term — but
+// it produces the structurally correct windows the pruning and alignment
+// policies need.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/design"
+	"xtverify/internal/extract"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// ClockPeriod is the launch period (seconds); windows are not folded,
+	// the period only scales the sequential launch uncertainty.
+	ClockPeriod float64
+	// ClkToQMin and ClkToQMax bound sequential output launch times.
+	ClkToQMin, ClkToQMax float64
+	// IntrinsicDelay is the per-gate fixed delay floor.
+	IntrinsicDelay float64
+	// DefaultSlew is used at launch points.
+	DefaultSlew float64
+}
+
+// DefaultOptions returns the standard 0.25 µm settings.
+func DefaultOptions() Options {
+	return Options{
+		ClockPeriod:    5e-9,
+		ClkToQMin:      80e-12,
+		ClkToQMax:      250e-12,
+		IntrinsicDelay: 25e-12,
+		DefaultSlew:    120e-12,
+	}
+}
+
+// Annotate computes and stores a switching window on every net of the
+// design, using the extracted capacitances as loads. It returns an error on
+// combinational cycles.
+func Annotate(d *design.Design, par *extract.Parasitics, opt Options) error {
+	if opt.ClockPeriod == 0 {
+		opt = DefaultOptions()
+	}
+	n := len(d.Nets)
+	if par == nil || len(par.Nets) != n {
+		return fmt.Errorf("sta: parasitics do not match design")
+	}
+	// Topological order over the fanin DAG (Kahn).
+	indeg := make([]int, n)
+	fanout := make([][]int, n)
+	for i, net := range d.Nets {
+		for _, f := range net.Fanins {
+			if f < 0 || f >= n {
+				return fmt.Errorf("sta: net %q fanin %d out of range", net.Name, f)
+			}
+			indeg[i]++
+			fanout[f] = append(fanout[f], i)
+		}
+	}
+	queue := make([]int, 0, n)
+	for i, deg := range indeg {
+		if deg == 0 {
+			queue = append(queue, i)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		processed++
+		net := d.Nets[i]
+		early, late, slew := launchWindow(net, opt)
+		if len(net.Fanins) > 0 {
+			early, late = math.Inf(1), math.Inf(-1)
+			slew = 0
+			for _, f := range net.Fanins {
+				w := d.Nets[f].Window
+				early = math.Min(early, w.Early)
+				late = math.Max(late, w.Late)
+				slew = math.Max(slew, w.Slew)
+			}
+		}
+		gd, outSlew := gateDelay(net, par.Nets[i], slew, opt)
+		net.Window = design.Window{
+			Early: early + gd,
+			Late:  late + gd,
+			Slew:  outSlew,
+			Valid: true,
+		}
+		for _, o := range fanout[i] {
+			indeg[o]--
+			if indeg[o] == 0 {
+				queue = append(queue, o)
+			}
+		}
+	}
+	if processed != n {
+		return fmt.Errorf("sta: combinational cycle detected (%d of %d nets ordered)", processed, n)
+	}
+	return nil
+}
+
+// launchWindow gives the arrival window at the driver input for nets without
+// fanins: clock nets launch at the edge; sequential outputs launch after
+// clk-to-q; primary-input-like nets get the full early clock region.
+func launchWindow(net *design.Net, opt Options) (early, late, slew float64) {
+	if net.ClockNet {
+		return 0, 20e-12, opt.DefaultSlew / 2
+	}
+	drv := net.Drivers[0].Cell
+	if drv.Sequential {
+		return opt.ClkToQMin, opt.ClkToQMax, opt.DefaultSlew
+	}
+	return 0, 0.1 * opt.ClockPeriod, opt.DefaultSlew
+}
+
+// gateDelay estimates driver gate delay and output slew against the
+// extracted load, including an Elmore wire term to the farthest receiver.
+func gateDelay(net *design.Net, rc *extract.NetRC, inSlew float64, opt Options) (delay, outSlew float64) {
+	load := rc.TotalCapF()
+	// Use the cheaper closed-form drive resistance (characterization-free)
+	// for STA; the detailed models are reserved for cluster analysis.
+	drv := strongestDriver(net)
+	r := cells.EstimateDriveResistance(drv, true)
+	if rf := cells.EstimateDriveResistance(drv, false); rf > r {
+		r = rf // pessimistic edge
+	}
+	const ln2 = 0.6931471805599453
+	wire := elmoreWorst(rc)
+	delay = opt.IntrinsicDelay + inSlew/4 + ln2*(r*load+wire)
+	outSlew = 2 * (ln2*r*load + wire)
+	if outSlew < opt.DefaultSlew/2 {
+		outSlew = opt.DefaultSlew / 2
+	}
+	return delay, outSlew
+}
+
+func strongestDriver(net *design.Net) *cells.Cell {
+	best := net.Drivers[0].Cell
+	for _, p := range net.Drivers[1:] {
+		if p.Cell.Wn > best.Wn {
+			best = p.Cell
+		}
+	}
+	return best
+}
+
+// elmoreWorst returns a worst-receiver Elmore wire delay approximation:
+// total wire resistance times half the total capacitance.
+func elmoreWorst(rc *extract.NetRC) float64 {
+	rTot := 0.0
+	for _, r := range rc.Res {
+		rTot += r.Ohms
+	}
+	return rTot * rc.TotalCapF() / 2
+}

@@ -1,0 +1,194 @@
+// Package stats provides the small statistical utilities the experiment
+// reports need: summary statistics of error populations and fixed-bin
+// histograms with ASCII rendering (the paper's Figures 3, 6 and 7 are error
+// histograms).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N               int
+	Mean, Std       float64
+	Min, Max        float64
+	AbsMean, AbsMax float64
+	P50, P90        float64
+}
+
+// Summarize computes summary statistics; zero-valued for empty input.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		s.Mean += x
+		s.AbsMean += math.Abs(x)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		if a := math.Abs(x); a > s.AbsMax {
+			s.AbsMax = a
+		}
+	}
+	s.Mean /= float64(s.N)
+	s.AbsMean /= float64(s.N)
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(s.Std / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.5)
+	s.P90 = quantile(sorted, 0.9)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width binning over [Lo, Hi) with under/overflow bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates nBins equal bins across [lo, hi).
+func NewHistogram(lo, hi float64, nBins int) *Histogram {
+	if hi <= lo || nBins < 1 {
+		panic("stats: invalid histogram range")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nBins)}
+}
+
+// Add registers one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) {
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Render draws a horizontal ASCII histogram with percentage labels, in the
+// style of the paper's error-distribution figures.
+func (h *Histogram) Render(label string, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", label, h.total)
+	max := h.Under
+	if h.Over > max {
+		max = h.Over
+	}
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	row := func(name string, count int) {
+		bar := strings.Repeat("#", count*width/max)
+		pct := 0.0
+		if h.total > 0 {
+			pct = 100 * float64(count) / float64(h.total)
+		}
+		fmt.Fprintf(&b, "%12s |%-*s %5.1f%% (%d)\n", name, width, bar, pct, count)
+	}
+	if h.Under > 0 {
+		row(fmt.Sprintf("< %.3g", h.Lo), h.Under)
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		lo := h.Lo + w*float64(i)
+		row(fmt.Sprintf("%.3g..%.3g", lo, lo+w), c)
+	}
+	if h.Over > 0 {
+		row(fmt.Sprintf(">= %.3g", h.Hi), h.Over)
+	}
+	return b.String()
+}
+
+// Bin groups samples by arbitrary bucket edges; used for the Table 3/4
+// per-glitch-magnitude error rows.
+type Bin struct {
+	Lo, Hi float64
+	Values []float64
+}
+
+// BinBy distributes (key, value) samples into bins defined by edges
+// (len(edges)+1 bins: (-inf, e0), [e0, e1), ..., [eN, +inf)).
+func BinBy(keys, values []float64, edges []float64) []Bin {
+	if len(keys) != len(values) {
+		panic("stats: BinBy length mismatch")
+	}
+	bins := make([]Bin, len(edges)+1)
+	for i := range bins {
+		if i == 0 {
+			bins[i].Lo = math.Inf(-1)
+		} else {
+			bins[i].Lo = edges[i-1]
+		}
+		if i == len(edges) {
+			bins[i].Hi = math.Inf(1)
+		} else {
+			bins[i].Hi = edges[i]
+		}
+	}
+	for k, key := range keys {
+		idx := sort.SearchFloat64s(edges, key)
+		if idx < len(edges) && key == edges[idx] {
+			idx++
+		}
+		bins[idx].Values = append(bins[idx].Values, values[k])
+	}
+	return bins
+}

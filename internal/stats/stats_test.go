@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary %+v", s)
+	}
+	// Sample std of 1..4 = sqrt(5/3).
+	if math.Abs(s.Std-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Errorf("std = %g", s.Std)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("median = %g", s.P50)
+	}
+	if s.AbsMax != 4 {
+		t.Errorf("absmax = %g", s.AbsMax)
+	}
+}
+
+func TestSummarizeEmptyAndNegative(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary wrong")
+	}
+	s := Summarize([]float64{-3, 1})
+	if s.AbsMean != 2 || s.AbsMax != 3 || s.Min != -3 {
+		t.Errorf("negative handling: %+v", s)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if math.Abs(h.BinCenter(0)-1) > 1e-12 {
+		t.Errorf("bin center = %g", h.BinCenter(0))
+	}
+}
+
+// Property: all samples land somewhere (conservation).
+func TestHistogramConservation(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-1, 1, 8)
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+		}
+		sum := h.Under + h.Over
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(3)
+	h.Add(3.5)
+	out := h.Render("test", 20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "n=3") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestBinBy(t *testing.T) {
+	keys := []float64{0.1, 0.3, 0.5, 0.9, 2.0}
+	vals := []float64{1, 2, 3, 4, 5}
+	bins := BinBy(keys, vals, []float64{0.3, 1.0})
+	if len(bins) != 3 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	if len(bins[0].Values) != 1 || bins[0].Values[0] != 1 {
+		t.Errorf("bin0 %v", bins[0].Values)
+	}
+	if len(bins[1].Values) != 3 { // 0.3, 0.5, 0.9
+		t.Errorf("bin1 %v", bins[1].Values)
+	}
+	if len(bins[2].Values) != 1 || bins[2].Values[0] != 5 {
+		t.Errorf("bin2 %v", bins[2].Values)
+	}
+}

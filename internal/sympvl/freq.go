@@ -1,0 +1,88 @@
+package sympvl
+
+import (
+	"fmt"
+
+	"xtverify/internal/matrix"
+	"xtverify/internal/mna"
+)
+
+// Impedance evaluates the reduced model's port impedance matrix
+// Z(jω) = Rhoᵀ·(I + jω·T)⁻¹·Rho at angular frequency omega (rad/s).
+//
+// Because T is symmetric, its eigendecomposition T = Q·D·Qᵀ turns the
+// complex inverse into a diagonal scaling: with H = Qᵀ·Rho,
+// Z(jω) = Hᵀ·diag(1/(1 + jω·λᵢ))·H. The decomposition is computed on first
+// use and cached.
+func (m *Model) Impedance(omega float64) (*matrix.ZDense, error) {
+	if err := m.ensureEigen(); err != nil {
+		return nil, err
+	}
+	p := m.Ports
+	z := matrix.NewZDense(p, p)
+	for i, lam := range m.eigVals {
+		den := complex(1, omega*lam)
+		for a := 0; a < p; a++ {
+			ha := m.eigH.At(i, a)
+			if ha == 0 {
+				continue
+			}
+			for b := 0; b < p; b++ {
+				z.Add(a, b, complex(ha*m.eigH.At(i, b), 0)/den)
+			}
+		}
+	}
+	return z, nil
+}
+
+// ensureEigen lazily diagonalizes T and projects Rho.
+func (m *Model) ensureEigen() error {
+	if m.eigH != nil {
+		return nil
+	}
+	w, q, err := matrix.EigenSym(m.T)
+	if err != nil {
+		return fmt.Errorf("sympvl: impedance eigendecomposition: %w", err)
+	}
+	m.eigVals = w
+	// H = Qᵀ·Rho (q×p).
+	m.eigH = q.T().Mul(m.Rho)
+	return nil
+}
+
+// ExactImpedance evaluates the unreduced port impedance
+// Z(jω) = Bᵀ·(G + jω·C)⁻¹·B by dense complex factorization. Intended for
+// validation on small systems.
+func ExactImpedance(sys *mna.System, omega float64) (*matrix.ZDense, error) {
+	n, p := sys.N, sys.P
+	a := matrix.NewZDense(n, n)
+	for _, e := range sys.G.Entries() {
+		a.Add(e.Row, e.Col, complex(e.Val, 0))
+	}
+	for _, e := range sys.C.Entries() {
+		a.Add(e.Row, e.Col, complex(0, omega*e.Val))
+	}
+	lu, err := matrix.FactorZLU(a)
+	if err != nil {
+		return nil, fmt.Errorf("sympvl: exact impedance: %w", err)
+	}
+	z := matrix.NewZDense(p, p)
+	for j := 0; j < p; j++ {
+		b := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			b[i] = complex(sys.B.At(i, j), 0)
+		}
+		x, err := lu.Solve(b)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < p; i++ {
+			s := complex(0, 0)
+			for k := 0; k < n; k++ {
+				s += complex(sys.B.At(k, i), 0) * x[k]
+			}
+			z.Set(i, j, s)
+		}
+	}
+	return z, nil
+}

@@ -1,0 +1,128 @@
+package sympvl
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// freqGrid spans DC-adjacent to well past the interconnect poles.
+var freqGrid = []float64{1e6, 1e8, 1e9, 5e9, 2e10, 1e11}
+
+func TestImpedanceMatchesExactAcrossFrequency(t *testing.T) {
+	sys := assemble(t, coupledLines(2, 8))
+	m, err := Reduce(sys, Options{Order: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range freqGrid {
+		omega := 2 * math.Pi * f
+		zr, err := m.Impedance(omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ze, err := ExactImpedance(sys, omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < sys.P; a++ {
+			for b := 0; b < sys.P; b++ {
+				num := cmplx.Abs(zr.At(a, b) - ze.At(a, b))
+				den := cmplx.Abs(ze.At(a, b)) + 1
+				if num/den > 2e-3 {
+					t.Errorf("f=%.2g Hz: Z(%d,%d) rel err %.3e", f, a, b, num/den)
+				}
+			}
+		}
+	}
+}
+
+func TestImpedanceExactAtFullOrder(t *testing.T) {
+	sys := assemble(t, coupledLines(2, 4))
+	m, err := Reduce(sys, Options{Order: sys.N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega := 2 * math.Pi * 3e9
+	zr, err := m.Impedance(omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ze, err := ExactImpedance(sys, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < sys.P; a++ {
+		for b := 0; b < sys.P; b++ {
+			num := cmplx.Abs(zr.At(a, b) - ze.At(a, b))
+			den := cmplx.Abs(ze.At(a, b)) + 1e-12
+			if num/den > 1e-6 {
+				t.Errorf("full-order Z(%d,%d) rel err %.3e", a, b, num/den)
+			}
+		}
+	}
+}
+
+func TestImpedancePassivityNecessaryCondition(t *testing.T) {
+	// A passive multiport has positive-real impedance; in particular every
+	// driving-point impedance must have non-negative real part at all
+	// frequencies. SyMPVL guarantees this by construction — verify it.
+	sys := assemble(t, coupledLines(3, 10))
+	m, err := Reduce(sys, Options{Order: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range freqGrid {
+		z, err := m.Impedance(2 * math.Pi * f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < sys.P; k++ {
+			if re := real(z.At(k, k)); re < -1e-9 {
+				t.Errorf("f=%.2g: Re Z(%d,%d) = %g < 0 — passivity violated", f, k, k, re)
+			}
+		}
+	}
+}
+
+func TestImpedanceReciprocity(t *testing.T) {
+	// RC interconnect is reciprocal: Z must be (complex) symmetric.
+	sys := assemble(t, coupledLines(2, 6))
+	m, err := Reduce(sys, Options{Order: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := m.Impedance(2 * math.Pi * 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < sys.P; a++ {
+		for b := a + 1; b < sys.P; b++ {
+			if d := cmplx.Abs(z.At(a, b) - z.At(b, a)); d > 1e-9*cmplx.Abs(z.At(a, b)) {
+				t.Errorf("Z(%d,%d) != Z(%d,%d): diff %g", a, b, b, a, d)
+			}
+		}
+	}
+}
+
+func TestImpedanceRollsOff(t *testing.T) {
+	// The RC network's transfer impedance between distinct ports must fall
+	// with frequency well past the dominant pole.
+	sys := assemble(t, coupledLines(2, 8))
+	m, err := Reduce(sys, Options{Order: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zLow, err := m.Impedance(2 * math.Pi * 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zHigh, err := m.Impedance(2 * math.Pi * 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(zHigh.At(0, 0)) >= cmplx.Abs(zLow.At(0, 0)) {
+		t.Errorf("driving-point impedance should roll off: %g vs %g",
+			cmplx.Abs(zHigh.At(0, 0)), cmplx.Abs(zLow.At(0, 0)))
+	}
+}

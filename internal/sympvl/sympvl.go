@@ -1,0 +1,297 @@
+// Package sympvl implements the symmetric matrix-Padé via Lanczos (SyMPVL)
+// reduced-order modeling algorithm of Freund and Feldmann for multi-port RC
+// interconnect, as used in the paper's Section 3.
+//
+// Starting from the MNA description G·v + C·dv/dt = B·i with G, C symmetric
+// positive (semi)definite, the algorithm:
+//
+//  1. factors G = Fᵀ·F by (skyline) Cholesky with RCM preordering,
+//  2. changes variables x = F·v to obtain x + A·dx/dt = L·i with
+//     A = F⁻ᵀ·C·F⁻¹ and L = F⁻ᵀ·B,
+//  3. runs a block Lanczos process (with full reorthogonalization and
+//     rank-revealing deflation) on A started from L, and
+//  4. projects: T = Vᵀ·A·V, ρ = Vᵀ·L.
+//
+// The reduced system x̂ + T·dx̂/dt = ρ·i reproduces the first ⌊q/p⌋ block
+// moments of the port impedance matrix Z(s) = Bᵀ(G+sC)⁻¹B (matrix-Padé
+// property), and because T is symmetric positive semidefinite the reduced
+// model is stable and passive by construction.
+package sympvl
+
+import (
+	"fmt"
+	"math"
+
+	"xtverify/internal/matrix"
+	"xtverify/internal/mna"
+)
+
+// DeflationTol is the relative tolerance below which a candidate Lanczos
+// vector is declared linearly dependent and deflated.
+const DeflationTol = 1e-10
+
+// Model is a reduced-order model of a multi-port RC cluster.
+//
+// The reduced dynamics are x̂ + T·dx̂/dt = Rho·i(t) with port voltages
+// v_port = Rhoᵀ·x̂ (paper Eq. 3).
+type Model struct {
+	// T is the q×q symmetric projection of A.
+	T *matrix.Dense
+	// Rho is the q×p projection of the start block L.
+	Rho *matrix.Dense
+	// Order is q, the number of reduced states.
+	Order int
+	// Ports is p.
+	Ports int
+	// PortNames mirrors the MNA port naming.
+	PortNames []string
+	// BlockIterations is the number of completed block Lanczos steps.
+	BlockIterations int
+	// Deflated counts candidate vectors dropped for linear dependence.
+	Deflated int
+	// FullRank reports whether the Krylov space was exhausted (the model is
+	// then exact up to roundoff).
+	Exhausted bool
+
+	// Lazily cached eigendecomposition for frequency-domain evaluation.
+	eigVals []float64
+	eigH    *matrix.Dense // Qᵀ·Rho
+}
+
+// Options tunes the reduction.
+type Options struct {
+	// Order is the maximum reduced order q. If zero, 4·p is used.
+	Order int
+	// Gmin overrides the MNA grounding conductance used during assembly
+	// diagnostics (informational only here; assembly happens in mna).
+	Gmin float64
+}
+
+// Reduce builds a reduced-order model of the assembled MNA system.
+func Reduce(sys *mna.System, opt Options) (*Model, error) {
+	n, p := sys.N, sys.P
+	if n == 0 || p == 0 {
+		return nil, fmt.Errorf("sympvl: empty system (n=%d, p=%d)", n, p)
+	}
+	order := opt.Order
+	if order <= 0 {
+		order = 4 * p
+	}
+	if order > n {
+		order = n
+	}
+
+	// RCM preorder G for a small skyline profile; C and B follow the same
+	// permutation so the Lanczos iteration is performed in permuted space.
+	// The projected quantities (T, Rho) are invariant to the permutation.
+	perm := matrix.RCM(sys.G.Adjacency())
+	gp := sys.G.Permuted(perm)
+	cp := sys.C.Permuted(perm)
+	bp := permuteRows(sys.B, perm)
+
+	tmpl := matrix.NewSkylineTemplate(gp.Adjacency(), true)
+	gsky := tmpl.NewMatrix()
+	for _, e := range gp.Entries() {
+		if e.Col > e.Row {
+			continue
+		}
+		gsky.Add(e.Row, e.Col, e.Val)
+	}
+	if err := gsky.FactorCholesky(); err != nil {
+		return nil, fmt.Errorf("sympvl: G is not positive definite (add Gmin?): %w", err)
+	}
+
+	// applyA computes A·v = L⁻¹·C·L⁻ᵀ·v where G = L·Lᵀ (so F = Lᵀ).
+	applyA := func(v []float64) []float64 {
+		t := gsky.SolveLowerT(v)  // F⁻¹·v
+		u := cp.MulVec(t)         // C·(F⁻¹ v)
+		return gsky.SolveLower(u) // F⁻ᵀ·(C F⁻¹ v)
+	}
+
+	// Start block Lmat = F⁻ᵀ·B = L⁻¹·B.
+	lmat := matrix.NewDense(n, p)
+	for j := 0; j < p; j++ {
+		lmat.SetCol(j, gsky.SolveLower(bp.Col(j)))
+	}
+
+	// Block Lanczos with full reorthogonalization. We accumulate the basis V
+	// and the images A·V so the projection T = Vᵀ(A·V) can be formed exactly.
+	basis := make([][]float64, 0, order)  // orthonormal Lanczos vectors
+	aBasis := make([][]float64, 0, order) // A applied to each basis vector
+	deflated := 0
+	exhausted := false
+
+	// Orthonormalize the start block.
+	v0, _, rank := matrix.OrthonormalizeBlock(lmat, DeflationTol)
+	deflated += p - rank
+	if rank == 0 {
+		return nil, fmt.Errorf("sympvl: start block L is zero — no port couples to the network")
+	}
+	current := make([][]float64, rank)
+	for j := 0; j < rank; j++ {
+		current[j] = v0.Col(j)
+	}
+	iters := 0
+	for len(basis) < order && len(current) > 0 {
+		iters++
+		// Apply A to the current block and register the vectors.
+		images := make([][]float64, len(current))
+		for j, v := range current {
+			images[j] = applyA(v)
+		}
+		basis = append(basis, current...)
+		aBasis = append(aBasis, images...)
+		if len(basis) >= order {
+			break
+		}
+		// Next candidate block: images orthogonalized against everything so
+		// far (full reorthogonalization keeps the basis numerically
+		// orthonormal, which the projection step relies on).
+		cand := matrix.NewDense(n, len(images))
+		for j, w := range images {
+			cand.SetCol(j, matrix.CloneVec(w))
+		}
+		orthoAgainst(cand, basis)
+		q, _, r := matrix.OrthonormalizeBlock(cand, DeflationTol)
+		deflated += len(images) - r
+		if r == 0 {
+			exhausted = true
+			break
+		}
+		next := make([][]float64, 0, r)
+		budget := order - len(basis)
+		for j := 0; j < r && j < budget; j++ {
+			next = append(next, q.Col(j))
+		}
+		current = next
+	}
+
+	q := len(basis)
+	model := &Model{
+		T:               matrix.NewDense(q, q),
+		Rho:             matrix.NewDense(q, p),
+		Order:           q,
+		Ports:           p,
+		PortNames:       append([]string(nil), sys.PortNames...),
+		BlockIterations: iters,
+		Deflated:        deflated,
+		Exhausted:       exhausted,
+	}
+	// T = Vᵀ·(A·V), symmetrized to kill roundoff asymmetry.
+	for i := 0; i < q; i++ {
+		for j := i; j < q; j++ {
+			tij := matrix.Dot(basis[i], aBasis[j])
+			tji := matrix.Dot(basis[j], aBasis[i])
+			v := 0.5 * (tij + tji)
+			model.T.Set(i, j, v)
+			model.T.Set(j, i, v)
+		}
+	}
+	// Rho = Vᵀ·Lmat.
+	for i := 0; i < q; i++ {
+		for j := 0; j < p; j++ {
+			model.Rho.Set(i, j, matrix.Dot(basis[i], lmat.Col(j)))
+		}
+	}
+	return model, nil
+}
+
+// orthoAgainst removes from each column of cand its projection onto the
+// given orthonormal vectors (two passes).
+func orthoAgainst(cand *matrix.Dense, basis [][]float64) {
+	for j := 0; j < cand.Cols(); j++ {
+		col := cand.Col(j)
+		for pass := 0; pass < 2; pass++ {
+			for _, b := range basis {
+				c := matrix.Dot(b, col)
+				matrix.Axpy(-c, b, col)
+			}
+		}
+		cand.SetCol(j, col)
+	}
+}
+
+func permuteRows(b *matrix.Dense, perm []int) *matrix.Dense {
+	out := matrix.NewDense(b.Rows(), b.Cols())
+	for i := 0; i < b.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			out.Set(perm[i], j, b.At(i, j))
+		}
+	}
+	return out
+}
+
+// DCImpedance returns the reduced model's DC port impedance matrix
+// Z(0) = Rhoᵀ·Rho, which the Padé property makes equal (to roundoff) to the
+// exact Bᵀ·G⁻¹·B.
+func (m *Model) DCImpedance() *matrix.Dense {
+	return m.Rho.T().Mul(m.Rho)
+}
+
+// Moment returns the k-th reduced block moment Rhoᵀ·Tᵏ·Rho of the port
+// impedance expansion Z(s) = Σ (−s)ᵏ·mₖ.
+func (m *Model) Moment(k int) *matrix.Dense {
+	acc := m.Rho.Clone()
+	for i := 0; i < k; i++ {
+		acc = m.T.Mul(acc)
+	}
+	return m.Rho.T().Mul(acc)
+}
+
+// StabilityReport summarizes the reduced model's pole structure.
+type StabilityReport struct {
+	// Eigenvalues of T in ascending order. Poles of the reduced model are
+	// s = −1/λ for λ > 0.
+	Eigenvalues []float64
+	// Stable is true when no eigenvalue is negative beyond roundoff.
+	Stable bool
+	// MinEig and MaxEig bound the time-constant range.
+	MinEig, MaxEig float64
+}
+
+// CheckStability eigen-decomposes T and verifies positive semidefiniteness,
+// the structural guarantee of SyMPVL (paper references [3], [4]).
+func (m *Model) CheckStability() (*StabilityReport, error) {
+	w, _, err := matrix.EigenSym(m.T)
+	if err != nil {
+		return nil, err
+	}
+	rep := &StabilityReport{Eigenvalues: w, Stable: true}
+	if len(w) > 0 {
+		rep.MinEig, rep.MaxEig = w[0], w[len(w)-1]
+		tol := 1e-12 * math.Max(1, math.Abs(w[len(w)-1]))
+		if w[0] < -tol {
+			rep.Stable = false
+		}
+	}
+	return rep, nil
+}
+
+// ExactMoments computes the first k exact block moments of the original
+// system, mₖ = Bᵀ·G⁻¹·(C·G⁻¹)ᵏ·B, by dense factorization. Intended for
+// validation on small systems only.
+func ExactMoments(sys *mna.System, k int) ([]*matrix.Dense, error) {
+	gd := sys.G.Dense()
+	ch, err := matrix.FactorCholesky(gd)
+	if err != nil {
+		return nil, fmt.Errorf("sympvl: exact moments: %w", err)
+	}
+	n, p := sys.N, sys.P
+	cur := matrix.NewDense(n, p) // G⁻¹·(C·G⁻¹)ᵏ·B column block
+	for j := 0; j < p; j++ {
+		cur.SetCol(j, ch.Solve(sys.B.Col(j)))
+	}
+	out := make([]*matrix.Dense, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, sys.B.T().Mul(cur))
+		if i == k-1 {
+			break
+		}
+		next := matrix.NewDense(n, p)
+		for j := 0; j < p; j++ {
+			next.SetCol(j, ch.Solve(sys.C.MulVec(cur.Col(j))))
+		}
+		cur = next
+	}
+	return out, nil
+}

@@ -1,0 +1,275 @@
+package sympvl
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"xtverify/internal/circuit"
+	"xtverify/internal/matrix"
+	"xtverify/internal/mna"
+)
+
+// coupledLines builds nlines parallel RC lines of nseg segments each, with
+// nearest-neighbour coupling, one driver port per line and a receiver port
+// on line 0.
+func coupledLines(nlines, nseg int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("lines%dx%d", nlines, nseg))
+	nodes := make([][]circuit.NodeID, nlines)
+	for l := 0; l < nlines; l++ {
+		nodes[l] = make([]circuit.NodeID, nseg+1)
+		for s := 0; s <= nseg; s++ {
+			nodes[l][s] = c.Node(fmt.Sprintf("l%d_s%d", l, s))
+		}
+		c.AddPort(fmt.Sprintf("drv%d", l), nodes[l][0], circuit.PortDriver, l)
+		for s := 0; s < nseg; s++ {
+			c.AddResistor(fmt.Sprintf("r%d_%d", l, s), nodes[l][s], nodes[l][s+1], 25)
+			c.AddCapacitor(fmt.Sprintf("c%d_%d", l, s), nodes[l][s+1], circuit.Ground, 2e-15)
+		}
+	}
+	for l := 0; l+1 < nlines; l++ {
+		for s := 1; s <= nseg; s++ {
+			c.AddCoupling(fmt.Sprintf("cc%d_%d", l, s), nodes[l][s], nodes[l+1][s], 4e-15)
+		}
+	}
+	c.AddPort("rcv0", nodes[0][nseg], circuit.PortReceiver, 0)
+	return c
+}
+
+func assemble(t *testing.T, c *circuit.Circuit) *mna.System {
+	t.Helper()
+	sys, err := mna.FromCircuit(c, mna.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestReduceBasicShape(t *testing.T) {
+	sys := assemble(t, coupledLines(3, 10))
+	m, err := Reduce(sys, Options{Order: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order == 0 || m.Order > 12 {
+		t.Errorf("order = %d, want in (0,12]", m.Order)
+	}
+	if m.Ports != sys.P {
+		t.Errorf("ports = %d, want %d", m.Ports, sys.P)
+	}
+	if !m.T.IsSymmetric(1e-9) {
+		t.Error("T must be symmetric")
+	}
+}
+
+func TestMomentMatching(t *testing.T) {
+	// The Padé property: with m block iterations the reduced model matches
+	// 2m block moments of the exact impedance expansion.
+	sys := assemble(t, coupledLines(2, 8))
+	m, err := Reduce(sys, Options{Order: 9}) // 3 ports → 3 block iterations
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMoments(sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		red := m.Moment(k)
+		scale := exact[k].MaxAbs()
+		diff := red.SubMat(exact[k]).MaxAbs()
+		if diff > 1e-6*scale {
+			t.Errorf("moment %d mismatch: rel err %.3e", k, diff/scale)
+		}
+	}
+}
+
+func TestDCImpedanceMatchesExact(t *testing.T) {
+	sys := assemble(t, coupledLines(2, 6))
+	m, err := Reduce(sys, Options{Order: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMoments(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0 := m.DCImpedance()
+	diff := z0.SubMat(exact[0]).MaxAbs()
+	if diff > 1e-6*exact[0].MaxAbs() {
+		t.Errorf("DC impedance rel err %.3e", diff/exact[0].MaxAbs())
+	}
+}
+
+func TestStabilityGuarantee(t *testing.T) {
+	sys := assemble(t, coupledLines(4, 12))
+	m, err := Reduce(sys, Options{Order: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.CheckStability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stable {
+		t.Errorf("reduced model unstable: min eig %g", rep.MinEig)
+	}
+	if len(rep.Eigenvalues) != m.Order {
+		t.Errorf("eigenvalue count %d, want %d", len(rep.Eigenvalues), m.Order)
+	}
+}
+
+func TestExhaustionGivesExactModel(t *testing.T) {
+	// Reducing to full order must exhaust the Krylov space and reproduce all
+	// available moments exactly.
+	sys := assemble(t, coupledLines(2, 3))
+	m, err := Reduce(sys, Options{Order: sys.N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMoments(sys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 6; k++ {
+		red := m.Moment(k)
+		scale := exact[k].MaxAbs()
+		if diff := red.SubMat(exact[k]).MaxAbs(); diff > 1e-6*scale {
+			t.Errorf("full-order moment %d rel err %.3e", k, diff/scale)
+		}
+	}
+}
+
+func TestDeflationOnRedundantPorts(t *testing.T) {
+	// Two ports on the same node make the start block rank deficient; the
+	// algorithm must deflate rather than fail.
+	c := circuit.New("dup")
+	a := c.Node("a")
+	b := c.Node("b")
+	c.AddPort("p1", a, circuit.PortDriver, 0)
+	c.AddPort("p2", a, circuit.PortDriver, 0)
+	c.AddResistor("r", a, b, 100)
+	c.AddCapacitor("cb", b, circuit.Ground, 1e-15)
+	sys := assemble(t, c)
+	m, err := Reduce(sys, Options{Order: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deflated == 0 {
+		t.Error("expected deflation for duplicated port")
+	}
+}
+
+func TestOrderCappedAtN(t *testing.T) {
+	sys := assemble(t, coupledLines(1, 2))
+	m, err := Reduce(sys, Options{Order: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order > sys.N {
+		t.Errorf("order %d exceeds n %d", m.Order, sys.N)
+	}
+}
+
+func TestDefaultOrder(t *testing.T) {
+	sys := assemble(t, coupledLines(2, 10))
+	m, err := Reduce(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order == 0 {
+		t.Error("default order produced empty model")
+	}
+}
+
+// TestReductionErrorDecreasesWithOrder is the ablation invariant behind
+// BenchmarkAblationOrder: higher order → at least as many matched moments.
+func TestReductionErrorDecreasesWithOrder(t *testing.T) {
+	sys := assemble(t, coupledLines(3, 15))
+	exact, err := ExactMoments(sys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt := func(order int) float64 {
+		m, err := Reduce(sys, Options{Order: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for k := 0; k < 6; k++ {
+			red := m.Moment(k)
+			scale := exact[k].MaxAbs()
+			if scale == 0 {
+				continue
+			}
+			rel := red.SubMat(exact[k]).MaxAbs() / scale
+			if rel > worst {
+				worst = rel
+			}
+		}
+		return worst
+	}
+	low := errAt(4)
+	high := errAt(24)
+	if high > low*1.000001 && high > 1e-8 {
+		t.Errorf("error grew with order: q=4 → %.3e, q=24 → %.3e", low, high)
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	// Port impedance moments must not depend on internal node ordering; we
+	// check that reducing the same topology declared in a different node
+	// order yields matching moments.
+	build := func(reverse bool) *mna.System {
+		c := circuit.New("perm")
+		names := []string{"a", "b", "c", "d"}
+		if reverse {
+			names = []string{"d", "c", "b", "a"}
+		}
+		for _, n := range names {
+			c.Node(n)
+		}
+		na, _ := c.LookupNode("a")
+		nb, _ := c.LookupNode("b")
+		nc, _ := c.LookupNode("c")
+		nd, _ := c.LookupNode("d")
+		c.AddPort("p", na, circuit.PortDriver, 0)
+		c.AddResistor("r1", na, nb, 10)
+		c.AddResistor("r2", nb, nc, 20)
+		c.AddResistor("r3", nc, nd, 30)
+		c.AddCapacitor("c1", nb, circuit.Ground, 1e-15)
+		c.AddCapacitor("c2", nc, circuit.Ground, 2e-15)
+		c.AddCapacitor("c3", nd, circuit.Ground, 3e-15)
+		sys, err := mna.FromCircuit(c, mna.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return sys
+	}
+	m1, err := Reduce(build(false), Options{Order: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Reduce(build(true), Options{Order: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		a, b := m1.Moment(k), m2.Moment(k)
+		if math.Abs(a.At(0, 0)-b.At(0, 0)) > 1e-6*math.Abs(a.At(0, 0)) {
+			t.Errorf("moment %d differs across node orderings", k)
+		}
+	}
+}
+
+func TestStartBlockZeroRejected(t *testing.T) {
+	// A port with (effectively) no coupling to anything: a lone node with a
+	// resistor loop is impossible, so emulate via a singular start by using
+	// an empty system.
+	_, err := Reduce(&mna.System{N: 0, P: 0}, Options{})
+	if err == nil {
+		t.Error("expected error for empty system")
+	}
+}
+
+var _ = matrix.Dot // keep matrix imported for the helper-free test file

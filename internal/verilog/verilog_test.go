@@ -1,0 +1,148 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xtverify/internal/dsp"
+)
+
+func TestRoundTripDSP(t *testing.T) {
+	d := dsp.Generate(dsp.Config{Seed: 9, Channels: 1, TracksPerChannel: 25,
+		ChannelLengthUM: 700, BusFraction: 0.15, LatchFraction: 0.3, ClockSpines: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Module != d.Name {
+		t.Errorf("module %q", nl.Module)
+	}
+	if len(nl.Wires) != len(d.Nets) {
+		t.Errorf("%d wires for %d nets", len(nl.Wires), len(d.Nets))
+	}
+	if err := nl.CheckAgainstDesign(d); err != nil {
+		t.Fatalf("connectivity mismatch: %v", err)
+	}
+}
+
+func TestRoundTripParallelWires(t *testing.T) {
+	d := dsp.ParallelWires(3, 500, 1.2, []string{"INV_X2"}, "NAND2_X1")
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.CheckAgainstDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := nl.NetConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := conn["w0"]
+	if len(c.Drivers) != 1 || len(c.Receivers) != 1 {
+		t.Errorf("w0 connectivity: %+v", c)
+	}
+}
+
+func TestEscapedIdentifiers(t *testing.T) {
+	if got := ident("plainName_1"); got != "plainName_1" {
+		t.Errorf("plain ident escaped: %q", got)
+	}
+	if got := ident("ch0/n1"); got != "\\ch0/n1 " {
+		t.Errorf("escaped ident wrong: %q", got)
+	}
+	if got := ident("1starts_with_digit"); !strings.HasPrefix(got, "\\") {
+		t.Errorf("leading digit must escape: %q", got)
+	}
+	// Parser handles escapes inside source.
+	src := "module m;\n  wire \\a/b ;\n  INV_X1 u1 (.A(\\a/b ), .Z(plain));\nendmodule\n"
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Wires[0] != "a/b" {
+		t.Errorf("escaped wire parsed as %q", nl.Wires[0])
+	}
+	if nl.Instances[0].Conns["A"] != "a/b" || nl.Instances[0].Conns["Z"] != "plain" {
+		t.Errorf("conns: %+v", nl.Instances[0].Conns)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `// header comment
+module m; // trailing
+  wire a, b; // two wires in one decl
+  BUF_X1 u (.A(a), .Z(b));
+endmodule`
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Wires) != 2 || len(nl.Instances) != 1 {
+		t.Errorf("parsed %d wires, %d instances", len(nl.Wires), len(nl.Instances))
+	}
+}
+
+func TestParseModuleWithPortList(t *testing.T) {
+	src := "module top (in, out);\n  wire w;\nendmodule\n"
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Module != "top" {
+		t.Errorf("module %q", nl.Module)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing module": "wire a;\n",
+		"no endmodule":   "module m;\n wire a;\n",
+		"dup pin":        "module m;\nINV_X1 u (.A(a), .A(b));\nendmodule",
+		"bad conn":       "module m;\nINV_X1 u (A(a));\nendmodule",
+		"truncated":      "module m;\nINV_X1 u (.A(a)",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: error not reported", name)
+		}
+	}
+}
+
+func TestUnknownCellRejected(t *testing.T) {
+	src := "module m;\nBOGUS_X9 u (.A(a));\nendmodule"
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.NetConnectivity(); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestPinDirectionResolution(t *testing.T) {
+	src := "module m;\nDFF_X1 ff (.D(din), .Q(qout), .QN(qbar));\nendmodule"
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := nl.NetConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conn["qout"].Drivers) != 1 || len(conn["qbar"].Drivers) != 1 {
+		t.Error("Q/QN should be drivers")
+	}
+	if len(conn["din"].Receivers) != 1 {
+		t.Error("D should be a receiver")
+	}
+}

@@ -1,0 +1,47 @@
+package waveform
+
+// Source is a deterministic stimulus voltage as a function of time. Sources
+// drive Thevenin terminations in the reduced-order simulator and ideal
+// voltage nodes in the SPICE-class engine.
+type Source func(t float64) float64
+
+// Const returns a constant source.
+func Const(v float64) Source {
+	return func(float64) float64 { return v }
+}
+
+// Ramp returns a saturated linear ramp from v0 to v1 starting at t0 with the
+// given transition time. A zero transition yields an ideal step at t0.
+func Ramp(v0, v1, t0, transition float64) Source {
+	if transition <= 0 {
+		return func(t float64) float64 {
+			if t < t0 {
+				return v0
+			}
+			return v1
+		}
+	}
+	return func(t float64) float64 {
+		switch {
+		case t <= t0:
+			return v0
+		case t >= t0+transition:
+			return v1
+		default:
+			return v0 + (v1-v0)*(t-t0)/transition
+		}
+	}
+}
+
+// Pulse returns a two-edge pulse: v0 until t0, ramp to v1 over rise, hold
+// until t1, ramp back to v0 over fall.
+func Pulse(v0, v1, t0, rise, t1, fall float64) Source {
+	up := Ramp(v0, v1, t0, rise)
+	down := Ramp(v1, v0, t1, fall)
+	return func(t float64) float64 {
+		if t < t1 {
+			return up(t)
+		}
+		return down(t)
+	}
+}

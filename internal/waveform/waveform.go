@@ -1,0 +1,281 @@
+// Package waveform provides sampled transient waveforms and the measurement
+// helpers the verification flow needs: peak glitch extraction, threshold
+// crossing times for delay measurement, interpolation, resampling, pairwise
+// comparison, and ASCII rendering for reports.
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Waveform is a piecewise-linear sampled signal v(t). Time points are
+// strictly increasing.
+type Waveform struct {
+	T []float64 // seconds
+	V []float64 // volts
+}
+
+// New returns an empty waveform with capacity hint n.
+func New(n int) *Waveform {
+	return &Waveform{T: make([]float64, 0, n), V: make([]float64, 0, n)}
+}
+
+// Append adds a sample; t must exceed the previous time point.
+func (w *Waveform) Append(t, v float64) {
+	if n := len(w.T); n > 0 && t <= w.T[n-1] {
+		panic(fmt.Sprintf("waveform: non-increasing time %g after %g", t, w.T[n-1]))
+	}
+	w.T = append(w.T, t)
+	w.V = append(w.V, v)
+}
+
+// Len returns the sample count.
+func (w *Waveform) Len() int { return len(w.T) }
+
+// At returns v(t) by linear interpolation, clamping outside the span.
+func (w *Waveform) At(t float64) float64 {
+	n := len(w.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	i := sort.SearchFloat64s(w.T, t)
+	// w.T[i-1] < t <= w.T[i]
+	t0, t1 := w.T[i-1], w.T[i]
+	v0, v1 := w.V[i-1], w.V[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Start and End return the first/last sampled values (0 when empty).
+func (w *Waveform) Start() float64 {
+	if len(w.V) == 0 {
+		return 0
+	}
+	return w.V[0]
+}
+
+// End returns the final sampled value.
+func (w *Waveform) End() float64 {
+	if len(w.V) == 0 {
+		return 0
+	}
+	return w.V[len(w.V)-1]
+}
+
+// Peak describes an extremum relative to a baseline.
+type Peak struct {
+	// Value is the signed deviation from the baseline at the extremum.
+	Value float64
+	// Time is when the extremum occurs.
+	Time float64
+	// Abs is |Value|.
+	Abs float64
+}
+
+// PeakDeviation finds the sample with the largest |v - baseline| and returns
+// it as a Peak. This is the glitch-peak measurement used throughout the
+// crosstalk analyses.
+func (w *Waveform) PeakDeviation(baseline float64) Peak {
+	best := Peak{}
+	for i, v := range w.V {
+		d := v - baseline
+		if a := math.Abs(d); a > best.Abs {
+			best = Peak{Value: d, Time: w.T[i], Abs: a}
+		}
+	}
+	return best
+}
+
+// Max returns the maximum sampled value and its time.
+func (w *Waveform) Max() (float64, float64) {
+	best, bt := math.Inf(-1), 0.0
+	for i, v := range w.V {
+		if v > best {
+			best, bt = v, w.T[i]
+		}
+	}
+	return best, bt
+}
+
+// Min returns the minimum sampled value and its time.
+func (w *Waveform) Min() (float64, float64) {
+	best, bt := math.Inf(1), 0.0
+	for i, v := range w.V {
+		if v < best {
+			best, bt = v, w.T[i]
+		}
+	}
+	return best, bt
+}
+
+// CrossTime returns the first time the waveform crosses level in the given
+// direction (rising: from below to at-or-above). The crossing instant is
+// linearly interpolated. ok is false when no crossing exists.
+func (w *Waveform) CrossTime(level float64, rising bool) (t float64, ok bool) {
+	for i := 1; i < len(w.T); i++ {
+		v0, v1 := w.V[i-1], w.V[i]
+		var crossed bool
+		if rising {
+			crossed = v0 < level && v1 >= level
+		} else {
+			crossed = v0 > level && v1 <= level
+		}
+		if crossed {
+			if v1 == v0 {
+				return w.T[i], true
+			}
+			frac := (level - v0) / (v1 - v0)
+			return w.T[i-1] + frac*(w.T[i]-w.T[i-1]), true
+		}
+	}
+	return 0, false
+}
+
+// LastCrossTime returns the final crossing of level in the given direction,
+// used to measure settled delays in the presence of glitches.
+func (w *Waveform) LastCrossTime(level float64, rising bool) (t float64, ok bool) {
+	for i := len(w.T) - 1; i >= 1; i-- {
+		v0, v1 := w.V[i-1], w.V[i]
+		var crossed bool
+		if rising {
+			crossed = v0 < level && v1 >= level
+		} else {
+			crossed = v0 > level && v1 <= level
+		}
+		if crossed {
+			if v1 == v0 {
+				return w.T[i], true
+			}
+			frac := (level - v0) / (v1 - v0)
+			return w.T[i-1] + frac*(w.T[i]-w.T[i-1]), true
+		}
+	}
+	return 0, false
+}
+
+// SlewTime returns the time spent between lo and hi levels around the first
+// crossing in the given direction, the usual 10–90 % style slew measurement.
+func (w *Waveform) SlewTime(lo, hi float64, rising bool) (float64, bool) {
+	if rising {
+		t0, ok0 := w.CrossTime(lo, true)
+		t1, ok1 := w.CrossTime(hi, true)
+		if ok0 && ok1 && t1 >= t0 {
+			return t1 - t0, true
+		}
+		return 0, false
+	}
+	t0, ok0 := w.CrossTime(hi, false)
+	t1, ok1 := w.CrossTime(lo, false)
+	if ok0 && ok1 && t1 >= t0 {
+		return t1 - t0, true
+	}
+	return 0, false
+}
+
+// Resample returns the waveform sampled at n uniform points across its span.
+func (w *Waveform) Resample(n int) *Waveform {
+	out := New(n)
+	if len(w.T) == 0 || n < 2 {
+		return out
+	}
+	t0, t1 := w.T[0], w.T[len(w.T)-1]
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		out.Append(t, w.At(t))
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest |a(t)-b(t)| over n uniform samples of the
+// overlapping time span.
+func MaxAbsDiff(a, b *Waveform, n int) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	t0 := math.Max(a.T[0], b.T[0])
+	t1 := math.Min(a.T[len(a.T)-1], b.T[len(b.T)-1])
+	if t1 <= t0 || n < 2 {
+		return 0
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		if d := math.Abs(a.At(t) - b.At(t)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Clone returns a deep copy.
+func (w *Waveform) Clone() *Waveform {
+	out := New(len(w.T))
+	out.T = append(out.T, w.T...)
+	out.V = append(out.V, w.V...)
+	return out
+}
+
+// ASCIIPlot renders one or more waveforms on a character grid of the given
+// size, each series using its own glyph. It is used by the figure-style
+// experiment reports.
+func ASCIIPlot(width, height int, series ...*Waveform) string {
+	if width < 8 || height < 3 || len(series) == 0 {
+		return ""
+	}
+	t0, t1 := math.Inf(1), math.Inf(-1)
+	v0, v1 := math.Inf(1), math.Inf(-1)
+	for _, w := range series {
+		if w.Len() == 0 {
+			continue
+		}
+		t0 = math.Min(t0, w.T[0])
+		t1 = math.Max(t1, w.T[len(w.T)-1])
+		mn, _ := w.Min()
+		mx, _ := w.Max()
+		v0 = math.Min(v0, mn)
+		v1 = math.Max(v1, mx)
+	}
+	if math.IsInf(t0, 1) || t1 <= t0 {
+		return ""
+	}
+	if v1 <= v0 {
+		v1 = v0 + 1
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, w := range series {
+		g := glyphs[si%len(glyphs)]
+		for col := 0; col < width; col++ {
+			t := t0 + (t1-t0)*float64(col)/float64(width-1)
+			v := w.At(t)
+			row := int(math.Round((v1 - v) / (v1 - v0) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4g V\n", v1)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.4g V  t: %.4g .. %.4g s\n", v0, t0, t1)
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package waveform
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ramp01(n int) *Waveform {
+	w := New(n)
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		w.Append(t, t)
+	}
+	return w
+}
+
+func TestAppendMonotonic(t *testing.T) {
+	w := New(2)
+	w.Append(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-increasing time")
+		}
+	}()
+	w.Append(0, 2)
+}
+
+func TestAtInterpolation(t *testing.T) {
+	w := New(3)
+	w.Append(0, 0)
+	w.Append(1, 10)
+	w.Append(2, 10)
+	if got := w.At(0.5); got != 5 {
+		t.Errorf("At(0.5) = %g, want 5", got)
+	}
+	if got := w.At(-1); got != 0 {
+		t.Errorf("At(-1) = %g, want clamp 0", got)
+	}
+	if got := w.At(5); got != 10 {
+		t.Errorf("At(5) = %g, want clamp 10", got)
+	}
+}
+
+func TestPeakDeviation(t *testing.T) {
+	w := New(4)
+	w.Append(0, 1)
+	w.Append(1, 1.4)
+	w.Append(2, 0.2)
+	w.Append(3, 1)
+	p := w.PeakDeviation(1)
+	if !(math.Abs(p.Value+0.8) < 1e-12 && p.Time == 2) {
+		t.Errorf("peak = %+v, want value -0.8 at t=2", p)
+	}
+}
+
+func TestCrossTimeRisingFalling(t *testing.T) {
+	w := New(3)
+	w.Append(0, 0)
+	w.Append(2, 2)
+	w.Append(4, 0)
+	tr, ok := w.CrossTime(1, true)
+	if !ok || math.Abs(tr-1) > 1e-12 {
+		t.Errorf("rising cross = %g, %v", tr, ok)
+	}
+	tf, ok := w.CrossTime(1, false)
+	if !ok || math.Abs(tf-3) > 1e-12 {
+		t.Errorf("falling cross = %g, %v", tf, ok)
+	}
+	if _, ok := w.CrossTime(5, true); ok {
+		t.Error("phantom crossing above range")
+	}
+	lt, ok := w.LastCrossTime(1, true)
+	if !ok || math.Abs(lt-1) > 1e-12 {
+		t.Errorf("last rising cross = %g", lt)
+	}
+}
+
+func TestLastCrossWithGlitch(t *testing.T) {
+	// Signal rises, glitches back below threshold, rises again: last cross
+	// is the settled one.
+	w := New(6)
+	w.Append(0, 0)
+	w.Append(1, 2) // first rise through 1 at t=0.5
+	w.Append(2, 0) // glitch down
+	w.Append(3, 2) // re-rise through 1 at t=2.5
+	last, ok := w.LastCrossTime(1, true)
+	if !ok || math.Abs(last-2.5) > 1e-12 {
+		t.Errorf("last cross = %g, want 2.5", last)
+	}
+}
+
+func TestSlewTime(t *testing.T) {
+	w := ramp01(10)
+	s, ok := w.SlewTime(0.1, 0.9, true)
+	if !ok || math.Abs(s-0.8) > 1e-9 {
+		t.Errorf("slew = %g, want 0.8", s)
+	}
+	// Falling ramp.
+	f := New(2)
+	f.Append(0, 1)
+	f.Append(1, 0)
+	s, ok = f.SlewTime(0.1, 0.9, false)
+	if !ok || math.Abs(s-0.8) > 1e-9 {
+		t.Errorf("falling slew = %g, want 0.8", s)
+	}
+}
+
+func TestResampleAndDiff(t *testing.T) {
+	w := ramp01(100)
+	r := w.Resample(11)
+	if r.Len() != 11 {
+		t.Fatalf("resample len = %d", r.Len())
+	}
+	if MaxAbsDiff(w, r, 200) > 1e-9 {
+		t.Error("resampled ramp deviates from original")
+	}
+	shifted := New(2)
+	shifted.Append(0, 0.5)
+	shifted.Append(1, 1.5)
+	if d := MaxAbsDiff(w, shifted, 100); math.Abs(d-0.5) > 1e-9 {
+		t.Errorf("MaxAbsDiff = %g, want 0.5", d)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	w := New(3)
+	w.Append(0, -2)
+	w.Append(1, 7)
+	w.Append(2, 3)
+	if mx, tt := w.Max(); mx != 7 || tt != 1 {
+		t.Errorf("Max = %g@%g", mx, tt)
+	}
+	if mn, tt := w.Min(); mn != -2 || tt != 0 {
+		t.Errorf("Min = %g@%g", mn, tt)
+	}
+	if w.Start() != -2 || w.End() != 3 {
+		t.Error("Start/End wrong")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	w := ramp01(20)
+	s := ASCIIPlot(40, 10, w)
+	if !strings.Contains(s, "*") {
+		t.Error("plot missing series glyph")
+	}
+	if ASCIIPlot(2, 2, w) != "" {
+		t.Error("degenerate plot should be empty")
+	}
+}
+
+func TestSources(t *testing.T) {
+	c := Const(3)
+	if c(0) != 3 || c(1e9) != 3 {
+		t.Error("Const wrong")
+	}
+	r := Ramp(0, 3, 1e-9, 2e-9)
+	if r(0) != 0 {
+		t.Error("ramp before start")
+	}
+	if got := r(2e-9); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("ramp midpoint = %g, want 1.5", got)
+	}
+	if r(1e-8) != 3 {
+		t.Error("ramp after end")
+	}
+	step := Ramp(0, 1, 1e-9, 0)
+	if step(0.9e-9) != 0 || step(1e-9) != 1 {
+		t.Error("step edge wrong")
+	}
+	p := Pulse(0, 1, 1e-9, 1e-9, 5e-9, 1e-9)
+	if p(3e-9) != 1 {
+		t.Errorf("pulse high = %g", p(3e-9))
+	}
+	if p(8e-9) != 0 {
+		t.Errorf("pulse after fall = %g", p(8e-9))
+	}
+}
+
+// Property: a ramp source is monotone non-decreasing when v1 > v0.
+func TestRampMonotoneProperty(t *testing.T) {
+	f := func(t0, tr uint8) bool {
+		start := float64(t0) * 1e-10
+		trans := float64(tr)*1e-10 + 1e-12
+		r := Ramp(0, 1, start, trans)
+		prev := -1.0
+		for i := 0; i <= 100; i++ {
+			v := r(float64(i) * 1e-10)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	a := New(3)
+	a.Append(0, 0)
+	a.Append(1e-9, 1.5)
+	a.Append(2e-9, 3)
+	b := New(2)
+	b.Append(0, 3)
+	b.Append(2e-9, 0)
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, map[string]*Waveform{"victim rcv": a, "aggr": b}, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"$timescale 1fs $end", "$var real 64", "victim_rcv", "aggr", "#0", "#1000000", "#2000000", "$enddefinitions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Initial values for both signals at t=0.
+	if !strings.Contains(out, "r0 ") || !strings.Contains(out, "r3 ") {
+		t.Error("initial values missing")
+	}
+	if err := WriteVCD(&buf, nil, 0); err == nil {
+		t.Error("empty signal set accepted")
+	}
+}
+
+func TestWriteVCDResolutionSuppression(t *testing.T) {
+	w := New(4)
+	w.Append(0, 0)
+	w.Append(1e-12, 1e-6) // below resolution
+	w.Append(2e-12, 0.5)  // above
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, map[string]*Waveform{"s": w}, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "#1000\n") {
+		t.Error("sub-resolution change emitted")
+	}
+	if !strings.Contains(out, "#2000\n") {
+		t.Error("super-resolution change suppressed")
+	}
+}

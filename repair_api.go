@@ -1,0 +1,89 @@
+package xtverify
+
+import (
+	"fmt"
+
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+)
+
+// RepairOption is one evaluated fix for a violating victim net.
+type RepairOption struct {
+	// Fix names the strategy: "upsize-driver", "double-spacing" or
+	// "shield-victim".
+	Fix string
+	// Detail names the concrete change (e.g. the replacement cell).
+	Detail string
+	// PeakV is the re-simulated glitch with the fix applied.
+	PeakV float64
+	// Clears reports whether the fix brings the glitch under the
+	// verifier's reporting threshold.
+	Clears bool
+	// Feasible is false when the fix does not apply.
+	Feasible bool
+}
+
+// RepairAdvice ranks candidate fixes for one victim, most effective first.
+type RepairAdvice struct {
+	Victim        string
+	OriginalPeakV float64
+	Options       []RepairOption
+	// Recommended is the cheapest-listed clearing fix ("" if none clears).
+	Recommended string
+}
+
+// AdviseRepair evaluates the standard signal-integrity ECO menu (driver
+// upsizing, spacing, shielding) for the named victim net by re-simulating
+// its cluster under each fix.
+func (v *Verifier) AdviseRepair(victim string) (*RepairAdvice, error) {
+	net, ok := v.des.NetByName(victim)
+	if !ok {
+		return nil, fmt.Errorf("xtverify: unknown net %q", victim)
+	}
+	pOpt := prune.Options{
+		CapRatioThreshold: v.cfg.CapRatioThreshold,
+		MinCouplingF:      0.5e-15,
+		UseTimingWindows:  v.cfg.UseTimingWindows,
+		MaxAggressors:     v.cfg.MaxAggressors,
+	}
+	cl := prune.PruneVictim(v.par, net.Index, pOpt)
+	if len(cl.Aggressors) == 0 {
+		return nil, fmt.Errorf("xtverify: net %q has no retained aggressors", victim)
+	}
+	eng := glitch.NewEngine(v.par, glitch.Options{
+		Model:               glitch.ModelKind(v.cfg.Model),
+		FixedOhms:           v.cfg.FixedOhms,
+		Order:               v.cfg.ReducedOrder,
+		UseTimingWindows:    v.cfg.UseTimingWindows,
+		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+	})
+	// Analyze the worse polarity first.
+	rise, err := eng.AnalyzeGlitch(cl, true)
+	if err != nil {
+		return nil, err
+	}
+	fall, err := eng.AnalyzeGlitch(cl, false)
+	if err != nil {
+		return nil, err
+	}
+	rising := rise.PeakV >= -fall.PeakV
+	threshold := v.cfg.GlitchThresholdFrac * Vdd
+	adv, err := eng.AdviseRepairs(cl, rising, threshold)
+	if err != nil {
+		return nil, err
+	}
+	out := &RepairAdvice{Victim: adv.Victim, OriginalPeakV: adv.OriginalPeakV}
+	for _, o := range adv.Options {
+		out.Options = append(out.Options, RepairOption{
+			Fix:      o.Fix.String(),
+			Detail:   o.Detail,
+			PeakV:    o.PeakV,
+			Clears:   o.Clears,
+			Feasible: o.Feasible,
+		})
+	}
+	if rec := adv.Recommended(); rec != nil {
+		out.Recommended = rec.Fix.String()
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package xtverify
+
+import (
+	"fmt"
+	"io"
+
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+)
+
+// TimingImpact is the coupling-induced delay change of one victim net.
+type TimingImpact struct {
+	Victim string
+	// BaseDelayPS and CoupledDelayPS are the decoupled and worst-case
+	// (opposite-switching aggressors) interconnect delays in picoseconds.
+	BaseDelayPS, CoupledDelayPS float64
+	// DeteriorationPct is the relative delay increase.
+	DeteriorationPct float64
+	// Aggressors counts the coupled neighbours considered.
+	Aggressors int
+}
+
+// RunTimingImpact performs the chip-level timing recalculation: every
+// coupled victim's interconnect delay is re-evaluated with aggressors
+// switching opposite (worst case) and compared against the decoupled
+// baseline. Results are sorted by absolute delay change, worst first.
+// rising selects the analyzed victim edge.
+func (v *Verifier) RunTimingImpact(rising bool) ([]TimingImpact, error) {
+	pOpt := prune.Options{
+		CapRatioThreshold: v.cfg.CapRatioThreshold,
+		MinCouplingF:      0.5e-15,
+		UseTimingWindows:  v.cfg.UseTimingWindows,
+		MaxAggressors:     v.cfg.MaxAggressors,
+	}
+	clusters := prune.Clusters(v.par, pOpt)
+	eng := glitch.NewEngine(v.par, glitch.Options{
+		Model:               glitch.ModelKind(v.cfg.Model),
+		FixedOhms:           v.cfg.FixedOhms,
+		Order:               v.cfg.ReducedOrder,
+		UseTimingWindows:    v.cfg.UseTimingWindows,
+		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+		TEnd:                8e-9,
+	})
+	impacts, err := eng.TimingImpactReport(clusters, rising)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TimingImpact, 0, len(impacts))
+	for _, ti := range impacts {
+		out = append(out, TimingImpact{
+			Victim:           ti.Victim,
+			BaseDelayPS:      ti.BaseDelay * 1e12,
+			CoupledDelayPS:   ti.CoupledDelay * 1e12,
+			DeteriorationPct: ti.DeteriorationPct,
+			Aggressors:       ti.Aggressors,
+		})
+	}
+	return out, nil
+}
+
+// WriteTimingText renders a timing-impact report (top n rows; n ≤ 0 prints
+// everything).
+func WriteTimingText(w io.Writer, impacts []TimingImpact, n int) error {
+	if n <= 0 || n > len(impacts) {
+		n = len(impacts)
+	}
+	if _, err := fmt.Fprintf(w, "%-24s %12s %14s %8s %6s\n",
+		"victim", "base (ps)", "coupled (ps)", "worse", "aggr"); err != nil {
+		return err
+	}
+	for _, ti := range impacts[:n] {
+		fmt.Fprintf(w, "%-24s %12.1f %14.1f %+7.0f%% %6d\n",
+			ti.Victim, ti.BaseDelayPS, ti.CoupledDelayPS, ti.DeteriorationPct, ti.Aggressors)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package xtverify
+
+import (
+	"fmt"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+	"xtverify/internal/waveform"
+)
+
+// WireAnalysis is the quickstart-level API: a bank of parallel coupled wires
+// (the paper's Figure 1 structure) analyzed for glitch and coupled delay.
+type WireAnalysis struct {
+	// Wires is the number of parallel lines (the middle one is the victim).
+	Wires int
+	// LengthUM is the coupled run length in micrometers.
+	LengthUM float64
+	// PitchUM is the wire pitch; 1.2 µm (minimum) if zero.
+	PitchUM float64
+	// DriverCell names the library cell driving every wire ("INV_X2" if
+	// empty). Use ListCells to enumerate the library.
+	DriverCell string
+	// ReceiverCell names the load cell ("INV_X1" if empty).
+	ReceiverCell string
+	// Model selects the driver model (NonlinearCellModel recommended).
+	Model DriverModel
+}
+
+// WireResult holds the quickstart outputs.
+type WireResult struct {
+	// GlitchV is the peak glitch at the victim receiver for rising
+	// aggressors against a quiet low victim.
+	GlitchV float64
+	// GlitchFracVdd is GlitchV/Vdd.
+	GlitchFracVdd float64
+	// RiseDelayCoupled and RiseDelayDecoupled are victim delays with
+	// opposite-switching aggressors vs grounded coupling.
+	RiseDelayCoupled, RiseDelayDecoupled float64
+	// FallDelayCoupled and FallDelayDecoupled are the falling-edge
+	// counterparts.
+	FallDelayCoupled, FallDelayDecoupled float64
+	// VictimWave is the victim receiver glitch waveform.
+	VictimWave *waveform.Waveform
+}
+
+// AnalyzeCoupledWires runs the Figure 1 experiment for one geometry.
+func AnalyzeCoupledWires(w WireAnalysis) (*WireResult, error) {
+	if w.Wires < 2 {
+		return nil, fmt.Errorf("xtverify: need at least 2 wires, got %d", w.Wires)
+	}
+	if w.LengthUM <= 0 {
+		return nil, fmt.Errorf("xtverify: wire length must be positive")
+	}
+	if w.PitchUM == 0 {
+		w.PitchUM = 1.2
+	}
+	if w.DriverCell == "" {
+		w.DriverCell = "INV_X2"
+	}
+	if w.ReceiverCell == "" {
+		w.ReceiverCell = "INV_X1"
+	}
+	d := dsp.ParallelWires(w.Wires, w.LengthUM, w.PitchUM, []string{w.DriverCell}, w.ReceiverCell)
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		return nil, err
+	}
+	victim := w.Wires / 2
+	cl := prune.PruneVictim(par, victim, prune.Options{CapRatioThreshold: 0.001, MinCouplingF: 1e-18})
+	if len(cl.Aggressors) == 0 {
+		return nil, fmt.Errorf("xtverify: no coupling at pitch %.2f µm", w.PitchUM)
+	}
+	tEnd := 4e-9
+	if rcTime := 4 * 0.12 * w.LengthUM * (0.12e-15 * w.LengthUM); rcTime > 1e-9 {
+		tEnd = 4e-9 + 4*rcTime
+	}
+	eng := glitch.NewEngine(par, glitch.Options{
+		Model:     glitch.ModelKind(w.Model),
+		FixedOhms: 1000,
+		TEnd:      tEnd,
+	})
+	res := &WireResult{}
+	g, err := eng.AnalyzeGlitch(cl, true)
+	if err != nil {
+		return nil, err
+	}
+	res.GlitchV = g.PeakV
+	res.GlitchFracVdd = g.PeakV / Vdd
+	res.VictimWave = g.ReceiverWave
+	for _, rising := range []bool{true, false} {
+		for _, coupled := range []bool{true, false} {
+			dr, err := eng.AnalyzeDelay(cl, rising, coupled)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case rising && coupled:
+				res.RiseDelayCoupled = dr.Delay
+			case rising && !coupled:
+				res.RiseDelayDecoupled = dr.Delay
+			case !rising && coupled:
+				res.FallDelayCoupled = dr.Delay
+			default:
+				res.FallDelayDecoupled = dr.Delay
+			}
+		}
+	}
+	return res, nil
+}
+
+// ListCells returns the names of every library cell.
+func ListCells() []string {
+	lib := libraryNames()
+	return lib
+}

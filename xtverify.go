@@ -1,0 +1,342 @@
+// Package xtverify is a chip-level crosstalk (signal-integrity) verification
+// library for deep-submicron digital designs, reproducing the methodology of
+// Ye, Chang, Feldmann, Nagaraj, Chadha and Cano, "Chip-Level Verification
+// for Parasitic Coupling Effects in Deep-Submicron Digital Designs"
+// (DATE 1999).
+//
+// The flow:
+//
+//  1. a routed design's parasitics are extracted into distributed RC
+//     networks with coupling capacitors (a synthetic extractor and a SPEF
+//     subset are included);
+//  2. weak couplings are pruned by capacitance ratio — and optionally by
+//     static-timing window overlap — leaving small coupled clusters;
+//  3. each cluster's linear interconnect is compressed with SyMPVL
+//     (symmetric matrix-Padé via block Lanczos) model order reduction;
+//  4. pre-characterized driver cell models (linear timing-library
+//     resistances or nonlinear I–V models) are attached as terminations and
+//     the reduced system is integrated with a Newton scheme whose Jacobian
+//     is a diagonal-plus-rank-k matrix;
+//  5. glitch peaks and coupling-aware delays are reported per victim net.
+//
+// A classical SPICE-level engine is included as the golden reference, and
+// the repository's benchmarks regenerate every table and figure of the
+// paper's evaluation (see EXPERIMENTS.md).
+package xtverify
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/deflite"
+	"xtverify/internal/design"
+	"xtverify/internal/devices"
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+	"xtverify/internal/spef"
+	"xtverify/internal/sta"
+	"xtverify/internal/verilog"
+)
+
+// Vdd is the supply voltage of the bundled 0.25 µm technology.
+const Vdd = devices.Vdd025
+
+// DriverModel selects how driving cells are modeled during analysis.
+type DriverModel int
+
+// Driver model choices (paper Section 4).
+const (
+	// FixedResistance models every driver as one fixed linear resistor.
+	FixedResistance DriverModel = iota
+	// TimingLibrary deduces a per-cell linear resistance from NLDM-style
+	// characterization tables (Section 4.1).
+	TimingLibrary
+	// NonlinearCellModel uses pre-characterized nonlinear I–V driver models
+	// (Section 4.2), the paper's most accurate configuration.
+	NonlinearCellModel
+)
+
+// Config tunes the verification flow.
+type Config struct {
+	// Model selects the driver model; NonlinearCellModel by default.
+	Model DriverModel
+	// FixedOhms is the resistance for FixedResistance mode (default 1 kΩ).
+	FixedOhms float64
+	// CapRatioThreshold controls pruning (default 0.02).
+	CapRatioThreshold float64
+	// UseTimingWindows enables STA-based aggressor exclusion/alignment.
+	UseTimingWindows bool
+	// UseLogicCorrelation enables complementary-pair correlation.
+	UseLogicCorrelation bool
+	// GlitchThresholdFrac flags victims whose glitch exceeds this fraction
+	// of Vdd (default 0.10, the paper's reporting floor).
+	GlitchThresholdFrac float64
+	// MaxAggressors caps cluster size (default 12, the paper's population).
+	MaxAggressors int
+	// ReducedOrder overrides the SyMPVL order (default 6·ports).
+	ReducedOrder int
+	// TransistorRecheck re-simulates every flagged violation with the
+	// transistor-level SPICE reference engine and records the confirmed
+	// peak. This implements the paper's stated future work ("extending it
+	// to transistor-level crosstalk analysis for higher accuracy") as a
+	// second-pass audit of the fast model-based screen.
+	TransistorRecheck bool
+}
+
+func (c *Config) setDefaults() {
+	if c.FixedOhms == 0 {
+		c.FixedOhms = 1000
+	}
+	if c.CapRatioThreshold == 0 {
+		c.CapRatioThreshold = 0.02
+	}
+	if c.GlitchThresholdFrac == 0 {
+		c.GlitchThresholdFrac = 0.10
+	}
+	if c.MaxAggressors == 0 {
+		c.MaxAggressors = 12
+	}
+	// Default to the paper's best model.
+	if c.Model == FixedResistance && c.FixedOhms == 0 {
+		c.Model = NonlinearCellModel
+	}
+}
+
+// Violation is one victim net whose predicted glitch exceeds the reporting
+// threshold.
+type Violation struct {
+	// Victim is the net name.
+	Victim string
+	// PeakV is the signed glitch peak (volts); positive = rising glitch.
+	PeakV float64
+	// FracVdd is |PeakV|/Vdd.
+	FracVdd float64
+	// Aggressors counts the active aggressors.
+	Aggressors int
+	// LatchInput marks victims feeding sequential elements (the riskiest
+	// class: a glitch there can be captured as wrong state).
+	LatchInput bool
+	// ConfirmedPeakV is the transistor-level SPICE peak when
+	// Config.TransistorRecheck is enabled (0 otherwise); Confirmed reports
+	// whether the recheck also exceeded the threshold.
+	ConfirmedPeakV float64
+	// Confirmed is valid only with TransistorRecheck.
+	Confirmed bool
+	// Propagates reports whether the glitch exceeds the most sensitive
+	// receiver's unity-gain corner (its DC noise margin), i.e. whether the
+	// disturbance is amplified downstream rather than filtered — the
+	// "false switching" condition of the paper's Section 1.
+	Propagates bool
+}
+
+// PruneSummary reports clustering statistics (paper Section 3).
+type PruneSummary struct {
+	RawMeanClusterNets    float64
+	RawMaxClusterNets     int
+	PrunedMeanClusterNets float64
+	PrunedMaxClusterNets  int
+	ClustersAnalyzed      int
+}
+
+// Report is the outcome of a full-chip verification.
+type Report struct {
+	DesignName string
+	NetCount   int
+	Violations []Violation
+	Prune      PruneSummary
+	// AnalyzedVictims is the number of victims that were simulated.
+	AnalyzedVictims int
+}
+
+// WriteText renders a human-readable report.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "crosstalk verification report: %s (%d nets)\n", r.DesignName, r.NetCount); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "clusters: raw mean %.1f nets (max %d) -> pruned mean %.1f (max %d), %d analyzed\n",
+		r.Prune.RawMeanClusterNets, r.Prune.RawMaxClusterNets,
+		r.Prune.PrunedMeanClusterNets, r.Prune.PrunedMaxClusterNets, r.Prune.ClustersAnalyzed)
+	fmt.Fprintf(w, "victims simulated: %d, violations: %d\n", r.AnalyzedVictims, len(r.Violations))
+	for _, v := range r.Violations {
+		flag := ""
+		if v.LatchInput {
+			flag = " [latch input]"
+		}
+		if v.Propagates {
+			flag += " [propagates]"
+		}
+		confirm := ""
+		if v.ConfirmedPeakV != 0 {
+			state := "confirmed"
+			if !v.Confirmed {
+				state = "NOT confirmed"
+			}
+			confirm = fmt.Sprintf(" — transistor-level %+.3f V (%s)", v.ConfirmedPeakV, state)
+		}
+		fmt.Fprintf(w, "  %-24s peak %+.3f V (%.0f%% Vdd) from %d aggressors%s%s\n",
+			v.Victim, v.PeakV, 100*v.FracVdd, v.Aggressors, flag, confirm)
+	}
+	return nil
+}
+
+// Verifier runs the flow against one design.
+type Verifier struct {
+	cfg Config
+	des *design.Design
+	par *extract.Parasitics
+}
+
+// NewVerifierFromDSP generates the synthetic DSP design (the Section 5
+// stand-in) and prepares it for verification. cfg may be zero-valued.
+func NewVerifierFromDSP(dspCfg DSPConfig, cfg Config) (*Verifier, error) {
+	cfg.setDefaults()
+	d := dsp.Generate(dsp.Config(dspCfg))
+	return newVerifier(d, cfg)
+}
+
+// DSPConfig mirrors the synthetic DSP generator parameters.
+type DSPConfig = dspConfigAlias
+
+type dspConfigAlias = dsp.Config
+
+// DefaultDSPConfig returns the paper-scale synthetic DSP configuration.
+func DefaultDSPConfig() DSPConfig { return dsp.DefaultConfig() }
+
+func newVerifier(d *design.Design, cfg Config) (*Verifier, error) {
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.UseTimingWindows {
+		if err := sta.Annotate(d, par, sta.DefaultOptions()); err != nil {
+			return nil, err
+		}
+	}
+	return &Verifier{cfg: cfg, des: d, par: par}, nil
+}
+
+// WriteSPEF serializes the extracted parasitics in SPEF form.
+func (v *Verifier) WriteSPEF(w io.Writer) error { return spef.Write(w, v.par) }
+
+// WriteVerilog serializes the design's gate-level connectivity as
+// structural Verilog (the netlist-side companion to the SPEF parasitics).
+func (v *Verifier) WriteVerilog(w io.Writer) error { return verilog.Write(w, v.des) }
+
+// WriteDEF serializes the design's physical view (placements and routed
+// wiring) in the DEF subset.
+func (v *Verifier) WriteDEF(w io.Writer) error { return deflite.Write(w, v.des) }
+
+// NewVerifierFromDEF loads a physical design from a DEF-subset stream (as
+// produced by WriteDEF — placements, pin connections, routed segments) and
+// prepares it for verification against the bundled technology and cell
+// library.
+func NewVerifierFromDEF(r io.Reader, cfg Config) (*Verifier, error) {
+	cfg.setDefaults()
+	d, err := deflite.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return newVerifier(d, cfg)
+}
+
+// Run performs full-chip glitch verification: every eligible victim net is
+// clustered, reduced and simulated for both glitch polarities.
+func (v *Verifier) Run() (*Report, error) {
+	pOpt := prune.Options{
+		CapRatioThreshold: v.cfg.CapRatioThreshold,
+		MinCouplingF:      0.5e-15,
+		UseTimingWindows:  v.cfg.UseTimingWindows,
+		MaxAggressors:     v.cfg.MaxAggressors,
+	}
+	stats := prune.ComputeStats(v.par, pOpt)
+	clusters := prune.Clusters(v.par, pOpt)
+	eng := glitch.NewEngine(v.par, glitch.Options{
+		Model:               glitch.ModelKind(v.cfg.Model),
+		FixedOhms:           v.cfg.FixedOhms,
+		Order:               v.cfg.ReducedOrder,
+		UseTimingWindows:    v.cfg.UseTimingWindows,
+		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+	})
+	rep := &Report{
+		DesignName: v.des.Name,
+		NetCount:   len(v.des.Nets),
+		Prune: PruneSummary{
+			RawMeanClusterNets:    stats.RawMeanSize,
+			RawMaxClusterNets:     stats.RawMaxSize,
+			PrunedMeanClusterNets: stats.PrunedMeanSize,
+			PrunedMaxClusterNets:  stats.PrunedMaxSize,
+			ClustersAnalyzed:      stats.PrunedClusters,
+		},
+	}
+	var flagged []*prune.Cluster
+	for _, cl := range clusters {
+		rep.AnalyzedVictims++
+		worst := Violation{Victim: v.des.Nets[cl.Victim].Name}
+		for _, rising := range []bool{true, false} {
+			res, err := eng.AnalyzeGlitch(cl, rising)
+			if err != nil {
+				return nil, fmt.Errorf("xtverify: victim %s: %w", worst.Victim, err)
+			}
+			frac := res.PeakV / Vdd
+			if frac < 0 {
+				frac = -frac
+			}
+			if frac > worst.FracVdd {
+				worst.FracVdd = frac
+				worst.PeakV = res.PeakV
+				worst.Aggressors = res.ActiveAggressors
+			}
+		}
+		if worst.FracVdd >= v.cfg.GlitchThresholdFrac {
+			for _, r := range v.des.Nets[cl.Victim].Receivers {
+				if r.Cell.Sequential {
+					worst.LatchInput = true
+					break
+				}
+			}
+			// Noise-margin classification: does any receiver amplify the
+			// glitch past its unity-gain corner?
+			heldLow := worst.PeakV > 0
+			for _, r := range v.des.Nets[cl.Victim].Receivers {
+				vtc, err := cells.CharacterizeVTC(r.Cell)
+				if err != nil {
+					return nil, fmt.Errorf("xtverify: VTC of %s: %w", r.Cell.Name, err)
+				}
+				if vtc.GlitchPropagates(worst.PeakV, heldLow) {
+					worst.Propagates = true
+					break
+				}
+			}
+			rep.Violations = append(rep.Violations, worst)
+			flagged = append(flagged, cl)
+		}
+	}
+	if v.cfg.TransistorRecheck {
+		// Second-pass audit (the paper's future-work extension): confirm
+		// each flagged violation at transistor level in its worst polarity.
+		for i := range rep.Violations {
+			viol := &rep.Violations[i]
+			ref, err := eng.SPICEGlitch(flagged[i], viol.PeakV > 0, true)
+			if err != nil {
+				return nil, fmt.Errorf("xtverify: transistor recheck of %s: %w", viol.Victim, err)
+			}
+			viol.ConfirmedPeakV = ref.PeakV
+			frac := ref.PeakV / Vdd
+			if frac < 0 {
+				frac = -frac
+			}
+			viol.Confirmed = frac >= v.cfg.GlitchThresholdFrac
+		}
+	}
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		if rep.Violations[i].FracVdd != rep.Violations[j].FracVdd {
+			return rep.Violations[i].FracVdd > rep.Violations[j].FracVdd
+		}
+		return rep.Violations[i].Victim < rep.Violations[j].Victim
+	})
+	return rep, nil
+}

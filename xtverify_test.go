@@ -1,0 +1,402 @@
+package xtverify
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallDSP() DSPConfig {
+	return DSPConfig{Seed: 77, Channels: 1, TracksPerChannel: 50,
+		ChannelLengthUM: 1000, BusFraction: 0.06, LatchFraction: 0.3, ClockSpines: 1}
+}
+
+func TestVerifierEndToEnd(t *testing.T) {
+	v, err := NewVerifierFromDSP(smallDSP(), Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NetCount == 0 || rep.AnalyzedVictims == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.Prune.PrunedMeanClusterNets < 2 {
+		t.Errorf("pruned mean %.1f", rep.Prune.PrunedMeanClusterNets)
+	}
+	// Violations sorted by severity.
+	for i := 1; i < len(rep.Violations); i++ {
+		if rep.Violations[i].FracVdd > rep.Violations[i-1].FracVdd {
+			t.Error("violations not sorted")
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crosstalk verification report") {
+		t.Error("report text malformed")
+	}
+}
+
+func TestVerifierTimingWindowsReduceViolations(t *testing.T) {
+	base, err := NewVerifierFromDSP(smallDSP(), Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBase, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewVerifierFromDSP(smallDSP(), Config{Model: FixedResistance, CapRatioThreshold: 0.03, UseTimingWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repTW, err := tw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repTW.Violations) > len(repBase.Violations) {
+		t.Errorf("timing windows added violations: %d vs %d", len(repTW.Violations), len(repBase.Violations))
+	}
+}
+
+func TestWriteSPEF(t *testing.T) {
+	v, err := NewVerifierFromDSP(smallDSP(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.WriteSPEF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*D_NET") {
+		t.Error("SPEF output missing nets")
+	}
+}
+
+func TestAnalyzeCoupledWiresQuickstart(t *testing.T) {
+	res, err := AnalyzeCoupledWires(WireAnalysis{
+		Wires: 3, LengthUM: 1500, Model: NonlinearCellModel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlitchV <= 0 || res.GlitchV >= Vdd {
+		t.Errorf("glitch %g out of range", res.GlitchV)
+	}
+	if res.GlitchFracVdd < 0.05 {
+		t.Errorf("glitch fraction %.3f suspiciously small for 1500µm at min pitch", res.GlitchFracVdd)
+	}
+	if res.RiseDelayCoupled <= res.RiseDelayDecoupled {
+		t.Error("coupled delay should exceed decoupled")
+	}
+	if res.VictimWave == nil || res.VictimWave.Len() == 0 {
+		t.Error("missing waveform")
+	}
+}
+
+func TestAnalyzeCoupledWiresValidation(t *testing.T) {
+	if _, err := AnalyzeCoupledWires(WireAnalysis{Wires: 1, LengthUM: 100}); err == nil {
+		t.Error("single wire accepted")
+	}
+	if _, err := AnalyzeCoupledWires(WireAnalysis{Wires: 2, LengthUM: 0}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := AnalyzeCoupledWires(WireAnalysis{Wires: 2, LengthUM: 100, PitchUM: 50}); err == nil {
+		t.Error("uncoupled pitch accepted")
+	}
+}
+
+func TestCellsAPI(t *testing.T) {
+	cs := Cells()
+	if len(cs) != 53 {
+		t.Fatalf("%d cells", len(cs))
+	}
+	names := ListCells()
+	if len(names) != 53 {
+		t.Fatalf("%d names", len(names))
+	}
+	rise, fall, err := DriveResistance("INV_X2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rise <= 0 || fall <= 0 {
+		t.Error("non-positive drive resistance")
+	}
+	if math.IsNaN(rise) || math.IsNaN(fall) {
+		t.Error("NaN resistance")
+	}
+	if _, _, err := DriveResistance("BOGUS"); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestTransistorRecheck(t *testing.T) {
+	// The future-work extension: flagged violations are confirmed at
+	// transistor level, and for real glitches the confirmed peak is close
+	// to the model prediction.
+	v, err := NewVerifierFromDSP(smallDSP(), Config{
+		Model:               NonlinearCellModel,
+		CapRatioThreshold:   0.03,
+		GlitchThresholdFrac: 0.15,
+		TransistorRecheck:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Skip("no violations at this threshold")
+	}
+	confirmed := 0
+	for _, viol := range rep.Violations {
+		if viol.ConfirmedPeakV == 0 {
+			t.Fatalf("%s missing transistor-level recheck", viol.Victim)
+		}
+		if viol.Confirmed {
+			confirmed++
+		}
+		rel := math.Abs(math.Abs(viol.ConfirmedPeakV)-math.Abs(viol.PeakV)) / math.Abs(viol.PeakV)
+		if rel > 0.35 {
+			t.Errorf("%s: model %.3f vs transistor %.3f (%.0f%% apart)",
+				viol.Victim, viol.PeakV, viol.ConfirmedPeakV, 100*rel)
+		}
+	}
+	// The screen is conservative: a majority of flags should confirm.
+	if confirmed*2 < len(rep.Violations) {
+		t.Errorf("only %d of %d violations confirmed", confirmed, len(rep.Violations))
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "transistor-level") {
+		t.Error("report missing recheck annotation")
+	}
+}
+
+func TestNoiseMarginClassification(t *testing.T) {
+	v, err := NewVerifierFromDSP(smallDSP(), Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Skip("no violations")
+	}
+	// Classification is consistent: a sub-0.4V glitch cannot clear any
+	// healthy CMOS unity-gain corner; a >1.5V one always does.
+	for _, viol := range rep.Violations {
+		mag := math.Abs(viol.PeakV)
+		if mag < 0.4 && viol.Propagates {
+			t.Errorf("%s: %.2f V glitch flagged as propagating", viol.Victim, viol.PeakV)
+		}
+		if mag > 1.5 && !viol.Propagates {
+			t.Errorf("%s: %.2f V glitch flagged as filtered", viol.Victim, viol.PeakV)
+		}
+	}
+}
+
+func TestRunEM(t *testing.T) {
+	v, err := NewVerifierFromDSP(DSPConfig{Seed: 5, Channels: 1, TracksPerChannel: 10,
+		ChannelLengthUM: 500, ClockSpines: 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := v.RunEM(EMOptions{ActivityHz: 300e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no EM results")
+	}
+	for i, r := range rs {
+		if r.IRMSMA <= 0 || r.IPeakMA < r.IRMSMA {
+			t.Errorf("net %s: implausible currents %+v", r.Net, r)
+		}
+		if i > 0 && rs[i].RMSUtilization > rs[i-1].RMSUtilization+1e-12 {
+			t.Error("EM results not sorted by utilization")
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteEMText(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Irms") {
+		t.Error("EM report malformed")
+	}
+}
+
+func TestRunTimingImpact(t *testing.T) {
+	v, err := NewVerifierFromDSP(smallDSP(), Config{Model: TimingLibrary, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impacts, err := v.RunTimingImpact(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) == 0 {
+		t.Fatal("no timing impacts")
+	}
+	worse := 0
+	for i, ti := range impacts {
+		if ti.BaseDelayPS <= 0 {
+			t.Errorf("%s: non-positive base delay", ti.Victim)
+		}
+		if ti.CoupledDelayPS >= ti.BaseDelayPS {
+			worse++
+		}
+		if i > 0 {
+			prev := impacts[i-1].CoupledDelayPS - impacts[i-1].BaseDelayPS
+			cur := ti.CoupledDelayPS - ti.BaseDelayPS
+			if cur > prev+1e-9 {
+				t.Fatal("impacts not sorted by delay change")
+			}
+		}
+	}
+	// Opposite-switching aggressors are the worst case: the overwhelming
+	// majority of victims must get slower, never dramatically faster.
+	if worse*10 < len(impacts)*9 {
+		t.Errorf("only %d of %d victims slowed by coupling", worse, len(impacts))
+	}
+	var buf bytes.Buffer
+	if err := WriteTimingText(&buf, impacts, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "coupled") {
+		t.Error("timing report malformed")
+	}
+}
+
+func TestAdviseRepairAPI(t *testing.T) {
+	v, err := NewVerifierFromDSP(smallDSP(), Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Skip("no violations")
+	}
+	adv, err := v.AdviseRepair(rep.Violations[0].Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Options) != 3 {
+		t.Fatalf("%d options", len(adv.Options))
+	}
+	// Options sorted most effective first among feasible ones.
+	prev := -1.0
+	for _, o := range adv.Options {
+		if !o.Feasible {
+			continue
+		}
+		mag := math.Abs(o.PeakV)
+		if prev >= 0 && mag < prev-1e-12 {
+			t.Error("options not sorted by effectiveness")
+		}
+		// Under FixedResistance the upsize fix is a no-op (driver cells do
+		// not enter the model), so allow equality within noise.
+		if mag > math.Abs(adv.OriginalPeakV)+1e-6 {
+			t.Errorf("%s worsened the glitch: %.6f vs %.6f", o.Fix, mag, math.Abs(adv.OriginalPeakV))
+		}
+		prev = mag
+	}
+	if _, err := v.AdviseRepair("no/such/net"); err == nil {
+		t.Error("unknown net accepted")
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	v, err := NewVerifierFromDSP(smallDSP(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "module") || !strings.Contains(out, "endmodule") {
+		t.Error("verilog output malformed")
+	}
+}
+
+func TestDEFRoundTripVerification(t *testing.T) {
+	// Write the design to DEF, reload it, and verify both ways: reports
+	// must agree (file round trip is lossless for the flow).
+	orig, err := NewVerifierFromDSP(DSPConfig{Seed: 7, Channels: 1, TracksPerChannel: 25,
+		ChannelLengthUM: 700, BusFraction: 0.05, LatchFraction: 0.2, ClockSpines: 1},
+		Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def bytes.Buffer
+	if err := orig.WriteDEF(&def); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewVerifierFromDEF(&def, Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := orig.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := loaded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Violations) != len(r2.Violations) {
+		t.Fatalf("violations differ after DEF round trip: %d vs %d", len(r1.Violations), len(r2.Violations))
+	}
+	for i := range r1.Violations {
+		a, b := r1.Violations[i], r2.Violations[i]
+		if a.Victim != b.Victim || math.Abs(a.PeakV-b.PeakV) > 0.01 {
+			t.Errorf("violation %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTraceGlitch(t *testing.T) {
+	v, err := NewVerifierFromDSP(smallDSP(), Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Skip("no violations")
+	}
+	trace, err := v.TraceGlitch(rep.Violations[0].Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Stages) == 0 {
+		t.Fatal("empty trace")
+	}
+	if trace.Stages[0].Net != rep.Violations[0].Victim {
+		t.Errorf("trace root %q, want %q", trace.Stages[0].Net, rep.Violations[0].Victim)
+	}
+	if trace.Depth != len(trace.Stages)-1 {
+		t.Errorf("depth %d inconsistent with %d stages", trace.Depth, len(trace.Stages))
+	}
+	if _, err := v.TraceGlitch("nope"); err == nil {
+		t.Error("unknown net accepted")
+	}
+}
