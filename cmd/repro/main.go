@@ -9,25 +9,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"xtverify"
 	"xtverify/internal/dsp"
 	"xtverify/internal/exp"
 	"xtverify/internal/glitch"
 )
 
 var (
-	scale = flag.Float64("scale", 1.0, "population scale factor (0 < scale <= 1); smaller runs fewer cases")
-	seed  = flag.Int64("seed", 1999, "synthetic DSP seed")
+	scale   = flag.Float64("scale", 1.0, "population scale factor (0 < scale <= 1); smaller runs fewer cases")
+	seed    = flag.Int64("seed", 1999, "synthetic DSP seed")
+	workers = flag.Int("workers", 0, "parallel cluster workers for the verify experiment (0 = GOMAXPROCS)")
+	strict  = flag.Bool("strict", false, "fail fast in the verify experiment instead of degrading")
 )
 
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 prune analytic timing em prop all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 prune analytic timing em prop verify all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -170,6 +175,25 @@ func run(name string) (string, error) {
 			return "", err
 		}
 		return r.Render(), nil
+	case "verify":
+		// Full-chip verification through the fault-tolerant parallel
+		// engine, with the run diagnostics in the rendered report.
+		v, err := xtverify.NewVerifierFromDSP(xtverify.DSPConfig(dspCfg()), xtverify.Config{
+			Workers: *workers,
+			Strict:  *strict,
+		})
+		if err != nil {
+			return "", err
+		}
+		rep, err := v.RunContext(context.Background())
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := rep.WriteText(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"xtverify"
 )
@@ -34,6 +36,9 @@ func main() {
 		defIn    = flag.String("indef", "", "load the design from this DEF file instead of generating one")
 		emFlag   = flag.Bool("em", false, "also run the electromigration current audit")
 		timFlag  = flag.Bool("timing", false, "also run the coupled-delay timing impact report")
+		workers  = flag.Int("workers", 0, "parallel cluster workers (0 = GOMAXPROCS)")
+		strict   = flag.Bool("strict", false, "fail fast on the first cluster error instead of degrading")
+		cluTO    = flag.Duration("cluster-timeout", 0, "per-cluster analysis deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -43,6 +48,9 @@ func main() {
 		GlitchThresholdFrac: *thresh,
 		UseTimingWindows:    *windows,
 		UseLogicCorrelation: *logic,
+		Workers:             *workers,
+		Strict:              *strict,
+		ClusterTimeout:      *cluTO,
 	}
 	switch *model {
 	case "fixed":
@@ -116,7 +124,11 @@ func main() {
 		}
 		fmt.Printf("wrote parasitics to %s\n", *spefOut)
 	}
-	rep, err := v.Run()
+	// Interrupt (Ctrl-C) cancels the run promptly instead of killing a
+	// half-finished analysis.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := v.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,426 @@
+// engine.go is the fault-tolerant, parallel cluster-verification engine.
+//
+// The chip-level loop's whole value is coverage: a full-chip run over
+// thousands of coupled clusters must not die because one pathological
+// cluster defeats the numerics. RunContext therefore fans clusters out over
+// a bounded worker pool, isolates each cluster behind recover(), enforces an
+// optional per-cluster deadline, and — in degraded mode — walks a fallback
+// ladder instead of failing:
+//
+//  1. SyMPVL reduction at the configured order (the fast path);
+//  2. retry with a raised Gmin grounding conductance and a reduced order,
+//     which cures most "G is not positive definite" breakdowns;
+//  3. direct transient integration of the unreduced MNA system;
+//  4. mark the victim Unverified with a structured ClusterError.
+//
+// Results are assembled in cluster order after all workers finish, so a
+// parallel run's report is byte-identical to a serial run's.
+package xtverify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"xtverify/internal/cells"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+	"xtverify/internal/romsim"
+	"xtverify/internal/sympvl"
+)
+
+// regularizedGmin is the grounding conductance used by StageRegularized,
+// three orders of magnitude above mna.DefaultGmin: large enough to make any
+// extraction-grade G matrix decisively positive definite, small enough (1 µS
+// against kΩ interconnect) to stay below reporting accuracy.
+const regularizedGmin = 1e-6
+
+// ladder is the degradation sequence tried per cluster in degraded mode.
+var ladder = [...]FallbackStage{StageReduced, StageRegularized, StageDirectMNA}
+
+// ClusterOutcome is the per-cluster entry of the run diagnostics.
+type ClusterOutcome struct {
+	// Victim is the cluster's victim net name.
+	Victim string
+	// Stage is the rung that produced the result (StageUnverified if none).
+	Stage FallbackStage
+	// Attempts counts ladder rungs tried (1 = fast path succeeded).
+	Attempts int
+	// WallTime is the cluster's analysis time, all attempts included.
+	WallTime time.Duration
+	// CouplingF is the victim's retained coupling capacitance — the
+	// severity proxy used to rank unverified victims.
+	CouplingF float64
+	// Err is the structured failure for unverified clusters, nil otherwise.
+	Err *ClusterError
+	// RecheckErr records a degraded-mode transistor-recheck failure; the
+	// violation is still reported, just unconfirmed.
+	RecheckErr error
+}
+
+// Diagnostics summarizes a fault-tolerant run for the report.
+type Diagnostics struct {
+	// Workers is the resolved worker-pool size.
+	Workers int
+	// Strict reports whether the run was fail-fast (no fallback ladder).
+	Strict bool
+	// WallTime is the end-to-end cluster-analysis time.
+	WallTime time.Duration
+	// Verified counts clusters that produced a result (any stage).
+	Verified int
+	// Degraded counts verified clusters that needed a fallback rung.
+	Degraded int
+	// Unverified counts clusters every rung failed on.
+	Unverified int
+	// Clusters holds one outcome per analyzed cluster, in victim order.
+	Clusters []ClusterOutcome
+}
+
+// WorstUnverified returns up to n unverified outcomes ordered by retained
+// coupling capacitance (the strongest-coupled, riskiest victims first).
+func (d *Diagnostics) WorstUnverified(n int) []ClusterOutcome {
+	var out []ClusterOutcome
+	for _, c := range d.Clusters {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CouplingF != out[j].CouplingF {
+			return out[i].CouplingF > out[j].CouplingF
+		}
+		return out[i].Victim < out[j].Victim
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// runParams resolves how the engine executes one run.
+type runParams struct {
+	workers int
+	strict  bool
+	timeout time.Duration
+}
+
+// clusterResult is one worker's output for one cluster.
+type clusterResult struct {
+	outcome   ClusterOutcome
+	violation *Violation
+	// err is the fail-fast error for strict mode, wrapped exactly like the
+	// historical serial loop wrapped it.
+	err error
+}
+
+// RunContext performs full-chip glitch verification like Run, but
+// context-aware, parallel across clusters (Config.Workers, default
+// GOMAXPROCS) and — unless Config.Strict is set — fault-tolerant: a cluster
+// whose analysis fails walks the fallback ladder and, if every rung fails,
+// is recorded as Unverified in the report's Diagnostics instead of aborting
+// the run. Cancelling ctx aborts promptly with ctx's error.
+func (v *Verifier) RunContext(ctx context.Context) (*Report, error) {
+	return v.runEngine(ctx, runParams{
+		workers: v.cfg.Workers,
+		strict:  v.cfg.Strict,
+		timeout: v.cfg.ClusterTimeout,
+	})
+}
+
+func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) {
+	pOpt := prune.Options{
+		CapRatioThreshold: v.cfg.CapRatioThreshold,
+		MinCouplingF:      0.5e-15,
+		UseTimingWindows:  v.cfg.UseTimingWindows,
+		MaxAggressors:     v.cfg.MaxAggressors,
+	}
+	stats := prune.ComputeStats(v.par, pOpt)
+	clusters := prune.Clusters(v.par, pOpt)
+	baseOpts := glitch.Options{
+		Model:               v.cfg.Model.kind(),
+		FixedOhms:           v.cfg.FixedOhms,
+		Order:               v.cfg.ReducedOrder,
+		UseTimingWindows:    v.cfg.UseTimingWindows,
+		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+	}
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(clusters) {
+		workers = len(clusters)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	results := make([]*clusterResult, len(clusters))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				if runCtx.Err() != nil {
+					continue // run aborted: leave the slot unattempted
+				}
+				res := v.analyzeCluster(runCtx, baseOpts, clusters[idx], p)
+				results[idx] = res
+				if p.strict && res.err != nil {
+					cancel() // fail fast: stop feeding and drain
+				}
+			}
+		}()
+	}
+feed:
+	for i := range clusters {
+		select {
+		case <-runCtx.Done():
+			break feed
+		case idxCh <- i:
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Caller cancellation or deadline wins over any per-cluster outcome.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.strict {
+		// Report the earliest genuine failure in cluster order, exactly as
+		// the serial loop did; skip casualties of our own fail-fast cancel.
+		var firstAny error
+		for _, r := range results {
+			if r == nil || r.err == nil {
+				continue
+			}
+			if !errors.Is(r.err, context.Canceled) {
+				return nil, r.err
+			}
+			if firstAny == nil {
+				firstAny = r.err
+			}
+		}
+		if firstAny != nil {
+			return nil, firstAny
+		}
+	}
+
+	rep := &Report{
+		DesignName: v.des.Name,
+		NetCount:   len(v.des.Nets),
+		Prune: PruneSummary{
+			RawMeanClusterNets:    stats.RawMeanSize,
+			RawMaxClusterNets:     stats.RawMaxSize,
+			PrunedMeanClusterNets: stats.PrunedMeanSize,
+			PrunedMaxClusterNets:  stats.PrunedMaxSize,
+			ClustersAnalyzed:      stats.PrunedClusters,
+		},
+	}
+	diag := &Diagnostics{Workers: workers, Strict: p.strict}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		rep.AnalyzedVictims++
+		diag.Clusters = append(diag.Clusters, r.outcome)
+		if r.outcome.Err != nil {
+			diag.Unverified++
+		} else {
+			diag.Verified++
+			if r.outcome.Stage != StageReduced {
+				diag.Degraded++
+			}
+		}
+		if r.violation != nil {
+			rep.Violations = append(rep.Violations, *r.violation)
+		}
+	}
+	diag.WallTime = time.Since(start)
+	rep.Diagnostics = diag
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		if rep.Violations[i].FracVdd != rep.Violations[j].FracVdd {
+			return rep.Violations[i].FracVdd > rep.Violations[j].FracVdd
+		}
+		return rep.Violations[i].Victim < rep.Violations[j].Victim
+	})
+	return rep, nil
+}
+
+// analyzeCluster runs one cluster down the ladder (or just the fast path in
+// strict mode) under the per-cluster deadline.
+func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, cl *prune.Cluster, p runParams) *clusterResult {
+	start := time.Now()
+	victim := v.des.Nets[cl.Victim].Name
+	res := &clusterResult{outcome: ClusterOutcome{Victim: victim, CouplingF: cl.KeptF}}
+	cctx := ctx
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	stages := ladder[:]
+	if p.strict {
+		stages = ladder[:1]
+	}
+	var attempts []Attempt
+	for _, stage := range stages {
+		viol, recheckErr, err := v.attemptCluster(cctx, stage, baseOpts, cl, victim)
+		if err == nil {
+			res.outcome.Stage = stage
+			res.outcome.Attempts = len(attempts) + 1
+			res.outcome.WallTime = time.Since(start)
+			res.outcome.RecheckErr = recheckErr
+			res.violation = viol
+			if p.strict && recheckErr != nil {
+				res.err = recheckErr
+			}
+			return res
+		}
+		if p.strict {
+			res.err = err
+			res.outcome.Stage = StageUnverified
+			res.outcome.Attempts = 1
+			res.outcome.WallTime = time.Since(start)
+			res.outcome.Err = &ClusterError{Victim: victim, Stage: stage,
+				Attempts: []Attempt{{Stage: stage, Err: err}}}
+			return res
+		}
+		cerr := classifyClusterErr(err)
+		attempts = append(attempts, Attempt{Stage: stage, Err: cerr})
+		if ctx.Err() != nil {
+			break // the run is being cancelled — don't ladder further
+		}
+		if errors.Is(cerr, ErrTimeout) {
+			break // the per-cluster budget is consumed
+		}
+	}
+	lastStage := StageReduced
+	if n := len(attempts); n > 0 {
+		lastStage = attempts[n-1].Stage
+	}
+	res.outcome.Stage = StageUnverified
+	res.outcome.Attempts = len(attempts)
+	res.outcome.WallTime = time.Since(start)
+	res.outcome.Err = &ClusterError{Victim: victim, Stage: lastStage, Attempts: attempts}
+	return res
+}
+
+// attemptCluster tries one ladder rung: both glitch polarities, threshold
+// classification, and (when configured) the transistor-level recheck. A
+// panic anywhere inside — linear algebra included — is recovered into an
+// ErrPanic-wrapped failure. A nil violation with nil error means the victim
+// is clean at this threshold.
+func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, baseOpts glitch.Options,
+	cl *prune.Cluster, victim string) (viol *Violation, recheckErr error, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			viol, recheckErr = nil, nil
+			err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	if v.faultHook != nil {
+		if herr := v.faultHook(victim, stage); herr != nil {
+			return nil, nil, herr
+		}
+	}
+	opts := baseOpts
+	switch stage {
+	case StageRegularized:
+		opts.Gmin = regularizedGmin
+		if opts.Order > 0 {
+			opts.Order = opts.Order / 2
+			if opts.Order < 2 {
+				opts.Order = 2
+			}
+		} else {
+			opts.OrderFactor = 3 // half the default 6·ports
+		}
+	case StageDirectMNA:
+		opts.DirectMNA = true
+	}
+	eng := glitch.NewEngine(v.par, opts)
+	worst := Violation{Victim: victim}
+	for _, rising := range []bool{true, false} {
+		res, aerr := eng.AnalyzeGlitchContext(ctx, cl, rising)
+		if aerr != nil {
+			return nil, nil, fmt.Errorf("xtverify: victim %s: %w", victim, aerr)
+		}
+		frac := res.PeakV / Vdd
+		if frac < 0 {
+			frac = -frac
+		}
+		if frac > worst.FracVdd {
+			worst.FracVdd = frac
+			worst.PeakV = res.PeakV
+			worst.Aggressors = res.ActiveAggressors
+		}
+	}
+	if worst.FracVdd < v.cfg.GlitchThresholdFrac {
+		return nil, nil, nil
+	}
+	for _, r := range v.des.Nets[cl.Victim].Receivers {
+		if r.Cell.Sequential {
+			worst.LatchInput = true
+			break
+		}
+	}
+	// Noise-margin classification: does any receiver amplify the glitch
+	// past its unity-gain corner?
+	heldLow := worst.PeakV > 0
+	for _, r := range v.des.Nets[cl.Victim].Receivers {
+		vtc, verr := cells.CharacterizeVTC(r.Cell)
+		if verr != nil {
+			return nil, nil, fmt.Errorf("xtverify: VTC of %s: %w", r.Cell.Name, verr)
+		}
+		if vtc.GlitchPropagates(worst.PeakV, heldLow) {
+			worst.Propagates = true
+			break
+		}
+	}
+	if v.cfg.TransistorRecheck {
+		// Second-pass audit (the paper's future-work extension): confirm
+		// the flagged violation at transistor level in its worst polarity.
+		ref, rerr := eng.SPICEGlitch(cl, worst.PeakV > 0, true)
+		if rerr != nil {
+			recheckErr = fmt.Errorf("xtverify: transistor recheck of %s: %w", victim, rerr)
+		} else {
+			worst.ConfirmedPeakV = ref.PeakV
+			frac := ref.PeakV / Vdd
+			if frac < 0 {
+				frac = -frac
+			}
+			worst.Confirmed = frac >= v.cfg.GlitchThresholdFrac
+		}
+	}
+	return &worst, recheckErr, nil
+}
+
+// classifyClusterErr maps internal-layer failures onto the package's typed
+// sentinels so ladder attempts carry a stable, matchable cause.
+func classifyClusterErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	case errors.Is(err, ErrPanic):
+		return err
+	case errors.Is(err, sympvl.ErrNotSPD),
+		errors.Is(err, sympvl.ErrNoPortCoupling),
+		errors.Is(err, sympvl.ErrEmptySystem),
+		errors.Is(err, romsim.ErrUnstableModel):
+		return fmt.Errorf("%w: %v", ErrReduction, err)
+	case errors.Is(err, romsim.ErrNewtonDiverged):
+		return fmt.Errorf("%w: %v", ErrNewtonDiverged, err)
+	default:
+		return err
+	}
+}

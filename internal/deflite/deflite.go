@@ -29,6 +29,40 @@ import (
 // dbuPerMicron is the database resolution used by the writer.
 const dbuPerMicron = 1000
 
+// ParseError is the typed error Read returns for malformed DEF input. It
+// pins the failure to a 1-based input line so tooling can jump to it, and
+// wraps the underlying cause (a strconv failure, a design validation error)
+// where one exists.
+type ParseError struct {
+	// Line is the 1-based input line, 0 for file-level failures.
+	Line int
+	// Msg describes what was malformed.
+	Msg string
+	// Err is the underlying cause, nil if the message is the whole story.
+	Err error
+}
+
+// Error renders "deflite: line N: msg" (or "deflite: msg" at file level),
+// matching the package's historical error strings.
+func (e *ParseError) Error() string {
+	at := ""
+	if e.Line > 0 {
+		at = fmt.Sprintf("line %d: ", e.Line)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("deflite: %s%s: %v", at, e.Msg, e.Err)
+	}
+	return fmt.Sprintf("deflite: %s%s", at, e.Msg)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// perr builds a ParseError with a formatted message.
+func perr(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Write serializes the design.
 func Write(w io.Writer, d *design.Design) error {
 	bw := bufio.NewWriter(w)
@@ -157,7 +191,7 @@ func Read(r io.Reader) (*design.Design, error) {
 			if len(f) >= 4 {
 				v, err := strconv.ParseFloat(f[3], 64)
 				if err != nil || v <= 0 {
-					return nil, fmt.Errorf("deflite: line %d: bad UNITS", lineNo)
+					return nil, perr(lineNo, "bad UNITS")
 				}
 				dbuPerUM = v
 			}
@@ -173,16 +207,16 @@ func Read(r io.Reader) (*design.Design, error) {
 		case strings.HasPrefix(line, "- ") && section == "COMPONENTS":
 			// - inst cell + PLACED ( x y ) N ;
 			if len(f) < 9 {
-				return nil, fmt.Errorf("deflite: line %d: malformed component", lineNo)
+				return nil, perr(lineNo, "malformed component")
 			}
 			x, err1 := toUM(f[6])
 			y, err2 := toUM(f[7])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("deflite: line %d: bad placement", lineNo)
+				return nil, perr(lineNo, "bad placement")
 			}
 			cell, ok := cells.ByName(f[2])
 			if !ok {
-				return nil, fmt.Errorf("deflite: line %d: unknown cell %q", lineNo, f[2])
+				return nil, perr(lineNo, "unknown cell %q", f[2])
 			}
 			comps[f[1]] = compInfo{cell: cell, x: x, y: y}
 		case strings.HasPrefix(line, "- ") && section == "NETS":
@@ -194,12 +228,12 @@ func Read(r io.Reader) (*design.Design, error) {
 					break
 				}
 				if i+3 >= len(f) || f[i+3] != ")" {
-					return nil, fmt.Errorf("deflite: line %d: malformed pin group", lineNo)
+					return nil, perr(lineNo, "malformed pin group")
 				}
 				inst, pin := f[i+1], f[i+2]
 				ci, ok := comps[inst]
 				if !ok {
-					return nil, fmt.Errorf("deflite: line %d: pin on undeclared component %q", lineNo, inst)
+					return nil, perr(lineNo, "pin on undeclared component %q", inst)
 				}
 				dp := design.Pin{Inst: inst, Cell: ci.cell, Pin: pin, PosX: ci.x, PosY: ci.y}
 				if pin == "Z" || pin == "Q" || pin == "QN" || pin == "Y" {
@@ -211,14 +245,14 @@ func Read(r io.Reader) (*design.Design, error) {
 			}
 		case f[0] == "+" && len(f) > 1 && f[1] == "USE":
 			if curNet == nil {
-				return nil, fmt.Errorf("deflite: line %d: USE outside net", lineNo)
+				return nil, perr(lineNo, "USE outside net")
 			}
 			if len(f) >= 3 && f[2] == "CLOCK" {
 				curNet.ClockNet = true
 			}
 		case (f[0] == "+" && len(f) > 1 && f[1] == "ROUTED") || f[0] == "NEW":
 			if curNet == nil {
-				return nil, fmt.Errorf("deflite: line %d: route outside net", lineNo)
+				return nil, perr(lineNo, "route outside net")
 			}
 			// [+ ROUTED|NEW] METALn width ( x0 y0 ) ( x1 y1 )
 			idx := 1
@@ -226,19 +260,19 @@ func Read(r io.Reader) (*design.Design, error) {
 				idx = 2
 			}
 			if len(f) < idx+9 {
-				return nil, fmt.Errorf("deflite: line %d: malformed route", lineNo)
+				return nil, perr(lineNo, "malformed route")
 			}
 			layerTok := f[idx]
 			if !strings.HasPrefix(layerTok, "METAL") {
-				return nil, fmt.Errorf("deflite: line %d: bad layer %q", lineNo, layerTok)
+				return nil, perr(lineNo, "bad layer %q", layerTok)
 			}
 			layer, err := strconv.Atoi(strings.TrimPrefix(layerTok, "METAL"))
 			if err != nil {
-				return nil, fmt.Errorf("deflite: line %d: bad layer %q", lineNo, layerTok)
+				return nil, perr(lineNo, "bad layer %q", layerTok)
 			}
 			width, err := toUM(f[idx+1])
 			if err != nil {
-				return nil, fmt.Errorf("deflite: line %d: bad width", lineNo)
+				return nil, perr(lineNo, "bad width")
 			}
 			var coords [4]float64
 			ci := 0
@@ -251,13 +285,13 @@ func Read(r io.Reader) (*design.Design, error) {
 				}
 				v, err := toUM(tok)
 				if err != nil {
-					return nil, fmt.Errorf("deflite: line %d: bad coordinate %q", lineNo, tok)
+					return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad coordinate %q", tok), Err: err}
 				}
 				coords[ci] = v
 				ci++
 			}
 			if ci != 4 {
-				return nil, fmt.Errorf("deflite: line %d: route needs 4 coordinates", lineNo)
+				return nil, perr(lineNo, "route needs 4 coordinates")
 			}
 			curNet.Route = append(curNet.Route, design.Segment{
 				Layer: layer, Width: width,
@@ -268,17 +302,17 @@ func Read(r io.Reader) (*design.Design, error) {
 				flushNet()
 			}
 		default:
-			return nil, fmt.Errorf("deflite: line %d: unexpected %q", lineNo, line)
+			return nil, perr(lineNo, "unexpected %q", line)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if d == nil {
-		return nil, fmt.Errorf("deflite: no DESIGN statement")
+		return nil, &ParseError{Msg: "no DESIGN statement"}
 	}
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("deflite: reconstructed design invalid: %w", err)
+		return nil, &ParseError{Msg: "reconstructed design invalid", Err: err}
 	}
 	return d, nil
 }

@@ -11,6 +11,7 @@
 package glitch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -71,6 +72,15 @@ type Options struct {
 	// UseLogicCorrelation makes complementary aggressor pairs switch in
 	// opposite directions.
 	UseLogicCorrelation bool
+	// Gmin overrides the per-node grounding conductance used during MNA
+	// assembly (mna.DefaultGmin if zero). The chip-level fallback ladder
+	// raises it to regularize clusters whose G defeats the Cholesky
+	// factorization at the default value.
+	Gmin float64
+	// DirectMNA bypasses SyMPVL reduction and integrates the unreduced
+	// MNA system directly — the last-resort rung of the fallback ladder.
+	// Much slower, but immune to reduction breakdowns.
+	DirectMNA bool
 }
 
 func (o *Options) setDefaults() {
@@ -353,15 +363,25 @@ func (e *Engine) loadEstimate(net int) float64 {
 // AnalyzeGlitch predicts the worst glitch of the given polarity on the
 // cluster's victim using the reduced-order flow.
 func (e *Engine) AnalyzeGlitch(cl *prune.Cluster, glitchRising bool) (*Result, error) {
-	return e.analyzeGlitchCustom(cl, glitchRising, nil, nil)
+	return e.analyzeGlitchCustom(context.Background(), cl, glitchRising, nil, nil)
+}
+
+// AnalyzeGlitchContext is AnalyzeGlitch honoring context cancellation and
+// deadlines: the reduction and transient loops poll ctx and abort promptly
+// with its error when it is done.
+func (e *Engine) AnalyzeGlitchContext(ctx context.Context, cl *prune.Cluster, glitchRising bool) (*Result, error) {
+	return e.analyzeGlitchCustom(ctx, cl, glitchRising, nil, nil)
 }
 
 // analyzeGlitchCustom is AnalyzeGlitch with two hooks used by the repair
 // advisor: transform edits the cluster circuit before reduction (e.g.
 // shield insertion), and victimCell overrides the victim's holding cell
 // (e.g. driver upsizing).
-func (e *Engine) analyzeGlitchCustom(cl *prune.Cluster, glitchRising bool,
+func (e *Engine) analyzeGlitchCustom(ctx context.Context, cl *prune.Cluster, glitchRising bool,
 	transform func(*circuit.Circuit) *circuit.Circuit, victimCell *cells.Cell) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ckt, err := prune.BuildCircuit(e.Par, cl)
 	if err != nil {
 		return nil, err
@@ -373,14 +393,17 @@ func (e *Engine) analyzeGlitchCustom(cl *prune.Cluster, glitchRising bool,
 	if err != nil {
 		return nil, err
 	}
-	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	sys, err := mna.FromCircuit(ckt, mna.Options{Gmin: e.Opt.Gmin})
 	if err != nil {
 		return nil, err
 	}
-	order := e.reducedOrder(sys.P)
-	model, err := sympvl.Reduce(sys, sympvl.Options{Order: order})
-	if err != nil {
-		return nil, err
+	var model *sympvl.Model
+	if !e.Opt.DirectMNA {
+		order := e.reducedOrder(sys.P)
+		model, err = sympvl.Reduce(sys, sympvl.Options{Order: order, Check: ctx.Err})
+		if err != nil {
+			return nil, err
+		}
 	}
 	plans := e.planAggressors(cl, glitchRising)
 
@@ -406,14 +429,24 @@ func (e *Engine) analyzeGlitchCustom(cl *prune.Cluster, glitchRising bool,
 		}
 	}
 	// Idle bus drivers are tri-stated: open terminations (zero Termination).
-	simRes, err := romsim.Simulate(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt})
+	simOpt := romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Check: ctx.Err}
+	var simRes *romsim.Result
+	if e.Opt.DirectMNA {
+		simRes, err = romsim.SimulateDirect(sys, terms, simOpt)
+	} else {
+		simRes, err = romsim.Simulate(model, terms, simOpt)
+	}
 	if err != nil {
 		return nil, err
+	}
+	order := sys.N // direct integration uses the full state
+	if model != nil {
+		order = model.Order
 	}
 	res := &Result{
 		VictimName:   e.Par.Design.Nets[cl.Victim].Name,
 		Aggressors:   plans,
-		ReducedOrder: model.Order,
+		ReducedOrder: order,
 		ClusterNodes: sys.N,
 	}
 	for _, p := range plans {
@@ -459,7 +492,7 @@ func (e *Engine) AnalyzeDelay(cl *prune.Cluster, victimRising, withCoupling bool
 	if err != nil {
 		return nil, err
 	}
-	sys, err := mna.FromCircuit(ckt, mna.Options{DecoupleAll: !withCoupling})
+	sys, err := mna.FromCircuit(ckt, mna.Options{DecoupleAll: !withCoupling, Gmin: e.Opt.Gmin})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package glitch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -93,7 +94,7 @@ func (e *Engine) AdviseRepairs(cl *prune.Cluster, glitchRising bool, thresholdV 
 	// Candidate 1: upsize the victim's holding driver.
 	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
 	if stronger := nextStronger(vPin.Cell); stronger != nil {
-		res, err := e.analyzeGlitchCustom(cl, glitchRising, nil, stronger)
+		res, err := e.analyzeGlitchCustom(context.Background(), cl, glitchRising, nil, stronger)
 		if err != nil {
 			return nil, fmt.Errorf("glitch: repair upsize: %w", err)
 		}
@@ -113,7 +114,7 @@ func (e *Engine) AdviseRepairs(cl *prune.Cluster, glitchRising bool, thresholdV 
 		}
 		return out
 	}
-	res, err := e.analyzeGlitchCustom(cl, glitchRising, respace, nil)
+	res, err := e.analyzeGlitchCustom(context.Background(), cl, glitchRising, respace, nil)
 	if err != nil {
 		return nil, fmt.Errorf("glitch: repair respace: %w", err)
 	}
@@ -125,7 +126,7 @@ func (e *Engine) AdviseRepairs(cl *prune.Cluster, glitchRising bool, thresholdV 
 			return !touchesNet(ckt, c, victimName)
 		})
 	}
-	res, err = e.analyzeGlitchCustom(cl, glitchRising, shield, nil)
+	res, err = e.analyzeGlitchCustom(context.Background(), cl, glitchRising, shield, nil)
 	if err != nil {
 		return nil, fmt.Errorf("glitch: repair shield: %w", err)
 	}

@@ -17,6 +17,14 @@ type Coord struct {
 type Sparse struct {
 	n       int
 	entries map[int64]float64
+	// keys caches the sorted entry keys so value-accumulating iterations
+	// (MulVec) run in a fixed order: map iteration order is randomized per
+	// range statement, and letting it pick the summation order makes results
+	// differ in the last few ulps from one run to the next. Lazily built,
+	// invalidated whenever a new key appears. Not safe for concurrent
+	// MulVec on a matrix still being assembled — callers finish stamping
+	// before simulating, and each analysis owns its matrices.
+	keys []int64
 }
 
 // NewSparse returns an empty n×n sparse accumulator.
@@ -42,7 +50,24 @@ func (s *Sparse) Add(i, j int, v float64) {
 	if v == 0 {
 		return
 	}
-	s.entries[s.key(i, j)] += v
+	k := s.key(i, j)
+	if _, ok := s.entries[k]; !ok {
+		s.keys = nil // structure changed: the sorted-key cache is stale
+	}
+	s.entries[k] += v
+}
+
+// sortedKeys returns the entry keys in ascending (row, col) order, building
+// the cache on first use after a structural change.
+func (s *Sparse) sortedKeys() []int64 {
+	if s.keys == nil && len(s.entries) > 0 {
+		s.keys = make([]int64, 0, len(s.entries))
+		for k := range s.entries {
+			s.keys = append(s.keys, k)
+		}
+		sort.Slice(s.keys, func(a, b int) bool { return s.keys[a] < s.keys[b] })
+	}
+	return s.keys
 }
 
 // AddSym accumulates the symmetric 2×2 conductance-style stamp
@@ -70,15 +95,9 @@ func (s *Sparse) NNZ() int { return len(s.entries) }
 // Entries returns all stored entries sorted by (row, col).
 func (s *Sparse) Entries() []Coord {
 	out := make([]Coord, 0, len(s.entries))
-	for k, v := range s.entries {
-		out = append(out, Coord{Row: int(k / int64(s.n)), Col: int(k % int64(s.n)), Val: v})
+	for _, k := range s.sortedKeys() {
+		out = append(out, Coord{Row: int(k / int64(s.n)), Col: int(k % int64(s.n)), Val: s.entries[k]})
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Row != out[b].Row {
-			return out[a].Row < out[b].Row
-		}
-		return out[a].Col < out[b].Col
-	})
 	return out
 }
 
@@ -106,9 +125,9 @@ func (s *Sparse) MulVec(x []float64) []float64 {
 		panic("matrix: Sparse.MulVec length mismatch")
 	}
 	out := make([]float64, s.n)
-	for k, v := range s.entries {
+	for _, k := range s.sortedKeys() {
 		i, j := int(k/int64(s.n)), int(k%int64(s.n))
-		out[i] += v * x[j]
+		out[i] += s.entries[k] * x[j]
 	}
 	return out
 }

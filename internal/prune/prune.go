@@ -109,13 +109,22 @@ func (c *Cluster) Size() int { return 1 + len(c.Aggressors) }
 func PruneVictim(p *extract.Parasitics, victim int, opt Options) *Cluster {
 	d := p.Design
 	vNet := d.Nets[victim]
+	// Iterate couplings in net order, not map order: the kept/dropped
+	// capacitance accumulations below must not depend on map iteration
+	// randomness or repeated runs drift in the last ulps.
+	partners := make([]int, 0, len(p.NetCouplingF[victim]))
+	for a := range p.NetCouplingF[victim] {
+		partners = append(partners, a)
+	}
+	sort.Ints(partners)
 	// Victim total capacitance: grounded plus all coupling.
 	cTot := p.Nets[victim].TotalCapF()
-	for _, f := range p.NetCouplingF[victim] {
-		cTot += f
+	for _, a := range partners {
+		cTot += p.NetCouplingF[victim][a]
 	}
 	cl := &Cluster{Victim: victim}
-	for a, f := range p.NetCouplingF[victim] {
+	for _, a := range partners {
+		f := p.NetCouplingF[victim][a]
 		keep := f >= opt.MinCouplingF && (cTot == 0 || f/cTot >= opt.CapRatioThreshold)
 		if keep && opt.UseTimingWindows {
 			if !vNet.Window.Overlaps(d.Nets[a].Window) {

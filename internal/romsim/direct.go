@@ -1,0 +1,248 @@
+// Direct (unreduced) MNA transient integration — the last rung of the
+// chip-level fallback ladder before a cluster is declared unverified.
+//
+// When SyMPVL reduction breaks down (indefinite G after roundoff, a
+// pathological port structure that defeats the block Lanczos process, or a
+// reduced model whose termination fold-in is not SPD), the cluster can still
+// be verified by integrating the full MNA system
+//
+//	G·v + C·dv/dt = B·i(t)
+//
+// directly with the same trapezoidal scheme and the same terminations as the
+// reduced flow. The constant part of the Jacobian, K = (2/Δt)·C + G + Σ g_j·
+// e_j·e_jᵀ, is LU-factored once; each Newton step then costs one cached
+// solve plus a small Woodbury core over the nonlinear ports, exactly
+// mirroring the diagonal-plus-rank-k structure of the reduced solver. This
+// is O(n³) once and O(n²) per step — far slower than the reduced model, but
+// robust, and only ever run on the rare cluster that defeated reduction.
+package romsim
+
+import (
+	"fmt"
+	"math"
+
+	"xtverify/internal/matrix"
+	"xtverify/internal/mna"
+	"xtverify/internal/waveform"
+)
+
+// SimulateDirect runs a transient analysis of the unreduced MNA system with
+// the given port terminations (len(terms) must equal sys.P). The result is
+// indexed like the system's ports, so callers can swap it in wherever a
+// reduced-model Simulate result is expected.
+func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result, error) {
+	if len(terms) != sys.P {
+		return nil, fmt.Errorf("romsim: %d terminations for %d ports", len(terms), sys.P)
+	}
+	if opt.TEnd <= 0 {
+		return nil, fmt.Errorf("romsim: TEnd must be positive")
+	}
+	dt := opt.Dt
+	if dt <= 0 {
+		dt = opt.TEnd / 1000
+	}
+	tol := opt.NewtonTol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	maxNewton := opt.MaxNewton
+	if maxNewton <= 0 {
+		maxNewton = 50
+	}
+	n := sys.N
+
+	var linPorts, nlPorts []int
+	for j, tm := range terms {
+		if tm.Linear != nil && tm.Dev != nil {
+			return nil, fmt.Errorf("romsim: port %d has both linear and nonlinear terminations", j)
+		}
+		if tm.Linear != nil {
+			if tm.Linear.G < 0 {
+				return nil, fmt.Errorf("romsim: port %d has negative conductance", j)
+			}
+			linPorts = append(linPorts, j)
+		}
+		if tm.Dev != nil {
+			nlPorts = append(nlPorts, j)
+		}
+	}
+	nNL := len(nlPorts)
+
+	gd := sys.G.Dense()
+	cd := sys.C.Dense()
+	// K_dc = G + Σ_lin g_j·e_j·e_jᵀ (a=0), K_tr = K_dc + a·C with a = 2/Δt.
+	kdc := gd.Clone()
+	for _, j := range linPorts {
+		node := sys.PortNodes[j]
+		kdc.Add(node, node, terms[j].Linear.G)
+	}
+	a := 2 / dt
+	ktr := kdc.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if c := cd.At(i, j); c != 0 {
+				ktr.Add(i, j, a*c)
+			}
+		}
+	}
+	luTR, err := matrix.FactorLU(ktr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: transient system matrix singular: %v", ErrUnstableModel, err)
+	}
+
+	// Precompute K⁻¹·e_{node(k)} per nonlinear port for the Woodbury solve.
+	kinvCols := func(lu *matrix.LU) ([][]float64, error) {
+		cols := make([][]float64, nNL)
+		for c, j := range nlPorts {
+			e := make([]float64, n)
+			e[sys.PortNodes[j]] = 1
+			w, err := lu.Solve(e)
+			if err != nil {
+				return nil, err
+			}
+			cols[c] = w
+		}
+		return cols, nil
+	}
+	wTR, err := kinvCols(luTR)
+	if err != nil {
+		return nil, fmt.Errorf("romsim: direct solve: %w", err)
+	}
+
+	// newtonSolve solves (K + Σ s_k·e_k·e_kᵀ)·x = r with the cached LU of K
+	// via the Woodbury identity over the nonlinear port nodes.
+	newtonSolve := func(lu *matrix.LU, w [][]float64, s, r []float64) ([]float64, error) {
+		x0, err := lu.Solve(r)
+		if err != nil {
+			return nil, err
+		}
+		if nNL == 0 {
+			return x0, nil
+		}
+		core := matrix.Identity(nNL)
+		rhs := make([]float64, nNL)
+		for c, jc := range nlPorts {
+			node := sys.PortNodes[jc]
+			for b := 0; b < nNL; b++ {
+				core.Add(c, b, s[c]*w[b][node])
+			}
+			rhs[c] = s[c] * x0[node]
+		}
+		lucore, err := matrix.FactorLU(core)
+		if err != nil {
+			return nil, fmt.Errorf("romsim: Woodbury core singular: %w", err)
+		}
+		z, err := lucore.Solve(rhs)
+		if err != nil {
+			return nil, err
+		}
+		for c := range nlPorts {
+			matrix.Axpy(-z[c], w[c], x0)
+		}
+		return x0, nil
+	}
+
+	// residual computes F(v) = K·v − base − Σ_nl e_k·i_k(v_k, t) and the
+	// s = −di/dv Jacobian factors.
+	residual := func(k *matrix.Dense, base, v []float64, t float64) (r, s []float64) {
+		r = k.MulVec(v)
+		for i := range r {
+			r[i] -= base[i]
+		}
+		s = make([]float64, nNL)
+		for c, j := range nlPorts {
+			node := sys.PortNodes[j]
+			i, di := terms[j].Dev.Current(v[node], t)
+			r[node] -= i
+			s[c] = -di
+		}
+		return r, s
+	}
+
+	totalNewton := 0
+	newtonLoop := func(k *matrix.Dense, lu *matrix.LU, w [][]float64, base, v0 []float64, t float64) ([]float64, error) {
+		v := matrix.CloneVec(v0)
+		for it := 0; it < maxNewton; it++ {
+			totalNewton++
+			r, s := residual(k, base, v, t)
+			dv, err := newtonSolve(lu, w, s, r)
+			if err != nil {
+				return nil, err
+			}
+			matrix.Axpy(-1, dv, v)
+			if matrix.NormInf(dv) < tol {
+				return v, nil
+			}
+		}
+		return nil, fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
+	}
+
+	// Forcing from linear Thevenin sources at time t.
+	force := func(t float64) []float64 {
+		f := make([]float64, n)
+		for _, j := range linPorts {
+			lt := terms[j].Linear
+			f[sys.PortNodes[j]] += lt.G * lt.Vs(t)
+		}
+		return f
+	}
+
+	// DC operating point with the a=0 matrix.
+	v := make([]float64, n)
+	if !opt.NoInitDC {
+		luDC, err := matrix.FactorLU(kdc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: DC system matrix singular: %v", ErrUnstableModel, err)
+		}
+		wDC, err := kinvCols(luDC)
+		if err != nil {
+			return nil, fmt.Errorf("romsim: direct DC solve: %w", err)
+		}
+		v0, err := newtonLoop(kdc, luDC, wDC, force(0), v, 0)
+		if err != nil {
+			return nil, fmt.Errorf("romsim: DC init: %w", err)
+		}
+		v = v0
+	}
+	vdot := make([]float64, n)
+
+	nSteps := int(math.Round(opt.TEnd / dt))
+	if nSteps < 1 {
+		nSteps = 1
+	}
+	res := &Result{Ports: make([]*waveform.Waveform, sys.P)}
+	for j := range res.Ports {
+		res.Ports[j] = waveform.New(nSteps + 1)
+		res.Ports[j].Append(0, v[sys.PortNodes[j]])
+	}
+
+	for step := 1; step <= nSteps; step++ {
+		if opt.Check != nil {
+			if err := opt.Check(); err != nil {
+				return nil, err
+			}
+		}
+		t := float64(step) * dt
+		// Trapezoidal: (a·C + G')·v_{n+1} = C·(a·v_n + v̇_n) + f(t) + B_nl·i.
+		hist := make([]float64, n)
+		for i := 0; i < n; i++ {
+			hist[i] = a*v[i] + vdot[i]
+		}
+		base := cd.MulVec(hist)
+		matrix.Axpy(1, force(t), base)
+		vnew, err := newtonLoop(ktr, luTR, wTR, base, v, t)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			vdot[i] = a*(vnew[i]-v[i]) - vdot[i]
+		}
+		v = vnew
+		for j := range res.Ports {
+			res.Ports[j].Append(t, v[sys.PortNodes[j]])
+		}
+		res.Steps++
+	}
+	res.NewtonIterations = totalNewton
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package romsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"xtverify/internal/circuit"
+	"xtverify/internal/mna"
+	"xtverify/internal/waveform"
+)
+
+// coupledLadder builds a two-net RC ladder pair with a coupling capacitor in
+// the middle: net A (driven) nodes a0-a1-a2, net B (victim) nodes b0-b1-b2.
+func coupledLadder() *circuit.Circuit {
+	ckt := circuit.New("ladder")
+	a0, a1, a2 := ckt.Node("a0"), ckt.Node("a1"), ckt.Node("a2")
+	b0, b1, b2 := ckt.Node("b0"), ckt.Node("b1"), ckt.Node("b2")
+	ckt.AddPort("drvA", a0, circuit.PortDriver, 0)
+	ckt.AddPort("drvB", b0, circuit.PortDriver, 1)
+	ckt.AddPort("rcvB", b2, circuit.PortReceiver, 1)
+	ckt.AddResistor("ra1", a0, a1, 200)
+	ckt.AddResistor("ra2", a1, a2, 200)
+	ckt.AddResistor("rb1", b0, b1, 200)
+	ckt.AddResistor("rb2", b1, b2, 200)
+	for i, n := range []circuit.NodeID{a0, a1, a2, b0, b1, b2} {
+		ckt.AddCapacitor("cg", n, circuit.Ground, 10e-15+float64(i)*1e-15)
+	}
+	ckt.AddCoupling("cc", a1, b1, 25e-15)
+	return ckt
+}
+
+// TestDirectMatchesReduced drives the same cluster through the reduced-order
+// flow and the direct MNA integrator; at full order the reduced model is
+// exact, so the port waveforms must agree to integration accuracy.
+func TestDirectMatchesReduced(t *testing.T) {
+	ckt := coupledLadder()
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []Termination{
+		{Linear: &Linear{G: 1 / 1000.0, Vs: waveform.Ramp(0, 2.5, 100e-12, 100e-12)}},
+		{Linear: &Linear{G: 1 / 2000.0, Vs: waveform.Const(0)}},
+		{}, // open receiver
+	}
+	opt := Options{TEnd: 3e-9, Dt: 2e-12}
+	m := reduce(t, ckt, sys.N)
+	red, err := Simulate(m, terms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := SimulateDirect(sys, terms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range terms {
+		for _, tt := range []float64{200e-12, 500e-12, 1e-9, 2.5e-9} {
+			a, b := red.Ports[p].At(tt), dir.Ports[p].At(tt)
+			if math.Abs(a-b) > 2e-3 {
+				t.Errorf("port %d at t=%g: reduced %.5f vs direct %.5f", p, tt, a, b)
+			}
+		}
+	}
+}
+
+// TestDirectNonlinearDeviceMatchesLinear cross-checks the direct Woodbury
+// path: a linear conductance expressed as a nonlinear Device must reproduce
+// the folded-linear result.
+func TestDirectNonlinearDeviceMatchesLinear(t *testing.T) {
+	ckt := coupledLadder()
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := waveform.Ramp(0, 2.5, 100e-12, 150e-12)
+	opt := Options{TEnd: 2e-9, Dt: 2e-12}
+	lin, err := SimulateDirect(sys, []Termination{
+		{Linear: &Linear{G: 1e-3, Vs: src}},
+		{Linear: &Linear{G: 5e-4, Vs: waveform.Const(0)}},
+		{},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := SimulateDirect(sys, []Termination{
+		{Dev: linearDevice{g: 1e-3, vs: src}},
+		{Linear: &Linear{G: 5e-4, Vs: waveform.Const(0)}},
+		{},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{300e-12, 800e-12, 1.5e-9} {
+		a, b := lin.Ports[2].At(tt), nl.Ports[2].At(tt)
+		if math.Abs(a-b) > 1e-6 {
+			t.Errorf("victim at t=%g: folded %.6f vs device %.6f", tt, a, b)
+		}
+	}
+}
+
+// TestDirectCheckAborts verifies that the Check hook aborts the transient
+// with the hook's error.
+func TestDirectCheckAborts(t *testing.T) {
+	ckt := coupledLadder()
+	sys, err := mna.FromCircuit(ckt, mna.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("abort")
+	calls := 0
+	_, err = SimulateDirect(sys, []Termination{
+		{Linear: &Linear{G: 1e-3, Vs: waveform.Const(1)}}, {}, {},
+	}, Options{TEnd: 1e-9, Dt: 1e-12, Check: func() error {
+		calls++
+		if calls > 5 {
+			return sentinel
+		}
+		return nil
+	}})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

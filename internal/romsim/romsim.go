@@ -20,12 +20,26 @@
 package romsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"xtverify/internal/matrix"
 	"xtverify/internal/sympvl"
 	"xtverify/internal/waveform"
+)
+
+// Typed failure reasons, matched with errors.Is by the chip-level fallback
+// ladder to pick a recovery strategy.
+var (
+	// ErrNewtonDiverged reports that a Newton iteration exhausted its
+	// budget without converging (a pathological driver operating point or
+	// an over-aggressive time step).
+	ErrNewtonDiverged = errors.New("romsim: Newton iteration failed to converge")
+	// ErrUnstableModel reports a structurally bad reduced model: the
+	// termination matrix is not SPD or a significantly negative time
+	// constant survived reduction.
+	ErrUnstableModel = errors.New("romsim: unstable or non-passive model")
 )
 
 // Device is a nonlinear one-port termination. Current returns the current
@@ -69,6 +83,10 @@ type Options struct {
 	// diagonal-plus-rank-k solve. It exists only to quantify the benefit of
 	// the paper's Eq. 7 structure exploitation (BenchmarkAblationWoodbury).
 	DenseNewton bool
+	// Check, when non-nil, is polled once per accepted time step; a
+	// non-nil return aborts the transient with that error. Used to honor
+	// context cancellation and per-cluster deadlines.
+	Check func() error
 }
 
 // Result holds the transient outcome.
@@ -134,7 +152,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 	}
 	chol, err := matrix.FactorCholesky(mm)
 	if err != nil {
-		return nil, fmt.Errorf("romsim: termination matrix not SPD: %w", err)
+		return nil, fmt.Errorf("%w: termination matrix not SPD: %v", ErrUnstableModel, err)
 	}
 	// T̃ = L⁻¹·T·L⁻ᵀ.
 	ttil := matrix.NewDense(q, q)
@@ -163,7 +181,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 	for i, d := range dvals {
 		if d < 0 {
 			if maxd := dvals[len(dvals)-1]; d < -1e-9*math.Max(1, maxd) {
-				return nil, fmt.Errorf("romsim: model has significantly negative time constant %g", d)
+				return nil, fmt.Errorf("%w: significantly negative time constant %g", ErrUnstableModel, d)
 			}
 			dvals[i] = 0
 		}
@@ -298,7 +316,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 				return y, nil
 			}
 		}
-		return nil, fmt.Errorf("romsim: Newton failed to converge at t=%g", t)
+		return nil, fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
 	}
 
 	// Initial condition: DC operating point (ẏ = 0 ⇒ Δ = 1).
@@ -330,6 +348,11 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 
 	a := 2 / dt
 	for n := 1; n <= nSteps; n++ {
+		if opt.Check != nil {
+			if err := opt.Check(); err != nil {
+				return nil, err
+			}
+		}
 		t := float64(n) * dt
 		// Trapezoidal: D·(a·(y−y_prev) − ẏ_prev) + y = f(t) + η·i.
 		// Δ_i = a·D_i + 1; base = f(t) + D∘(a·y_prev + ẏ_prev).

@@ -94,8 +94,14 @@ func Write(w io.Writer, p *extract.Parasitics) error {
 	for i, rc := range p.Nets {
 		net := rc.Net
 		total := rc.TotalCapF()
-		for _, f := range p.NetCouplingF[i] {
-			total += f
+		// Sum in partner order so repeated writes are byte-identical.
+		partners := make([]int, 0, len(p.NetCouplingF[i]))
+		for j := range p.NetCouplingF[i] {
+			partners = append(partners, j)
+		}
+		sort.Ints(partners)
+		for _, j := range partners {
+			total += p.NetCouplingF[i][j]
 		}
 		me := ref[i]
 		fmt.Fprintf(bw, "\n*D_NET %s %.6f\n", me, total/1e-15)

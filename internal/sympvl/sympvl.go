@@ -19,6 +19,7 @@
 package sympvl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -29,6 +30,20 @@ import (
 // DeflationTol is the relative tolerance below which a candidate Lanczos
 // vector is declared linearly dependent and deflated.
 const DeflationTol = 1e-10
+
+// Typed breakdown reasons. Callers (the chip-level fallback ladder in
+// particular) match these with errors.Is to decide whether a retry with
+// Gmin regularization or a direct MNA transient can still save the cluster.
+var (
+	// ErrNotSPD reports that the Cholesky factorization of G broke down:
+	// the conductance matrix is not (numerically) positive definite.
+	ErrNotSPD = errors.New("sympvl: G is not positive definite")
+	// ErrEmptySystem reports a degenerate cluster with no nodes or ports.
+	ErrEmptySystem = errors.New("sympvl: empty system")
+	// ErrNoPortCoupling reports a zero start block: no port couples into
+	// the network, so there is nothing to reduce.
+	ErrNoPortCoupling = errors.New("sympvl: start block L is zero — no port couples to the network")
+)
 
 // Model is a reduced-order model of a multi-port RC cluster.
 //
@@ -65,13 +80,17 @@ type Options struct {
 	// Gmin overrides the MNA grounding conductance used during assembly
 	// diagnostics (informational only here; assembly happens in mna).
 	Gmin float64
+	// Check, when non-nil, is polled between block Lanczos iterations;
+	// a non-nil return aborts the reduction with that error. Used to
+	// honor context cancellation and per-cluster deadlines.
+	Check func() error
 }
 
 // Reduce builds a reduced-order model of the assembled MNA system.
 func Reduce(sys *mna.System, opt Options) (*Model, error) {
 	n, p := sys.N, sys.P
 	if n == 0 || p == 0 {
-		return nil, fmt.Errorf("sympvl: empty system (n=%d, p=%d)", n, p)
+		return nil, fmt.Errorf("%w (n=%d, p=%d)", ErrEmptySystem, n, p)
 	}
 	order := opt.Order
 	if order <= 0 {
@@ -98,7 +117,7 @@ func Reduce(sys *mna.System, opt Options) (*Model, error) {
 		gsky.Add(e.Row, e.Col, e.Val)
 	}
 	if err := gsky.FactorCholesky(); err != nil {
-		return nil, fmt.Errorf("sympvl: G is not positive definite (add Gmin?): %w", err)
+		return nil, fmt.Errorf("%w (add Gmin?): %v", ErrNotSPD, err)
 	}
 
 	// applyA computes A·v = L⁻¹·C·L⁻ᵀ·v where G = L·Lᵀ (so F = Lᵀ).
@@ -125,7 +144,7 @@ func Reduce(sys *mna.System, opt Options) (*Model, error) {
 	v0, _, rank := matrix.OrthonormalizeBlock(lmat, DeflationTol)
 	deflated += p - rank
 	if rank == 0 {
-		return nil, fmt.Errorf("sympvl: start block L is zero — no port couples to the network")
+		return nil, ErrNoPortCoupling
 	}
 	current := make([][]float64, rank)
 	for j := 0; j < rank; j++ {
@@ -133,6 +152,11 @@ func Reduce(sys *mna.System, opt Options) (*Model, error) {
 	}
 	iters := 0
 	for len(basis) < order && len(current) > 0 {
+		if opt.Check != nil {
+			if err := opt.Check(); err != nil {
+				return nil, err
+			}
+		}
 		iters++
 		// Apply A to the current block and register the vectors.
 		images := make([][]float64, len(current))

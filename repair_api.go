@@ -51,7 +51,7 @@ func (v *Verifier) AdviseRepair(victim string) (*RepairAdvice, error) {
 		return nil, fmt.Errorf("xtverify: net %q has no retained aggressors", victim)
 	}
 	eng := glitch.NewEngine(v.par, glitch.Options{
-		Model:               glitch.ModelKind(v.cfg.Model),
+		Model:               v.cfg.Model.kind(),
 		FixedOhms:           v.cfg.FixedOhms,
 		Order:               v.cfg.ReducedOrder,
 		UseTimingWindows:    v.cfg.UseTimingWindows,

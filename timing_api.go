@@ -34,7 +34,7 @@ func (v *Verifier) RunTimingImpact(rising bool) ([]TimingImpact, error) {
 	}
 	clusters := prune.Clusters(v.par, pOpt)
 	eng := glitch.NewEngine(v.par, glitch.Options{
-		Model:               glitch.ModelKind(v.cfg.Model),
+		Model:               v.cfg.Model.kind(),
 		FixedOhms:           v.cfg.FixedOhms,
 		Order:               v.cfg.ReducedOrder,
 		UseTimingWindows:    v.cfg.UseTimingWindows,

@@ -77,7 +77,7 @@ func AnalyzeCoupledWires(w WireAnalysis) (*WireResult, error) {
 		tEnd = 4e-9 + 4*rcTime
 	}
 	eng := glitch.NewEngine(par, glitch.Options{
-		Model:     glitch.ModelKind(w.Model),
+		Model:     w.Model.kind(),
 		FixedOhms: 1000,
 		TEnd:      tEnd,
 	})

@@ -25,18 +25,17 @@
 package xtverify
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sort"
+	"time"
 
-	"xtverify/internal/cells"
 	"xtverify/internal/deflite"
 	"xtverify/internal/design"
 	"xtverify/internal/devices"
 	"xtverify/internal/dsp"
 	"xtverify/internal/extract"
 	"xtverify/internal/glitch"
-	"xtverify/internal/prune"
 	"xtverify/internal/spef"
 	"xtverify/internal/sta"
 	"xtverify/internal/verilog"
@@ -50,8 +49,11 @@ type DriverModel int
 
 // Driver model choices (paper Section 4).
 const (
+	// DriverModelUnset is the zero value; setDefaults resolves it to
+	// NonlinearCellModel, the paper's most accurate configuration.
+	DriverModelUnset DriverModel = iota
 	// FixedResistance models every driver as one fixed linear resistor.
-	FixedResistance DriverModel = iota
+	FixedResistance
 	// TimingLibrary deduces a per-cell linear resistance from NLDM-style
 	// characterization tables (Section 4.1).
 	TimingLibrary
@@ -59,6 +61,20 @@ const (
 	// (Section 4.2), the paper's most accurate configuration.
 	NonlinearCellModel
 )
+
+// kind maps the public DriverModel onto the glitch engine's ModelKind.
+// The two enums are numbered differently (DriverModel reserves 0 for the
+// unset sentinel), so a direct cast would be wrong.
+func (m DriverModel) kind() glitch.ModelKind {
+	switch m {
+	case FixedResistance:
+		return glitch.ModelFixedR
+	case TimingLibrary:
+		return glitch.ModelTimingLibrary
+	default:
+		return glitch.ModelNonlinear
+	}
+}
 
 // Config tunes the verification flow.
 type Config struct {
@@ -85,6 +101,16 @@ type Config struct {
 	// to transistor-level crosstalk analysis for higher accuracy") as a
 	// second-pass audit of the fast model-based screen.
 	TransistorRecheck bool
+	// Workers bounds RunContext's cluster-analysis parallelism; 0 means
+	// GOMAXPROCS. Run is always serial.
+	Workers int
+	// Strict makes RunContext fail fast on the first cluster error (Run's
+	// historical behavior) instead of walking the fallback ladder.
+	Strict bool
+	// ClusterTimeout is RunContext's per-cluster analysis deadline; 0 means
+	// no deadline. A cluster that exceeds it is marked unverified with
+	// ErrTimeout rather than stalling the run.
+	ClusterTimeout time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -100,8 +126,10 @@ func (c *Config) setDefaults() {
 	if c.MaxAggressors == 0 {
 		c.MaxAggressors = 12
 	}
-	// Default to the paper's best model.
-	if c.Model == FixedResistance && c.FixedOhms == 0 {
+	// Default to the paper's best model. (DriverModelUnset exists precisely
+	// so a zero-valued Config can be told apart from an explicit
+	// FixedResistance request.)
+	if c.Model == DriverModelUnset {
 		c.Model = NonlinearCellModel
 	}
 }
@@ -150,6 +178,10 @@ type Report struct {
 	Prune      PruneSummary
 	// AnalyzedVictims is the number of victims that were simulated.
 	AnalyzedVictims int
+	// Diagnostics describes how the fault-tolerant engine fared (worker
+	// count, degraded and unverified clusters, wall time). Populated by
+	// Run and RunContext.
+	Diagnostics *Diagnostics
 }
 
 // WriteText renders a human-readable report.
@@ -180,6 +212,29 @@ func (r *Report) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, "  %-24s peak %+.3f V (%.0f%% Vdd) from %d aggressors%s%s\n",
 			v.Victim, v.PeakV, 100*v.FracVdd, v.Aggressors, flag, confirm)
 	}
+	if d := r.Diagnostics; d != nil {
+		mode := "degraded (fallback ladder)"
+		if d.Strict {
+			mode = "strict (fail-fast)"
+		}
+		fmt.Fprintf(w, "diagnostics: %d workers, %s mode, %v wall time\n", d.Workers, mode, d.WallTime.Round(time.Millisecond))
+		fmt.Fprintf(w, "  clusters verified: %d (%d via fallback), unverified: %d\n", d.Verified, d.Degraded, d.Unverified)
+		for _, c := range d.Clusters {
+			if c.Err == nil && c.Stage != StageReduced {
+				fmt.Fprintf(w, "  %-24s verified via %s after %d attempt(s) in %v\n",
+					c.Victim, c.Stage, c.Attempts, c.WallTime.Round(time.Microsecond))
+			}
+			if c.RecheckErr != nil {
+				fmt.Fprintf(w, "  %-24s transistor recheck failed: %v\n", c.Victim, c.RecheckErr)
+			}
+		}
+		if worst := d.WorstUnverified(5); len(worst) > 0 {
+			fmt.Fprintf(w, "  worst unverified victims (by retained coupling):\n")
+			for _, c := range worst {
+				fmt.Fprintf(w, "    %-22s %.1f fF coupling — %v\n", c.Victim, c.CouplingF*1e15, c.Err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -188,6 +243,9 @@ type Verifier struct {
 	cfg Config
 	des *design.Design
 	par *extract.Parasitics
+	// faultHook, when set (tests only), is invoked before each cluster
+	// attempt and may inject an error or panic to exercise the ladder.
+	faultHook func(victim string, stage FallbackStage) error
 }
 
 // NewVerifierFromDSP generates the synthetic DSP design (the Section 5
@@ -244,99 +302,10 @@ func NewVerifierFromDEF(r io.Reader, cfg Config) (*Verifier, error) {
 }
 
 // Run performs full-chip glitch verification: every eligible victim net is
-// clustered, reduced and simulated for both glitch polarities.
+// clustered, reduced and simulated for both glitch polarities. Run is the
+// strict mode: serial, fail-fast on the first cluster error, no fallback
+// ladder — exactly the historical behavior. See RunContext (engine.go) for
+// the parallel, fault-tolerant variant.
 func (v *Verifier) Run() (*Report, error) {
-	pOpt := prune.Options{
-		CapRatioThreshold: v.cfg.CapRatioThreshold,
-		MinCouplingF:      0.5e-15,
-		UseTimingWindows:  v.cfg.UseTimingWindows,
-		MaxAggressors:     v.cfg.MaxAggressors,
-	}
-	stats := prune.ComputeStats(v.par, pOpt)
-	clusters := prune.Clusters(v.par, pOpt)
-	eng := glitch.NewEngine(v.par, glitch.Options{
-		Model:               glitch.ModelKind(v.cfg.Model),
-		FixedOhms:           v.cfg.FixedOhms,
-		Order:               v.cfg.ReducedOrder,
-		UseTimingWindows:    v.cfg.UseTimingWindows,
-		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
-	})
-	rep := &Report{
-		DesignName: v.des.Name,
-		NetCount:   len(v.des.Nets),
-		Prune: PruneSummary{
-			RawMeanClusterNets:    stats.RawMeanSize,
-			RawMaxClusterNets:     stats.RawMaxSize,
-			PrunedMeanClusterNets: stats.PrunedMeanSize,
-			PrunedMaxClusterNets:  stats.PrunedMaxSize,
-			ClustersAnalyzed:      stats.PrunedClusters,
-		},
-	}
-	var flagged []*prune.Cluster
-	for _, cl := range clusters {
-		rep.AnalyzedVictims++
-		worst := Violation{Victim: v.des.Nets[cl.Victim].Name}
-		for _, rising := range []bool{true, false} {
-			res, err := eng.AnalyzeGlitch(cl, rising)
-			if err != nil {
-				return nil, fmt.Errorf("xtverify: victim %s: %w", worst.Victim, err)
-			}
-			frac := res.PeakV / Vdd
-			if frac < 0 {
-				frac = -frac
-			}
-			if frac > worst.FracVdd {
-				worst.FracVdd = frac
-				worst.PeakV = res.PeakV
-				worst.Aggressors = res.ActiveAggressors
-			}
-		}
-		if worst.FracVdd >= v.cfg.GlitchThresholdFrac {
-			for _, r := range v.des.Nets[cl.Victim].Receivers {
-				if r.Cell.Sequential {
-					worst.LatchInput = true
-					break
-				}
-			}
-			// Noise-margin classification: does any receiver amplify the
-			// glitch past its unity-gain corner?
-			heldLow := worst.PeakV > 0
-			for _, r := range v.des.Nets[cl.Victim].Receivers {
-				vtc, err := cells.CharacterizeVTC(r.Cell)
-				if err != nil {
-					return nil, fmt.Errorf("xtverify: VTC of %s: %w", r.Cell.Name, err)
-				}
-				if vtc.GlitchPropagates(worst.PeakV, heldLow) {
-					worst.Propagates = true
-					break
-				}
-			}
-			rep.Violations = append(rep.Violations, worst)
-			flagged = append(flagged, cl)
-		}
-	}
-	if v.cfg.TransistorRecheck {
-		// Second-pass audit (the paper's future-work extension): confirm
-		// each flagged violation at transistor level in its worst polarity.
-		for i := range rep.Violations {
-			viol := &rep.Violations[i]
-			ref, err := eng.SPICEGlitch(flagged[i], viol.PeakV > 0, true)
-			if err != nil {
-				return nil, fmt.Errorf("xtverify: transistor recheck of %s: %w", viol.Victim, err)
-			}
-			viol.ConfirmedPeakV = ref.PeakV
-			frac := ref.PeakV / Vdd
-			if frac < 0 {
-				frac = -frac
-			}
-			viol.Confirmed = frac >= v.cfg.GlitchThresholdFrac
-		}
-	}
-	sort.Slice(rep.Violations, func(i, j int) bool {
-		if rep.Violations[i].FracVdd != rep.Violations[j].FracVdd {
-			return rep.Violations[i].FracVdd > rep.Violations[j].FracVdd
-		}
-		return rep.Violations[i].Victim < rep.Violations[j].Victim
-	})
-	return rep, nil
+	return v.runEngine(context.Background(), runParams{workers: 1, strict: true})
 }
