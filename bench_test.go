@@ -7,6 +7,7 @@ package xtverify
 // *shape* results ride along with the timing.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -191,9 +192,13 @@ func BenchmarkSyMPVLReduce(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// One reusable workspace, as the glitch engine holds per analysis engine:
+	// steady-state allocation is what the analysis loop actually pays.
+	ws := &sympvl.Workspace{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sympvl.Reduce(sys, sympvl.Options{Order: 36}); err != nil {
+		if _, err := sympvl.Reduce(sys, sympvl.Options{Order: 36, Workspace: ws}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -203,6 +208,7 @@ func BenchmarkSyMPVLReduce(b *testing.B) {
 func BenchmarkROMTransient(b *testing.B) {
 	par, cl := benchCluster(b)
 	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelFixedR, FixedOhms: 1000, TEnd: 5e-9})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.AnalyzeGlitch(cl, true); err != nil {
@@ -217,6 +223,7 @@ func BenchmarkROMTransient(b *testing.B) {
 func BenchmarkSPICETransient(b *testing.B) {
 	par, cl := benchCluster(b)
 	eng := glitch.NewEngine(par, glitch.Options{Model: glitch.ModelFixedR, FixedOhms: 1000, TEnd: 5e-9})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.SPICEGlitch(cl, true, false); err != nil {
@@ -255,14 +262,7 @@ func BenchmarkAblationOrder(b *testing.B) {
 }
 
 func orderName(q int) string {
-	switch q {
-	case 4:
-		return "q=04"
-	case 8:
-		return "q=08"
-	default:
-		return "q=" + string(rune('0'+q/10)) + string(rune('0'+q%10))
-	}
+	return fmt.Sprintf("q=%02d", q)
 }
 
 // BenchmarkAblationPrune sweeps the capacitance-ratio threshold and reports

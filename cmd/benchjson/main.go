@@ -1,0 +1,163 @@
+// Command benchjson runs the repository benchmark suite and writes the
+// results as machine-readable JSON, so the performance trajectory of the
+// numeric core can be tracked across PRs (BENCH_0.json, BENCH_1.json, ...).
+//
+// It shells out to `go test -bench` with -benchmem, parses the standard
+// benchmark output format (including custom b.ReportMetric columns such as
+// errpct and speedup-x), and emits one snapshot file:
+//
+//	go run ./cmd/benchjson                      # auto-numbered BENCH_<n>.json
+//	go run ./cmd/benchjson -bench 'Reduce' -out BENCH_pre.json
+//
+// The default benchmark set is the core-kernel trio whose regression budget
+// the acceptance criteria track, plus the sparse-kernel comparison; pass
+// -bench '.' for the full suite (slow: every paper table/figure re-runs).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench is the core-kernel set: cheap enough for routine snapshots,
+// covering the hot paths (reduction, ROM transient, reference SPICE, SpMV).
+const defaultBench = "BenchmarkSyMPVLReduce$|BenchmarkROMTransient$|BenchmarkSPICETransient$|BenchmarkSparseMulVec"
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the serialized form of one benchmark run.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Bench      string      `json:"bench"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "", "output file; default: first unused BENCH_<n>.json")
+	count := flag.Int("count", 1, "go test -count value")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(buf.Bytes())
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stderr.Write(buf.Bytes())
+
+	snap := Snapshot{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		Benchtime: *benchtime,
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		for n := 0; ; n++ {
+			p := fmt.Sprintf("BENCH_%d.json", n)
+			if _, err := os.Stat(p); os.IsNotExist(err) {
+				path = p
+				break
+			}
+		}
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSyMPVLReduce-8   312   3471768 ns/op   2472744 B/op   4268 allocs/op   1.25 errpct
+//
+// Every column after the iteration count is a "value unit" pair; ns/op, B/op
+// and allocs/op land in dedicated fields, anything else in Metrics.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}

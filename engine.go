@@ -76,6 +76,12 @@ type Diagnostics struct {
 	Degraded int
 	// Unverified counts clusters every rung failed on.
 	Unverified int
+	// ROMCacheHits and ROMCacheMisses count reduced-model memoization
+	// outcomes across the run (both zero when the cache is disabled). They
+	// are diagnostics only and deliberately absent from WriteText: eviction
+	// and scheduling make them run-dependent, and the report must stay
+	// byte-identical between serial and parallel runs.
+	ROMCacheHits, ROMCacheMisses uint64
 	// Clusters holds one outcome per analyzed cluster, in victim order.
 	Clusters []ClusterOutcome
 }
@@ -146,6 +152,15 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 		Order:               v.cfg.ReducedOrder,
 		UseTimingWindows:    v.cfg.UseTimingWindows,
 		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+		DisableROMCache:     v.cfg.DisableROMCache,
+	}
+	// One ROM cache for the whole run, shared by every worker and every
+	// ladder rung (Gmin and order changes are part of the cache key), so
+	// structurally identical clusters reduce once chip-wide.
+	var romCache *glitch.ROMCache
+	if !v.cfg.DisableROMCache {
+		romCache = glitch.NewROMCache(glitch.DefaultROMCacheCap)
+		baseOpts.Cache = romCache
 	}
 	workers := p.workers
 	if workers <= 0 {
@@ -246,6 +261,9 @@ feed:
 		}
 	}
 	diag.WallTime = time.Since(start)
+	if romCache != nil {
+		diag.ROMCacheHits, diag.ROMCacheMisses = romCache.Stats()
+	}
 	rep.Diagnostics = diag
 	sort.Slice(rep.Violations, func(i, j int) bool {
 		if rep.Violations[i].FracVdd != rep.Violations[j].FracVdd {

@@ -371,6 +371,77 @@ func TestWorkersRace(t *testing.T) {
 	wg.Wait()
 }
 
+// TestROMCacheParallelByteIdentical is the memoization acceptance check: with
+// the ROM cache on (the default), a Workers=8 parallel run must render a
+// byte-identical WriteText report to the serial strict Run — under cache
+// contention, hit/miss interleaving and LRU eviction alike — and so must a
+// cache-disabled run, proving the cache never changes a reported number.
+func TestROMCacheParallelByteIdentical(t *testing.T) {
+	render := func(cfg Config, parallel bool) string {
+		t.Helper()
+		v := engineVerifier(t, cfg)
+		var (
+			rep *Report
+			err error
+		)
+		if parallel {
+			rep, err = v.RunContext(context.Background())
+		} else {
+			rep, err = v.Run()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wall times differ run to run; reports are compared without the
+		// diagnostics block, which TestParallelMatchesSerial covers separately.
+		rep.Diagnostics = nil
+		var sb strings.Builder
+		if err := rep.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	base := Config{Model: FixedResistance, CapRatioThreshold: 0.03}
+	serial := render(base, false)
+
+	par := base
+	par.Workers = 8
+	if got := render(par, true); got != serial {
+		t.Errorf("cached parallel report differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, got)
+	}
+
+	off := par
+	off.DisableROMCache = true
+	if got := render(off, true); got != serial {
+		t.Errorf("cache-disabled report differs from cached serial:\n--- serial ---\n%s--- disabled ---\n%s", serial, got)
+	}
+
+	// The comparison above is only meaningful if the cache actually engaged:
+	// the bench design repeats wire patterns, so a full run must see hits.
+	v := engineVerifier(t, par)
+	rep, err := v.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Diagnostics
+	if d.ROMCacheMisses == 0 {
+		t.Error("cached run recorded no misses; cache appears disconnected")
+	}
+	if d.ROMCacheHits == 0 {
+		t.Error("cached run recorded no hits; fingerprinting appears ineffective")
+	}
+
+	vOff := engineVerifier(t, off)
+	repOff, err := vOff.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dOff := repOff.Diagnostics; dOff.ROMCacheHits != 0 || dOff.ROMCacheMisses != 0 {
+		t.Errorf("disabled cache reported activity: %d hits, %d misses", dOff.ROMCacheHits, dOff.ROMCacheMisses)
+	}
+}
+
 // TestZeroConfigDefaultsToNonlinear pins the setDefaults fix: a zero-valued
 // Config must resolve to the nonlinear cell model, while an explicit
 // FixedResistance request must survive even with FixedOhms defaulted.

@@ -257,23 +257,23 @@ func (c *Circuit) Stats() Stats {
 // nodes, values are positive, port nodes exist, and every non-ground node is
 // reachable from some port through resistors (no floating resistive islands,
 // which would make the conductance matrix singular).
+//
+// Validate runs on every cluster the engine analyzes, so the happy path
+// avoids per-element work beyond the checks themselves: error strings are
+// only built once a violation is found, and the reachability sweep uses a
+// flat counted adjacency instead of per-node growing slices.
 func (c *Circuit) Validate() error {
 	n := c.NumNodes()
-	checkNode := func(id NodeID, what string) error {
-		if id == Ground {
-			return nil
-		}
-		if id < 0 || int(id) >= n {
-			return fmt.Errorf("circuit %q: %s references invalid node %d", c.Name, what, id)
-		}
-		return nil
+	badNode := func(id NodeID) bool {
+		return id != Ground && (id < 0 || int(id) >= n)
 	}
 	for _, r := range c.Resistors {
-		if err := checkNode(r.A, "resistor "+r.Name); err != nil {
-			return err
-		}
-		if err := checkNode(r.B, "resistor "+r.Name); err != nil {
-			return err
+		if badNode(r.A) || badNode(r.B) {
+			bad := r.A
+			if !badNode(bad) {
+				bad = r.B
+			}
+			return fmt.Errorf("circuit %q: resistor %s references invalid node %d", c.Name, r.Name, bad)
 		}
 		if r.Ohms <= 0 {
 			return fmt.Errorf("circuit %q: resistor %s has non-positive value %g", c.Name, r.Name, r.Ohms)
@@ -283,39 +283,50 @@ func (c *Circuit) Validate() error {
 		}
 	}
 	for _, cap := range c.Capacitors {
-		if err := checkNode(cap.A, "capacitor "+cap.Name); err != nil {
-			return err
-		}
-		if err := checkNode(cap.B, "capacitor "+cap.Name); err != nil {
-			return err
+		if badNode(cap.A) || badNode(cap.B) {
+			bad := cap.A
+			if !badNode(bad) {
+				bad = cap.B
+			}
+			return fmt.Errorf("circuit %q: capacitor %s references invalid node %d", c.Name, cap.Name, bad)
 		}
 		if cap.Farads <= 0 {
 			return fmt.Errorf("circuit %q: capacitor %s has non-positive value %g", c.Name, cap.Name, cap.Farads)
 		}
 	}
 	for _, p := range c.Ports {
-		if err := checkNode(p.Node, "port "+p.Name); err != nil {
-			return err
+		if badNode(p.Node) {
+			return fmt.Errorf("circuit %q: port %s references invalid node %d", c.Name, p.Name, p.Node)
 		}
 		if p.Node == Ground {
 			return fmt.Errorf("circuit %q: port %s attached to ground", c.Name, p.Name)
 		}
 	}
-	// Resistive reachability from ports.
+	// Resistive reachability from ports, over a counted flat adjacency.
 	if n > 0 {
-		adj := make([][]int, n)
-		addEdge := func(a, b NodeID) {
-			if a == Ground || b == Ground {
-				return
-			}
-			adj[a] = append(adj[a], int(b))
-			adj[b] = append(adj[b], int(a))
-		}
+		deg := make([]int, n+1)
 		for _, r := range c.Resistors {
-			addEdge(r.A, r.B)
+			if r.A != Ground && r.B != Ground {
+				deg[r.A+1]++
+				deg[r.B+1]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			deg[i+1] += deg[i]
+		}
+		backing := make([]int, deg[n])
+		fill := make([]int, n)
+		copy(fill, deg[:n])
+		for _, r := range c.Resistors {
+			if r.A != Ground && r.B != Ground {
+				backing[fill[r.A]] = int(r.B)
+				fill[r.A]++
+				backing[fill[r.B]] = int(r.A)
+				fill[r.B]++
+			}
 		}
 		seen := make([]bool, n)
-		var stack []int
+		stack := make([]int, 0, n)
 		for _, p := range c.Ports {
 			if !seen[p.Node] {
 				seen[p.Node] = true
@@ -325,7 +336,7 @@ func (c *Circuit) Validate() error {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range adj[v] {
+			for _, w := range backing[deg[v]:fill[v]] {
 				if !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)

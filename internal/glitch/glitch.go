@@ -81,6 +81,14 @@ type Options struct {
 	// MNA system directly — the last-resort rung of the fallback ladder.
 	// Much slower, but immune to reduction breakdowns.
 	DirectMNA bool
+	// Cache memoizes SyMPVL reductions keyed by the structural fingerprint
+	// of the pruned cluster. Share one cache across engines (the verifier's
+	// worker pool does) to reuse models between structurally identical
+	// clusters. NewEngine installs a private cache when nil unless
+	// DisableROMCache is set.
+	Cache *ROMCache
+	// DisableROMCache turns reduced-model memoization off entirely.
+	DisableROMCache bool
 }
 
 func (o *Options) setDefaults() {
@@ -130,16 +138,62 @@ type Result struct {
 	ClusterNodes int
 }
 
-// Engine performs analyses against one design's parasitics.
+// Engine performs analyses against one design's parasitics. An Engine is not
+// safe for concurrent use (it owns a reusable Lanczos workspace); the shared
+// pieces — Parasitics and the ROM cache — may be referenced by many engines.
 type Engine struct {
 	Par *extract.Parasitics
 	Opt Options
+
+	// ws is the engine-private SyMPVL scratch arena, reused across every
+	// reduction this engine performs.
+	ws *sympvl.Workspace
+	// memo caches the most recent cluster's built circuit, port resolution
+	// and assembled MNA system. The engine analyzes each cluster several
+	// times back to back (two glitch polarities, delay with and without
+	// coupling), and all of those share the identical structures.
+	memo struct {
+		cl        *prune.Cluster
+		decoupled bool
+		ckt       *circuit.Circuit
+		cp        *clusterPorts
+		sys       *mna.System
+	}
+}
+
+// clusterSystem returns the built circuit, resolved ports and MNA system for
+// cl, reusing the memoized copies when the same cluster is re-analyzed under
+// the same decoupling. The memo is only valid because all three structures
+// are treated as immutable after construction; callers that edit the circuit
+// (repair transforms) must build their own copy and bypass the memo.
+func (e *Engine) clusterSystem(cl *prune.Cluster, decoupled bool) (*circuit.Circuit, *clusterPorts, *mna.System, error) {
+	if e.memo.cl == cl && e.memo.decoupled == decoupled {
+		return e.memo.ckt, e.memo.cp, e.memo.sys, nil
+	}
+	ckt, err := prune.BuildCircuit(e.Par, cl)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cp, err := resolvePorts(e.Par, cl, ckt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sys, err := mna.FromCircuit(ckt, mna.Options{DecoupleAll: decoupled, Gmin: e.Opt.Gmin})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	e.memo.cl, e.memo.decoupled = cl, decoupled
+	e.memo.ckt, e.memo.cp, e.memo.sys = ckt, cp, sys
+	return ckt, cp, sys, nil
 }
 
 // NewEngine constructs an engine.
 func NewEngine(par *extract.Parasitics, opt Options) *Engine {
 	opt.setDefaults()
-	return &Engine{Par: par, Opt: opt}
+	if opt.Cache == nil && !opt.DisableROMCache {
+		opt.Cache = NewROMCache(DefaultROMCacheCap)
+	}
+	return &Engine{Par: par, Opt: opt, ws: &sympvl.Workspace{}}
 }
 
 // strongestPin returns the driver pin with the widest output stage —
@@ -354,6 +408,35 @@ func (e *Engine) reducedOrder(p int) int {
 	return f * p
 }
 
+// reduceModel runs the SyMPVL reduction for sys, memoized through the ROM
+// cache when cacheable. cacheable must be false whenever the circuit no
+// longer matches what prune.BuildCircuit produced (repair-advisor transforms),
+// since the fingerprint is computed from ckt. Cache hits return the shared
+// canonical model rebound to this cluster's port names; the rebinding also
+// drops the model's lazy eigendecomposition cache so concurrent users never
+// race on it. The memoized values are bit-identical to a fresh reduction:
+// Reduce is deterministic in (G, C, B), and the fingerprint pins down exactly
+// those matrices plus the gmin/order/decoupling parameters that shaped them.
+func (e *Engine) reduceModel(ctx context.Context, sys *mna.System, ckt *circuit.Circuit,
+	order int, decoupled, cacheable bool) (*sympvl.Model, error) {
+	reduce := func() (*sympvl.Model, error) {
+		return sympvl.Reduce(sys, sympvl.Options{Order: order, Check: ctx.Err, Workspace: e.ws})
+	}
+	if !cacheable || e.Opt.Cache == nil || e.Opt.DisableROMCache {
+		return reduce()
+	}
+	gmin := e.Opt.Gmin
+	if gmin == 0 {
+		gmin = mna.DefaultGmin
+	}
+	key := prune.Fingerprint(ckt, gmin, order, decoupled)
+	m, err := e.Opt.Cache.GetOrCompute(key, reduce)
+	if err != nil {
+		return nil, err
+	}
+	return m.WithPortNames(sys.PortNames), nil
+}
+
 // loadEstimate approximates the total load a net's driver sees (wire +
 // pins), used to parameterize the driver models.
 func (e *Engine) loadEstimate(net int) float64 {
@@ -382,25 +465,36 @@ func (e *Engine) analyzeGlitchCustom(ctx context.Context, cl *prune.Cluster, gli
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ckt, err := prune.BuildCircuit(e.Par, cl)
-	if err != nil {
-		return nil, err
-	}
+	var (
+		ckt *circuit.Circuit
+		cp  *clusterPorts
+		sys *mna.System
+		err error
+	)
 	if transform != nil {
+		// The transform may edit the circuit in place; build a private copy
+		// and keep it out of the memo.
+		ckt, err = prune.BuildCircuit(e.Par, cl)
+		if err != nil {
+			return nil, err
+		}
 		ckt = transform(ckt)
-	}
-	cp, err := resolvePorts(e.Par, cl, ckt)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := mna.FromCircuit(ckt, mna.Options{Gmin: e.Opt.Gmin})
-	if err != nil {
+		if cp, err = resolvePorts(e.Par, cl, ckt); err != nil {
+			return nil, err
+		}
+		if sys, err = mna.FromCircuit(ckt, mna.Options{Gmin: e.Opt.Gmin}); err != nil {
+			return nil, err
+		}
+	} else if ckt, cp, sys, err = e.clusterSystem(cl, false); err != nil {
 		return nil, err
 	}
 	var model *sympvl.Model
 	if !e.Opt.DirectMNA {
 		order := e.reducedOrder(sys.P)
-		model, err = sympvl.Reduce(sys, sympvl.Options{Order: order, Check: ctx.Err})
+		// Repair-advisor hooks edit the circuit or the terminations in ways
+		// the fingerprint cannot see; bypass the cache for those runs.
+		cacheable := transform == nil && victimCell == nil
+		model, err = e.reduceModel(ctx, sys, ckt, order, false, cacheable)
 		if err != nil {
 			return nil, err
 		}
@@ -484,20 +578,14 @@ type DelayResult struct {
 // switch in the opposite direction (worst case) or with coupling grounded
 // (the decoupled baseline).
 func (e *Engine) AnalyzeDelay(cl *prune.Cluster, victimRising, withCoupling bool) (*DelayResult, error) {
-	ckt, err := prune.BuildCircuit(e.Par, cl)
-	if err != nil {
-		return nil, err
-	}
-	cp, err := resolvePorts(e.Par, cl, ckt)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := mna.FromCircuit(ckt, mna.Options{DecoupleAll: !withCoupling, Gmin: e.Opt.Gmin})
+	ckt, cp, sys, err := e.clusterSystem(cl, !withCoupling)
 	if err != nil {
 		return nil, err
 	}
 	order := e.reducedOrder(sys.P)
-	model, err := sympvl.Reduce(sys, sympvl.Options{Order: order})
+	// The decoupled baseline zeroes coupling capacitors during assembly, so
+	// the same circuit yields a different C; the flag keys the cache apart.
+	model, err := e.reduceModel(context.Background(), sys, ckt, order, !withCoupling, true)
 	if err != nil {
 		return nil, err
 	}

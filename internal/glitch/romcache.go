@@ -1,0 +1,117 @@
+package glitch
+
+import (
+	"container/list"
+	"sync"
+
+	"xtverify/internal/sympvl"
+)
+
+// DefaultROMCacheCap bounds the number of memoized reduced-order models kept
+// by a ROMCache unless the caller chooses a different capacity. Each entry
+// holds a q×q projection and a q×p start block (a few kilobytes at typical
+// orders), so the default costs at most a few megabytes.
+const DefaultROMCacheCap = 256
+
+// ROMCache memoizes SyMPVL reductions across clusters, keyed by the
+// structural fingerprint of the pruned cluster circuit (prune.Fingerprint).
+// Parallel buses and datapaths repeat the same RC pattern net after net;
+// reducing that pattern once and sharing the model is the single biggest
+// chip-level saving after the reduction itself.
+//
+// The cache is safe for concurrent use by the engine's worker pool. Lookups
+// of a key that is currently being computed by another worker block until
+// that computation finishes (singleflight); if the computation fails — which
+// includes the computing worker's context being cancelled — the waiters
+// retry the computation themselves rather than inheriting an error from a
+// context that is not theirs. Completed entries are kept in a bounded LRU.
+//
+// Correctness note: keys are the full serialized fingerprint bytes, not a
+// hash, so two different clusters can never collide into the same model.
+type ROMCache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]*list.Element // completed models, keyed by fingerprint
+	order    *list.List               // LRU order: front = most recent
+	inflight map[string]chan struct{}
+	hits     uint64
+	misses   uint64
+}
+
+type romEntry struct {
+	key   string
+	model *sympvl.Model
+}
+
+// NewROMCache returns a cache bounded to capacity completed entries
+// (DefaultROMCacheCap if capacity <= 0).
+func NewROMCache(capacity int) *ROMCache {
+	if capacity <= 0 {
+		capacity = DefaultROMCacheCap
+	}
+	return &ROMCache{
+		cap:      capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+// GetOrCompute returns the cached model for key, or runs compute to produce
+// it. Concurrent callers with the same key share one computation; a failed
+// computation is not cached and surviving waiters re-attempt it themselves.
+// The returned model is the shared canonical instance — callers must treat
+// it as immutable (use Model.WithPortNames for per-cluster naming).
+func (c *ROMCache) GetOrCompute(key string, compute func() (*sympvl.Model, error)) (*sympvl.Model, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			m := el.Value.(*romEntry).model
+			c.mu.Unlock()
+			return m, nil
+		}
+		if done, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-done
+			continue // either cached now, or the compute failed: retry
+		}
+		c.misses++
+		done := make(chan struct{})
+		c.inflight[key] = done
+		c.mu.Unlock()
+
+		m, err := compute()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			el := c.order.PushFront(&romEntry{key: key, model: m})
+			c.entries[key] = el
+			for c.order.Len() > c.cap {
+				back := c.order.Back()
+				c.order.Remove(back)
+				delete(c.entries, back.Value.(*romEntry).key)
+			}
+		}
+		c.mu.Unlock()
+		close(done)
+		return m, err
+	}
+}
+
+// Stats returns the cumulative hit and miss counts. Misses count compute
+// attempts (failed attempts included).
+func (c *ROMCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of completed entries currently cached.
+func (c *ROMCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -184,19 +184,25 @@ func (m *Dense) Mul(b *Dense) *Dense {
 
 // MulVec returns the matrix-vector product m·x.
 func (m *Dense) MulVec(x []float64) []float64 {
-	if m.cols != len(x) {
-		panic("matrix: MulVec dimension mismatch")
-	}
 	out := make([]float64, m.rows)
+	m.MulVecTo(out, x)
+	return out
+}
+
+// MulVecTo computes dst = m·x in place without allocating. dst must not
+// alias x.
+func (m *Dense) MulVecTo(dst, x []float64) {
+	if m.cols != len(x) || m.rows != len(dst) {
+		panic("matrix: MulVecTo dimension mismatch")
+	}
 	for i := 0; i < m.rows; i++ {
 		s := 0.0
 		mi := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range mi {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // MulVecT returns mᵀ·x without forming the transpose.
@@ -332,11 +338,21 @@ func FactorLU(a *Dense) (*LU, error) {
 
 // Solve solves A·x = b for x given the factorization.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	n := f.lu.rows
-	if len(b) != n {
-		return nil, fmt.Errorf("matrix: LU.Solve length mismatch %d vs %d", len(b), n)
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveTo(x, b); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveTo solves A·x = b into dst without allocating. dst must not alias b
+// (the pivot gather reads b after dst positions are written).
+func (f *LU) SolveTo(dst, b []float64) error {
+	n := f.lu.rows
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("matrix: LU.SolveTo length mismatch %d vs %d", len(b), n)
+	}
+	x := dst
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -358,11 +374,85 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		d := ri[i]
 		if d == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = s / d
 	}
-	return x, nil
+	return nil
+}
+
+// SolveLUInPlace factors the square matrix a in place with partial pivoting
+// (destroying its contents) and overwrites b with the solution of a·x = b.
+// piv is caller-provided scratch of length a.Rows(). It is the
+// zero-allocation path for the small Woodbury core systems solved at every
+// Newton iteration of the transient integrators.
+func SolveLUInPlace(a *Dense, piv []int, b []float64) error {
+	if a.rows != a.cols {
+		return fmt.Errorf("matrix: SolveLUInPlace needs square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	if len(piv) != n || len(b) != n {
+		return fmt.Errorf("matrix: SolveLUInPlace scratch length mismatch")
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		maxv := math.Abs(a.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a.data[i*n+k]); v > maxv {
+				maxv, p = v, i
+			}
+		}
+		if maxv == 0 {
+			return ErrSingular
+		}
+		// Record the swap LAPACK-style (row p exchanged with row k at step
+		// k); replaying the same swaps on b applies the pivot permutation.
+		piv[k] = p
+		if p != k {
+			rk, rp := a.data[k*n:(k+1)*n], a.data[p*n:(p+1)*n]
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		pivot := a.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			lik := a.data[i*n+k] / pivot
+			a.data[i*n+k] = lik
+			if lik == 0 {
+				continue
+			}
+			ri, rk := a.data[i*n:(i+1)*n], a.data[k*n:(k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= lik * rk[j]
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		if p := piv[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+	for i := 1; i < n; i++ {
+		ri := a.data[i*n : (i+1)*n]
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * b[j]
+		}
+		b[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		ri := a.data[i*n : (i+1)*n]
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * b[j]
+		}
+		d := ri[i]
+		if d == 0 {
+			return ErrSingular
+		}
+		b[i] = s / d
+	}
+	return nil
 }
 
 // Det returns the determinant from the factorization.

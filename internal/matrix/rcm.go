@@ -1,11 +1,15 @@
 package matrix
 
-import "sort"
-
 // RCM computes a reverse Cuthill–McKee ordering for the graph given by the
 // adjacency lists. It returns perm with perm[old] = new, chosen to reduce the
 // matrix profile before skyline factorization. Disconnected components are
 // handled by restarting from the lowest-degree unvisited node.
+//
+// The BFS queue is the visit-order slice itself (every dequeued node is
+// appended to the order in enqueue order, so the two sequences coincide), and
+// freshly enqueued neighbours are degree-sorted in place with a stable
+// insertion sort — RC-network degrees are tiny, and this keeps the whole
+// routine at three allocations regardless of graph size.
 func RCM(adj [][]int) []int {
 	n := len(adj)
 	order := make([]int, 0, n) // Cuthill–McKee visit order (old indices)
@@ -14,6 +18,7 @@ func RCM(adj [][]int) []int {
 	for i, a := range adj {
 		deg[i] = len(a)
 	}
+	head := 0
 	for len(order) < n {
 		// Pick the unvisited node with minimum degree as the component root.
 		root := -1
@@ -23,21 +28,28 @@ func RCM(adj [][]int) []int {
 			}
 		}
 		visited[root] = true
-		queue := []int{root}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
+		order = append(order, root)
+		for head < len(order) {
+			v := order[head]
+			head++
 			// Enqueue unvisited neighbours in increasing degree order.
-			nbrs := make([]int, 0, len(adj[v]))
+			start := len(order)
 			for _, w := range adj[v] {
 				if !visited[w] {
 					visited[w] = true
-					nbrs = append(nbrs, w)
+					order = append(order, w)
 				}
 			}
-			sort.Slice(nbrs, func(a, b int) bool { return deg[nbrs[a]] < deg[nbrs[b]] })
-			queue = append(queue, nbrs...)
+			seg := order[start:]
+			for a := 1; a < len(seg); a++ {
+				x := seg[a]
+				b := a - 1
+				for b >= 0 && deg[seg[b]] > deg[x] {
+					seg[b+1] = seg[b]
+					b--
+				}
+				seg[b+1] = x
+			}
 		}
 	}
 	// Reverse the Cuthill–McKee order and convert to old→new form.

@@ -211,41 +211,60 @@ func (m *Skyline) SolveCholesky(b []float64) []float64 {
 // matrix. This is the F⁻ᵀ application in the SyMPVL symmetrization where
 // G = Fᵀ·F with F = Lᵀ.
 func (m *Skyline) SolveLower(b []float64) []float64 {
+	y := make([]float64, m.t.n)
+	m.SolveLowerTo(y, b)
+	return y
+}
+
+// SolveLowerTo solves L·y = b into dst without allocating. dst may alias b:
+// the forward sweep reads b[i] before overwriting position i and only ever
+// reads already-written positions j < i afterwards.
+func (m *Skyline) SolveLowerTo(dst, b []float64) {
 	t := m.t
-	if len(b) != t.n {
-		panic("matrix: SolveLower length mismatch")
+	if len(b) != t.n || len(dst) != t.n {
+		panic("matrix: SolveLowerTo length mismatch")
 	}
-	y := make([]float64, t.n)
 	for i := 0; i < t.n; i++ {
 		s := b[i]
 		fi := t.first[i]
 		base := t.rowptr[i]
 		for j := fi; j < i; j++ {
-			s -= m.low[base+(j-fi)] * y[j]
+			s -= m.low[base+(j-fi)] * dst[j]
 		}
-		y[i] = s / m.diag[i]
+		dst[i] = s / m.diag[i]
 	}
-	return y
 }
 
 // SolveLowerT solves Lᵀ·x = y (back substitution, column sweep) on a
 // Cholesky-factored matrix. This is the F⁻¹ application in SyMPVL.
 func (m *Skyline) SolveLowerT(y []float64) []float64 {
+	x := make([]float64, m.t.n)
+	m.SolveLowerTTo(x, y)
+	return x
+}
+
+// SolveLowerTTo solves Lᵀ·x = y into dst without allocating. dst may alias y
+// (the column sweep works on dst in place after the initial copy).
+func (m *Skyline) SolveLowerTTo(dst, y []float64) {
 	t := m.t
-	if len(y) != t.n {
-		panic("matrix: SolveLowerT length mismatch")
+	if len(y) != t.n || len(dst) != t.n {
+		panic("matrix: SolveLowerTTo length mismatch")
 	}
-	x := CloneVec(y)
+	if t.n == 0 {
+		return
+	}
+	if &dst[0] != &y[0] {
+		copy(dst, y)
+	}
 	for j := t.n - 1; j >= 0; j-- {
-		x[j] /= m.diag[j]
+		dst[j] /= m.diag[j]
 		fj := t.first[j]
 		base := t.rowptr[j]
-		xj := x[j]
+		xj := dst[j]
 		for i := fj; i < j; i++ {
-			x[i] -= m.low[base+(i-fj)] * xj
+			dst[i] -= m.low[base+(i-fj)] * xj
 		}
 	}
-	return x
 }
 
 // FactorLU factors the general matrix in place as L·U with unit-lower L
@@ -298,12 +317,21 @@ func (m *Skyline) FactorLU() error {
 
 // SolveLU solves A·x = b after FactorLU.
 func (m *Skyline) SolveLU(b []float64) []float64 {
+	x := make([]float64, m.t.n)
+	m.SolveLUTo(x, b)
+	return x
+}
+
+// SolveLUTo solves A·x = b after FactorLU, writing x into dst without
+// allocating. dst may alias b.
+func (m *Skyline) SolveLUTo(dst, b []float64) {
 	t := m.t
-	if len(b) != t.n {
-		panic("matrix: SolveLU length mismatch")
+	if len(b) != t.n || len(dst) != t.n {
+		panic("matrix: SolveLUTo length mismatch")
 	}
 	// Forward: L·y = b with unit diagonal.
-	x := CloneVec(b)
+	x := dst
+	copy(x, b)
 	for i := 0; i < t.n; i++ {
 		fi := t.first[i]
 		base := t.rowptr[i]
@@ -323,7 +351,6 @@ func (m *Skyline) SolveLU(b []float64) []float64 {
 			x[i] -= m.upp[base+(i-fj)] * xj
 		}
 	}
-	return x
 }
 
 // MulVec computes A·x for an unfactored skyline matrix.

@@ -12,18 +12,20 @@ type Coord struct {
 }
 
 // Sparse accumulates entries of an n×n sparse matrix in coordinate form with
-// duplicate summing. It is the assembly-side representation used by MNA
-// stamping; factorizations convert it to skyline storage.
+// duplicate summing. It is strictly the assembly-side representation used by
+// MNA stamping: once stamping completes, callers freeze it with Compile into
+// an immutable CSR matrix, and all hot loops run on that. Keeping the
+// map-backed accumulator out of the simulation paths removes both the
+// per-entry hash lookups and the historical hazard of the sorted-key cache
+// going stale under interleaved Add/MulVec.
 type Sparse struct {
 	n       int
 	entries map[int64]float64
 	// keys caches the sorted entry keys so value-accumulating iterations
-	// (MulVec) run in a fixed order: map iteration order is randomized per
-	// range statement, and letting it pick the summation order makes results
-	// differ in the last few ulps from one run to the next. Lazily built,
-	// invalidated whenever a new key appears. Not safe for concurrent
-	// MulVec on a matrix still being assembled — callers finish stamping
-	// before simulating, and each analysis owns its matrices.
+	// (MulVec, Entries) run in a fixed order: map iteration order is
+	// randomized per range statement, and letting it pick the summation
+	// order makes results differ in the last few ulps from one run to the
+	// next. Lazily built, invalidated whenever a new key appears.
 	keys []int64
 }
 

@@ -25,8 +25,11 @@ const DefaultGmin = 1e-9
 
 // System is the assembled MNA description of a cluster.
 type System struct {
-	// G and C are the n×n conductance and capacitance matrices.
-	G, C *matrix.Sparse
+	// G and C are the n×n conductance and capacitance matrices, frozen into
+	// compiled CSR form once stamping completes: every downstream consumer
+	// (SyMPVL reduction, direct MNA integration, frequency sweeps) traverses
+	// flat sorted arrays rather than the map-backed assembly accumulator.
+	G, C *matrix.CSR
 	// B is the n×p port incidence matrix: column k selects the node of
 	// port k.
 	B *matrix.Dense
@@ -66,21 +69,23 @@ func FromCircuit(c *circuit.Circuit, opt Options) (*System, error) {
 		src = c.Decoupled()
 	}
 	sys := &System{
-		G: matrix.NewSparse(n),
-		C: matrix.NewSparse(n),
 		B: matrix.NewDense(n, p),
 		N: n,
 		P: p,
 	}
+	g := matrix.NewSparse(n)
+	c2 := matrix.NewSparse(n)
 	for _, r := range src.Resistors {
-		sys.G.AddSym(int(r.A), int(r.B), 1/r.Ohms)
+		g.AddSym(int(r.A), int(r.B), 1/r.Ohms)
 	}
 	for _, cap := range src.Capacitors {
-		sys.C.AddSym(int(cap.A), int(cap.B), cap.Farads)
+		c2.AddSym(int(cap.A), int(cap.B), cap.Farads)
 	}
 	for i := 0; i < n; i++ {
-		sys.G.Add(i, i, gmin)
+		g.Add(i, i, gmin)
 	}
+	sys.G = g.Compile()
+	sys.C = c2.Compile()
 	for k, port := range src.Ports {
 		sys.B.Set(int(port.Node), k, 1)
 		sys.PortNames = append(sys.PortNames, port.Name)

@@ -1,0 +1,64 @@
+package prune
+
+import (
+	"encoding/binary"
+	"math"
+
+	"xtverify/internal/circuit"
+)
+
+// Fingerprint serializes the structure of a built cluster circuit — node
+// count, resistor and capacitor topology with exact element values, and port
+// wiring in declaration order — together with the analysis parameters that
+// select a reduction (grounding conductance, reduced order, decoupling).
+//
+// The key is canonical up to renaming: node indices and element order come
+// from BuildCircuit's deterministic net-traversal order, while net and node
+// NAMES are deliberately excluded. Two clusters that are structurally
+// identical (the common case on buses and datapaths, where parallel routes
+// repeat the same RC pattern) therefore produce the same fingerprint and can
+// share one SyMPVL reduction. Element values are folded in at full float64
+// precision, so "almost identical" clusters never collide.
+func Fingerprint(ckt *circuit.Circuit, gmin float64, order int, decoupled bool) string {
+	buf := make([]byte, 0, 8*(5+3*len(ckt.Resistors)+4*len(ckt.Capacitors)+3*len(ckt.Ports)))
+	var w [8]byte
+	putU := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	putI := func(v int) { putU(uint64(v)) }
+	putF := func(v float64) { putU(math.Float64bits(v)) }
+
+	putI(ckt.NumNodes())
+	putI(len(ckt.Resistors))
+	for _, r := range ckt.Resistors {
+		putI(int(r.A))
+		putI(int(r.B))
+		putF(r.Ohms)
+	}
+	putI(len(ckt.Capacitors))
+	for _, c := range ckt.Capacitors {
+		putI(int(c.A))
+		putI(int(c.B))
+		putF(c.Farads)
+		if c.Coupling {
+			putI(1)
+		} else {
+			putI(0)
+		}
+	}
+	putI(len(ckt.Ports))
+	for _, p := range ckt.Ports {
+		putI(int(p.Node))
+		putI(int(p.Kind))
+		putI(p.Net)
+	}
+	putF(gmin)
+	putI(order)
+	if decoupled {
+		putI(1)
+	} else {
+		putI(0)
+	}
+	return string(buf)
+}

@@ -109,18 +109,47 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 		return nil, fmt.Errorf("romsim: direct solve: %w", err)
 	}
 
+	// Per-step and per-iteration scratch, allocated once for the whole run:
+	// the Newton residual, the cached-LU solve target, the Woodbury core and
+	// its pivot/RHS buffers, the trapezoidal history, and the forcing vector.
+	scr := struct {
+		r, x0, s, rhs []float64
+		piv           []int
+		core          *matrix.Dense
+		hist, base, f []float64
+	}{
+		r:    make([]float64, n),
+		x0:   make([]float64, n),
+		s:    make([]float64, nNL),
+		rhs:  make([]float64, nNL),
+		piv:  make([]int, nNL),
+		core: matrix.NewDense(nNL, nNL),
+		hist: make([]float64, n),
+		base: make([]float64, n),
+		f:    make([]float64, n),
+	}
+
 	// newtonSolve solves (K + Σ s_k·e_k·e_kᵀ)·x = r with the cached LU of K
-	// via the Woodbury identity over the nonlinear port nodes.
+	// via the Woodbury identity over the nonlinear port nodes. The returned
+	// slice aliases scratch and is only valid until the next call.
 	newtonSolve := func(lu *matrix.LU, w [][]float64, s, r []float64) ([]float64, error) {
-		x0, err := lu.Solve(r)
-		if err != nil {
+		x0 := scr.x0
+		if err := lu.SolveTo(x0, r); err != nil {
 			return nil, err
 		}
 		if nNL == 0 {
 			return x0, nil
 		}
-		core := matrix.Identity(nNL)
-		rhs := make([]float64, nNL)
+		core, rhs := scr.core, scr.rhs
+		for c := 0; c < nNL; c++ {
+			for b := 0; b < nNL; b++ {
+				if c == b {
+					core.Set(c, b, 1)
+				} else {
+					core.Set(c, b, 0)
+				}
+			}
+		}
 		for c, jc := range nlPorts {
 			node := sys.PortNodes[jc]
 			for b := 0; b < nNL; b++ {
@@ -128,67 +157,64 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 			}
 			rhs[c] = s[c] * x0[node]
 		}
-		lucore, err := matrix.FactorLU(core)
-		if err != nil {
+		if err := matrix.SolveLUInPlace(core, scr.piv, rhs); err != nil {
 			return nil, fmt.Errorf("romsim: Woodbury core singular: %w", err)
 		}
-		z, err := lucore.Solve(rhs)
-		if err != nil {
-			return nil, err
-		}
 		for c := range nlPorts {
-			matrix.Axpy(-z[c], w[c], x0)
+			matrix.Axpy(-rhs[c], w[c], x0)
 		}
 		return x0, nil
 	}
 
-	// residual computes F(v) = K·v − base − Σ_nl e_k·i_k(v_k, t) and the
-	// s = −di/dv Jacobian factors.
-	residual := func(k *matrix.Dense, base, v []float64, t float64) (r, s []float64) {
-		r = k.MulVec(v)
+	// residualInto computes F(v) = K·v − base − Σ_nl e_k·i_k(v_k, t) into r
+	// and the s = −di/dv Jacobian factors into s.
+	residualInto := func(r, s []float64, k *matrix.Dense, base, v []float64, t float64) {
+		k.MulVecTo(r, v)
 		for i := range r {
 			r[i] -= base[i]
 		}
-		s = make([]float64, nNL)
 		for c, j := range nlPorts {
 			node := sys.PortNodes[j]
 			i, di := terms[j].Dev.Current(v[node], t)
 			r[node] -= i
 			s[c] = -di
 		}
-		return r, s
 	}
 
 	totalNewton := 0
-	newtonLoop := func(k *matrix.Dense, lu *matrix.LU, w [][]float64, base, v0 []float64, t float64) ([]float64, error) {
-		v := matrix.CloneVec(v0)
+	// newtonLoop drives vout (seeded from v0) to F(vout)=0. vout must not
+	// alias v0.
+	newtonLoop := func(k *matrix.Dense, lu *matrix.LU, w [][]float64, base, v0, vout []float64, t float64) error {
+		copy(vout, v0)
 		for it := 0; it < maxNewton; it++ {
 			totalNewton++
-			r, s := residual(k, base, v, t)
-			dv, err := newtonSolve(lu, w, s, r)
+			residualInto(scr.r, scr.s, k, base, vout, t)
+			dv, err := newtonSolve(lu, w, scr.s, scr.r)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			matrix.Axpy(-1, dv, v)
+			matrix.Axpy(-1, dv, vout)
 			if matrix.NormInf(dv) < tol {
-				return v, nil
+				return nil
 			}
 		}
-		return nil, fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
+		return fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
 	}
 
 	// Forcing from linear Thevenin sources at time t.
-	force := func(t float64) []float64 {
-		f := make([]float64, n)
+	forceInto := func(f []float64, t float64) {
+		for i := range f {
+			f[i] = 0
+		}
 		for _, j := range linPorts {
 			lt := terms[j].Linear
 			f[sys.PortNodes[j]] += lt.G * lt.Vs(t)
 		}
-		return f
 	}
 
 	// DC operating point with the a=0 matrix.
 	v := make([]float64, n)
+	vnext := make([]float64, n)
 	if !opt.NoInitDC {
 		luDC, err := matrix.FactorLU(kdc)
 		if err != nil {
@@ -198,11 +224,11 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 		if err != nil {
 			return nil, fmt.Errorf("romsim: direct DC solve: %w", err)
 		}
-		v0, err := newtonLoop(kdc, luDC, wDC, force(0), v, 0)
-		if err != nil {
+		forceInto(scr.f, 0)
+		if err := newtonLoop(kdc, luDC, wDC, scr.f, v, vnext, 0); err != nil {
 			return nil, fmt.Errorf("romsim: DC init: %w", err)
 		}
-		v = v0
+		v, vnext = vnext, v
 	}
 	vdot := make([]float64, n)
 
@@ -224,20 +250,23 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 		}
 		t := float64(step) * dt
 		// Trapezoidal: (a·C + G')·v_{n+1} = C·(a·v_n + v̇_n) + f(t) + B_nl·i.
-		hist := make([]float64, n)
+		// The history product uses the compiled CSR form of C — O(nnz), not
+		// the O(n²) dense sweep — which is exact: skipping structural zeros
+		// drops only additions of 0.
+		hist, base := scr.hist, scr.base
 		for i := 0; i < n; i++ {
 			hist[i] = a*v[i] + vdot[i]
 		}
-		base := cd.MulVec(hist)
-		matrix.Axpy(1, force(t), base)
-		vnew, err := newtonLoop(ktr, luTR, wTR, base, v, t)
-		if err != nil {
+		sys.C.MulVecTo(base, hist)
+		forceInto(scr.f, t)
+		matrix.Axpy(1, scr.f, base)
+		if err := newtonLoop(ktr, luTR, wTR, base, v, vnext, t); err != nil {
 			return nil, err
 		}
 		for i := 0; i < n; i++ {
-			vdot[i] = a*(vnew[i]-v[i]) - vdot[i]
+			vdot[i] = a*(vnext[i]-v[i]) - vdot[i]
 		}
-		v = vnew
+		v, vnext = vnext, v
 		for j := range res.Ports {
 			res.Ports[j].Append(t, v[sys.PortNodes[j]])
 		}

@@ -200,24 +200,48 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 		etaCols[j] = eta.Col(j)
 	}
 
+	// All per-step and per-Newton-iteration scratch is allocated once here
+	// and reused for the whole transient: the inner loop runs thousands of
+	// times per cluster and must not touch the allocator.
+	nNL := len(nlPorts)
+	scr := &simScratch{
+		delta: make([]float64, q),
+		base:  make([]float64, q),
+		r:     make([]float64, q),
+		dinvr: make([]float64, q),
+		s:     make([]float64, nNL),
+		rhs:   make([]float64, nNL),
+		piv:   make([]int, nNL),
+		core:  matrix.NewDense(nNL, nNL),
+		dinvU: make([][]float64, nNL),
+	}
+	dinvUData := make([]float64, nNL*q)
+	for c := range scr.dinvU {
+		scr.dinvU[c] = dinvUData[c*q : (c+1)*q]
+	}
+
 	// Forcing from linear sources: f(t) = Σ g_j·Vs_j(t)·η_j.
-	force := func(t float64) []float64 {
-		f := make([]float64, q)
+	forceInto := func(f []float64, t float64) {
+		for i := range f {
+			f[i] = 0
+		}
 		for _, j := range linPorts {
 			lt := terms[j].Linear
 			matrix.Axpy(lt.G*lt.Vs(t), etaCols[j], f)
 		}
-		return f
 	}
 
 	portV := func(y []float64, j int) float64 { return matrix.Dot(etaCols[j], y) }
 
 	// newtonSolve solves (Δ + Σ_nl (−di_k/dv)·η_k·η_kᵀ)·x = r via Woodbury,
 	// where Δ = diag(delta). s holds the −di/dv factors per nonlinear port.
-	nNL := len(nlPorts)
+	// The returned slice aliases scratch and is only valid until the next
+	// call.
 	newtonSolve := func(delta []float64, s []float64, r []float64) ([]float64, error) {
 		if opt.DenseNewton {
-			// Ablation path: assemble J = Δ + Σ s_c·η_c·η_cᵀ densely.
+			// Ablation path: assemble J = Δ + Σ s_c·η_c·η_cᵀ densely. Kept
+			// deliberately allocation-heavy and factorization-per-call — it
+			// exists to measure what Eq. 7 saves, not to be fast.
 			j := matrix.NewDense(q, q)
 			for i := 0; i < q; i++ {
 				j.Set(i, i, delta[i])
@@ -240,7 +264,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 			}
 			return lu.Solve(r)
 		}
-		dinvr := make([]float64, q)
+		dinvr := scr.dinvr
 		for i := range r {
 			dinvr[i] = r[i] / delta[i]
 		}
@@ -248,89 +272,92 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 			return dinvr, nil
 		}
 		// Small core system: (I + S·UᵀΔ⁻¹U)·z = S·UᵀΔ⁻¹r, x = Δ⁻¹r − Δ⁻¹U·z.
-		core := matrix.Identity(nNL)
-		rhs := make([]float64, nNL)
-		dinvU := make([][]float64, nNL)
+		core := scr.core
+		for a := 0; a < nNL; a++ {
+			for b := 0; b < nNL; b++ {
+				if a == b {
+					core.Set(a, b, 1)
+				} else {
+					core.Set(a, b, 0)
+				}
+			}
+		}
+		rhs := scr.rhs
 		for c, j := range nlPorts {
 			col := etaCols[j]
-			du := make([]float64, q)
+			du := scr.dinvU[c]
 			for i := 0; i < q; i++ {
 				du[i] = col[i] / delta[i]
 			}
-			dinvU[c] = du
 		}
 		for a, ja := range nlPorts {
 			ua := etaCols[ja]
 			for b := 0; b < nNL; b++ {
-				core.Add(a, b, s[a]*matrix.Dot(ua, dinvU[b]))
+				core.Add(a, b, s[a]*matrix.Dot(ua, scr.dinvU[b]))
 			}
 			rhs[a] = s[a] * matrix.Dot(ua, dinvr)
 		}
-		lu, err := matrix.FactorLU(core)
-		if err != nil {
+		// Factor and solve the tiny core in place; rhs becomes z.
+		if err := matrix.SolveLUInPlace(core, scr.piv, rhs); err != nil {
 			return nil, fmt.Errorf("romsim: Woodbury core singular: %w", err)
-		}
-		z, err := lu.Solve(rhs)
-		if err != nil {
-			return nil, err
 		}
 		x := dinvr
 		for c := range nlPorts {
-			matrix.Axpy(-z[c], dinvU[c], x)
+			matrix.Axpy(-rhs[c], scr.dinvU[c], x)
 		}
 		return x, nil
 	}
 
-	// residual computes R(y) = Δ∘y − base − η_nl·i(v,t) and the s = −di/dv
-	// factors, for a given diagonal delta and constant part base.
-	residual := func(delta, base, y []float64, t float64) (r []float64, s []float64) {
-		r = make([]float64, q)
+	// residualInto computes R(y) = Δ∘y − base − η_nl·i(v,t) into r and the
+	// s = −di/dv factors into s, for a given diagonal delta and constant part
+	// base.
+	residualInto := func(r, s, delta, base, y []float64, t float64) {
 		for i := range r {
 			r[i] = delta[i]*y[i] - base[i]
 		}
-		s = make([]float64, nNL)
 		for c, j := range nlPorts {
 			v := portV(y, j)
 			i, di := terms[j].Dev.Current(v, t)
 			matrix.Axpy(-i, etaCols[j], r)
 			s[c] = -di
 		}
-		return r, s
 	}
 
-	// newtonLoop drives y to R(y)=0 for the given delta/base/t.
+	// newtonLoop drives yout (seeded from y0) to R(yout)=0 for the given
+	// delta/base/t. yout must not alias y0.
 	totalNewton := 0
-	newtonLoop := func(delta, base, y0 []float64, t float64) ([]float64, error) {
-		y := matrix.CloneVec(y0)
+	newtonLoop := func(delta, base, y0, yout []float64, t float64) error {
+		copy(yout, y0)
 		for it := 0; it < maxNewton; it++ {
 			totalNewton++
-			r, s := residual(delta, base, y, t)
-			dy, err := newtonSolve(delta, s, r)
+			residualInto(scr.r, scr.s, delta, base, yout, t)
+			dy, err := newtonSolve(delta, scr.s, scr.r)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			matrix.Axpy(-1, dy, yAlias(y))
+			matrix.Axpy(-1, dy, yout)
 			// Convergence on the port-voltage scale: η is bounded, so the
 			// state-space norm is a safe proxy.
 			if matrix.NormInf(dy) < tol {
-				return y, nil
+				return nil
 			}
 		}
-		return nil, fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
+		return fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
 	}
 
 	// Initial condition: DC operating point (ẏ = 0 ⇒ Δ = 1).
 	y := make([]float64, q)
+	ynext := make([]float64, q)
 	if !opt.NoInitDC {
 		ones := make([]float64, q)
 		for i := range ones {
 			ones[i] = 1
 		}
-		y0, err := newtonLoop(ones, force(0), y, 0)
-		if err != nil {
+		forceInto(scr.base, 0)
+		if err := newtonLoop(ones, scr.base, y, ynext, 0); err != nil {
 			return nil, fmt.Errorf("romsim: DC init: %w", err)
 		}
-		y = y0
+		y, ynext = ynext, y
 	}
 	// ẏ at t=0 from D·ẏ = −R_alg(y); with DC init it is ~0. For simplicity
 	// and stability start trapezoidal with ẏ = 0 (consistent after DC init).
@@ -356,20 +383,19 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 		t := float64(n) * dt
 		// Trapezoidal: D·(a·(y−y_prev) − ẏ_prev) + y = f(t) + η·i.
 		// Δ_i = a·D_i + 1; base = f(t) + D∘(a·y_prev + ẏ_prev).
-		delta := make([]float64, q)
-		base := force(t)
+		delta, base := scr.delta, scr.base
+		forceInto(base, t)
 		for i := 0; i < q; i++ {
 			delta[i] = a*dvals[i] + 1
 			base[i] += dvals[i] * (a*y[i] + ydot[i])
 		}
-		ynew, err := newtonLoop(delta, base, y, t)
-		if err != nil {
+		if err := newtonLoop(delta, base, y, ynext, t); err != nil {
 			return nil, err
 		}
 		for i := 0; i < q; i++ {
-			ydot[i] = a*(ynew[i]-y[i]) - ydot[i]
+			ydot[i] = a*(ynext[i]-y[i]) - ydot[i]
 		}
-		y = ynew
+		y, ynext = ynext, y
 		for j := range res.Ports {
 			res.Ports[j].Append(t, portV(y, j))
 		}
@@ -379,5 +405,13 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 	return res, nil
 }
 
-// yAlias exists to make the in-place Axpy destination explicit.
-func yAlias(y []float64) []float64 { return y }
+// simScratch bundles the buffers Simulate's inner loops reuse across every
+// time step and Newton iteration.
+type simScratch struct {
+	delta, base []float64 // per-step trapezoidal diagonal and constant part
+	r, dinvr    []float64 // Newton residual and Δ⁻¹-scaled copies
+	s, rhs      []float64 // −di/dv factors and Woodbury core RHS
+	piv         []int     // pivot scratch for the in-place core solve
+	core        *matrix.Dense
+	dinvU       [][]float64 // Δ⁻¹·U columns over one flat backing array
+}

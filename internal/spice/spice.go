@@ -183,6 +183,7 @@ type engine struct {
 	tmpl    *matrix.SkylineTemplate
 	mat     *matrix.Skyline
 	rhs     []float64
+	xp      []float64 // permuted RHS / solution scratch for solveNewton
 	v       []float64 // full node voltages (driven + free)
 	t       float64
 	dt      float64 // 0 during DC solves (capacitors open)
@@ -242,12 +243,17 @@ func (n *Netlist) prepare(opt Options) (*engine, error) {
 	for _, b := range n.behaviorals {
 		pair(b.n, b.n)
 	}
-	adj := pat.Adjacency()
+	// Freeze the assembly-side pattern into CSR once: the RCM ordering and
+	// the skyline template derive from flat sorted arrays instead of the
+	// map-backed accumulator.
+	patc := pat.Compile()
+	adj := patc.Adjacency()
 	e.perm = matrix.RCM(adj)
-	permAdj := pat.Permuted(e.perm).Adjacency()
+	permAdj := patc.Permuted(e.perm).Adjacency()
 	e.tmpl = matrix.NewSkylineTemplate(permAdj, false)
 	e.mat = e.tmpl.NewMatrix()
 	e.rhs = make([]float64, len(e.free))
+	e.xp = make([]float64, len(e.free))
 	e.v = make([]float64, len(n.nodeNames))
 	return e, nil
 }
@@ -372,14 +378,19 @@ func (e *engine) solveNewton() error {
 			return fmt.Errorf("spice: t=%g: %w", e.t, err)
 		}
 		e.factor++
-		xp := e.mat.SolveLU(matrix.PermuteVec(e.rhs, e.perm))
-		x := matrix.UnpermuteVec(xp, e.perm)
+		// Permute the RHS into skyline order, solve in place, and read the
+		// solution back through the permutation — no per-iteration slices.
+		for i, p := range e.perm {
+			e.xp[p] = e.rhs[i]
+		}
+		e.mat.SolveLUTo(e.xp, e.xp)
 		worst := 0.0
 		for i, f := range e.free {
-			if d := math.Abs(x[i] - e.v[f]); d > worst {
+			xi := e.xp[e.perm[i]]
+			if d := math.Abs(xi - e.v[f]); d > worst {
 				worst = d
 			}
-			e.v[f] = x[i]
+			e.v[f] = xi
 		}
 		if worst < e.opt.NewtonTol {
 			return nil

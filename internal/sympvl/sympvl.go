@@ -84,6 +84,70 @@ type Options struct {
 	// a non-nil return aborts the reduction with that error. Used to
 	// honor context cancellation and per-cluster deadlines.
 	Check func() error
+	// Workspace, when non-nil, supplies reusable scratch buffers so repeated
+	// reductions allocate almost nothing. A nil Workspace makes Reduce
+	// allocate a private one per call.
+	Workspace *Workspace
+}
+
+// Workspace holds the scratch buffers a reduction needs — the Lanczos basis
+// and image arenas, the candidate block, the start-block columns, and the two
+// solver temporaries. The chip-level engine reduces thousands of clusters per
+// run; handing every Reduce call the same Workspace replaces per-call slice
+// churn with a handful of arenas that grow to the largest cluster seen and
+// stay there.
+//
+// A Workspace may be reused across systems of different sizes (buffers are
+// re-sized on demand) but must never be shared between concurrent Reduce
+// calls.
+type Workspace struct {
+	n, maxBasis, p int
+
+	tmp1, tmp2 []float64 // applyA solver temporaries
+
+	// Flat backing arenas with [][]float64 column views over them. maxBasis
+	// is order+p: the start block is appended without a budget clamp, so the
+	// basis can legitimately overshoot order by up to p−1 vectors.
+	basisData, aBasisData, candData, lData []float64
+	basis, aBasis, cand, lcols             [][]float64
+}
+
+// prepare sizes the workspace for an n-node, p-port reduction of maximum
+// order q. It is a no-op when the dimensions match the previous call.
+func (w *Workspace) prepare(n, order, p int) {
+	maxBasis := order + p
+	if w.n == n && w.maxBasis == maxBasis && w.p == p {
+		return
+	}
+	w.n, w.maxBasis, w.p = n, maxBasis, p
+	w.tmp1 = growFloats(w.tmp1, n)
+	w.tmp2 = growFloats(w.tmp2, n)
+	w.basisData = growFloats(w.basisData, maxBasis*n)
+	w.aBasisData = growFloats(w.aBasisData, maxBasis*n)
+	w.candData = growFloats(w.candData, p*n)
+	w.lData = growFloats(w.lData, p*n)
+	w.basis = columnViews(w.basis, w.basisData, maxBasis, n)
+	w.aBasis = columnViews(w.aBasis, w.aBasisData, maxBasis, n)
+	w.cand = columnViews(w.cand, w.candData, p, n)
+	w.lcols = columnViews(w.lcols, w.lData, p, n)
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func columnViews(views [][]float64, data []float64, k, n int) [][]float64 {
+	if cap(views) < k {
+		views = make([][]float64, k)
+	}
+	views = views[:k]
+	for i := range views {
+		views[i] = data[i*n : (i+1)*n]
+	}
+	return views
 }
 
 // Reduce builds a reduced-order model of the assembled MNA system.
@@ -100,97 +164,109 @@ func Reduce(sys *mna.System, opt Options) (*Model, error) {
 		order = n
 	}
 
+	ws := opt.Workspace
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.prepare(n, order, p)
+
 	// RCM preorder G for a small skyline profile; C and B follow the same
 	// permutation so the Lanczos iteration is performed in permuted space.
 	// The projected quantities (T, Rho) are invariant to the permutation.
 	perm := matrix.RCM(sys.G.Adjacency())
 	gp := sys.G.Permuted(perm)
 	cp := sys.C.Permuted(perm)
-	bp := permuteRows(sys.B, perm)
 
 	tmpl := matrix.NewSkylineTemplate(gp.Adjacency(), true)
 	gsky := tmpl.NewMatrix()
-	for _, e := range gp.Entries() {
-		if e.Col > e.Row {
-			continue
+	gp.ForEach(func(i, j int, v float64) {
+		if j > i {
+			return
 		}
-		gsky.Add(e.Row, e.Col, e.Val)
-	}
+		gsky.Add(i, j, v)
+	})
 	if err := gsky.FactorCholesky(); err != nil {
 		return nil, fmt.Errorf("%w (add Gmin?): %v", ErrNotSPD, err)
 	}
 
-	// applyA computes A·v = L⁻¹·C·L⁻ᵀ·v where G = L·Lᵀ (so F = Lᵀ).
-	applyA := func(v []float64) []float64 {
-		t := gsky.SolveLowerT(v)  // F⁻¹·v
-		u := cp.MulVec(t)         // C·(F⁻¹ v)
-		return gsky.SolveLower(u) // F⁻ᵀ·(C F⁻¹ v)
+	// applyATo computes dst = A·v = L⁻¹·C·L⁻ᵀ·v where G = L·Lᵀ (so F = Lᵀ).
+	applyATo := func(dst, v []float64) {
+		gsky.SolveLowerTTo(ws.tmp1, v)  // F⁻¹·v
+		cp.MulVecTo(ws.tmp2, ws.tmp1)   // C·(F⁻¹ v)
+		gsky.SolveLowerTo(dst, ws.tmp2) // F⁻ᵀ·(C F⁻¹ v)
 	}
 
-	// Start block Lmat = F⁻ᵀ·B = L⁻¹·B.
-	lmat := matrix.NewDense(n, p)
+	// Start block Lmat = F⁻ᵀ·B = L⁻¹·B, built straight into the workspace:
+	// the permuted right-hand side lands in lcols[j] (perm is a bijection, so
+	// every position is written and no zero-fill is needed) and the forward
+	// solve runs in place on top of it.
 	for j := 0; j < p; j++ {
-		lmat.SetCol(j, gsky.SolveLower(bp.Col(j)))
+		lj := ws.lcols[j]
+		for i := 0; i < n; i++ {
+			lj[perm[i]] = sys.B.At(i, j)
+		}
+		gsky.SolveLowerTo(lj, lj)
 	}
 
-	// Block Lanczos with full reorthogonalization. We accumulate the basis V
-	// and the images A·V so the projection T = Vᵀ(A·V) can be formed exactly.
-	basis := make([][]float64, 0, order)  // orthonormal Lanczos vectors
-	aBasis := make([][]float64, 0, order) // A applied to each basis vector
+	// Block Lanczos with full reorthogonalization. The basis V and the images
+	// A·V accumulate in the workspace arenas so the projection T = Vᵀ(A·V)
+	// can be formed exactly.
 	deflated := 0
 	exhausted := false
 
-	// Orthonormalize the start block.
-	v0, _, rank := matrix.OrthonormalizeBlock(lmat, DeflationTol)
+	// Orthonormalize the start block (copied so lcols stays intact for the
+	// Rho projection at the end).
+	for j := 0; j < p; j++ {
+		copy(ws.cand[j], ws.lcols[j])
+	}
+	rank := matrix.OrthonormalizeColumns(ws.cand[:p], DeflationTol)
 	deflated += p - rank
 	if rank == 0 {
 		return nil, ErrNoPortCoupling
 	}
-	current := make([][]float64, rank)
-	for j := 0; j < rank; j++ {
-		current[j] = v0.Col(j)
-	}
+	// The current block lives in cand[:curLen]; each iteration copies it into
+	// the basis arena, images it, then rebuilds cand as the next candidates.
+	curLen := rank
+	basisLen := 0
 	iters := 0
-	for len(basis) < order && len(current) > 0 {
+	for basisLen < order && curLen > 0 {
 		if opt.Check != nil {
 			if err := opt.Check(); err != nil {
 				return nil, err
 			}
 		}
 		iters++
-		// Apply A to the current block and register the vectors.
-		images := make([][]float64, len(current))
-		for j, v := range current {
-			images[j] = applyA(v)
+		// Register the current block and apply A to it.
+		blockLo := basisLen
+		for j := 0; j < curLen; j++ {
+			copy(ws.basis[basisLen], ws.cand[j])
+			applyATo(ws.aBasis[basisLen], ws.basis[basisLen])
+			basisLen++
 		}
-		basis = append(basis, current...)
-		aBasis = append(aBasis, images...)
-		if len(basis) >= order {
+		if basisLen >= order {
 			break
 		}
 		// Next candidate block: images orthogonalized against everything so
 		// far (full reorthogonalization keeps the basis numerically
 		// orthonormal, which the projection step relies on).
-		cand := matrix.NewDense(n, len(images))
-		for j, w := range images {
-			cand.SetCol(j, matrix.CloneVec(w))
+		for j := 0; j < curLen; j++ {
+			copy(ws.cand[j], ws.aBasis[blockLo+j])
 		}
-		orthoAgainst(cand, basis)
-		q, _, r := matrix.OrthonormalizeBlock(cand, DeflationTol)
-		deflated += len(images) - r
+		orthoAgainst(ws.cand[:curLen], ws.basis[:basisLen])
+		r := matrix.OrthonormalizeColumns(ws.cand[:curLen], DeflationTol)
+		deflated += curLen - r
 		if r == 0 {
 			exhausted = true
 			break
 		}
-		next := make([][]float64, 0, r)
-		budget := order - len(basis)
-		for j := 0; j < r && j < budget; j++ {
-			next = append(next, q.Col(j))
+		if budget := order - basisLen; r > budget {
+			r = budget
 		}
-		current = next
+		curLen = r
 	}
 
-	q := len(basis)
+	q := basisLen
+	basis, aBasis := ws.basis[:q], ws.aBasis[:q]
 	model := &Model{
 		T:               matrix.NewDense(q, q),
 		Rho:             matrix.NewDense(q, p),
@@ -214,35 +290,37 @@ func Reduce(sys *mna.System, opt Options) (*Model, error) {
 	// Rho = Vᵀ·Lmat.
 	for i := 0; i < q; i++ {
 		for j := 0; j < p; j++ {
-			model.Rho.Set(i, j, matrix.Dot(basis[i], lmat.Col(j)))
+			model.Rho.Set(i, j, matrix.Dot(basis[i], ws.lcols[j]))
 		}
 	}
 	return model, nil
 }
 
-// orthoAgainst removes from each column of cand its projection onto the
-// given orthonormal vectors (two passes).
-func orthoAgainst(cand *matrix.Dense, basis [][]float64) {
-	for j := 0; j < cand.Cols(); j++ {
-		col := cand.Col(j)
+// orthoAgainst removes from each candidate column its projection onto the
+// given orthonormal vectors (two passes), in place.
+func orthoAgainst(cand, basis [][]float64) {
+	for _, col := range cand {
 		for pass := 0; pass < 2; pass++ {
 			for _, b := range basis {
 				c := matrix.Dot(b, col)
 				matrix.Axpy(-c, b, col)
 			}
 		}
-		cand.SetCol(j, col)
 	}
 }
 
-func permuteRows(b *matrix.Dense, perm []int) *matrix.Dense {
-	out := matrix.NewDense(b.Rows(), b.Cols())
-	for i := 0; i < b.Rows(); i++ {
-		for j := 0; j < b.Cols(); j++ {
-			out.Set(perm[i], j, b.At(i, j))
-		}
-	}
-	return out
+// WithPortNames returns a shallow copy of the model with PortNames replaced
+// and the lazy eigendecomposition cache cleared. The ROM cache uses it to
+// share one reduction between clusters that are structurally identical up to
+// net naming: T and Rho are immutable after construction and safe to share,
+// while each copy lazily rebuilds its own eigendecomposition so concurrent
+// holders never race on the cache fields.
+func (m *Model) WithPortNames(names []string) *Model {
+	out := *m
+	out.PortNames = append([]string(nil), names...)
+	out.eigVals = nil
+	out.eigH = nil
+	return &out
 }
 
 // DCImpedance returns the reduced model's DC port impedance matrix

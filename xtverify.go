@@ -111,6 +111,11 @@ type Config struct {
 	// no deadline. A cluster that exceeds it is marked unverified with
 	// ErrTimeout rather than stalling the run.
 	ClusterTimeout time.Duration
+	// DisableROMCache turns off the memoization of SyMPVL reduced models
+	// across structurally identical clusters. The cache never changes any
+	// reported number (cached models are bit-identical to fresh reductions);
+	// this knob exists for A/B timing comparisons and as an escape hatch.
+	DisableROMCache bool
 }
 
 func (c *Config) setDefaults() {
