@@ -430,7 +430,7 @@ func (e *Engine) reduceModel(ctx context.Context, sys *mna.System, ckt *circuit.
 		gmin = mna.DefaultGmin
 	}
 	key := prune.Fingerprint(ckt, gmin, order, decoupled)
-	m, err := e.Opt.Cache.GetOrCompute(key, reduce)
+	m, err := e.Opt.Cache.GetOrCompute(ctx, key, reduce)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package glitch
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"xtverify/internal/sympvl"
@@ -21,10 +22,13 @@ const DefaultROMCacheCap = 256
 //
 // The cache is safe for concurrent use by the engine's worker pool. Lookups
 // of a key that is currently being computed by another worker block until
-// that computation finishes (singleflight); if the computation fails — which
-// includes the computing worker's context being cancelled — the waiters
-// retry the computation themselves rather than inheriting an error from a
-// context that is not theirs. Completed entries are kept in a bounded LRU.
+// that computation finishes (singleflight) or their own context is done,
+// whichever comes first, so a waiter's per-cluster deadline and the engine's
+// fail-fast cancellation are honored even while another worker holds the
+// flight. If the computation fails — which includes the computing worker's
+// context being cancelled — or panics, the waiters retry the computation
+// themselves rather than inheriting an error from a context that is not
+// theirs. Completed entries are kept in a bounded LRU.
 //
 // Correctness note: keys are the full serialized fingerprint bytes, not a
 // hash, so two different clusters can never collide into the same model.
@@ -59,10 +63,13 @@ func NewROMCache(capacity int) *ROMCache {
 
 // GetOrCompute returns the cached model for key, or runs compute to produce
 // it. Concurrent callers with the same key share one computation; a failed
-// computation is not cached and surviving waiters re-attempt it themselves.
+// (or panicking) computation is not cached and surviving waiters re-attempt
+// it themselves. Waiting on another caller's in-flight computation respects
+// ctx; the compute call itself is not interrupted by ctx — pass a
+// cancellation check into the reduction instead (sympvl.Options.Check).
 // The returned model is the shared canonical instance — callers must treat
 // it as immutable (use Model.WithPortNames for per-cluster naming).
-func (c *ROMCache) GetOrCompute(key string, compute func() (*sympvl.Model, error)) (*sympvl.Model, error) {
+func (c *ROMCache) GetOrCompute(ctx context.Context, key string, compute func() (*sympvl.Model, error)) (*sympvl.Model, error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
@@ -74,19 +81,35 @@ func (c *ROMCache) GetOrCompute(key string, compute func() (*sympvl.Model, error
 		}
 		if done, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
-			<-done
-			continue // either cached now, or the compute failed: retry
+			select {
+			case <-done:
+				continue // either cached now, or the compute failed: retry
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		c.misses++
 		done := make(chan struct{})
 		c.inflight[key] = done
 		c.mu.Unlock()
 
-		m, err := compute()
+		return c.runFlight(key, done, compute)
+	}
+}
 
+// runFlight executes compute for the flight registered under done and
+// publishes the outcome. The deferred cleanup runs even when compute panics
+// (SyMPVL's linear algebra can panic on malformed clusters; the engine's
+// per-cluster recover ladder converts that to ErrPanic): the flight is always
+// deregistered and done is always closed, so waiters can never deadlock — on
+// a panic they observe an uncached key and retry, while the panic itself
+// propagates to this worker's recover handler.
+func (c *ROMCache) runFlight(key string, done chan struct{}, compute func() (*sympvl.Model, error)) (m *sympvl.Model, err error) {
+	completed := false
+	defer func() {
 		c.mu.Lock()
 		delete(c.inflight, key)
-		if err == nil {
+		if completed && err == nil {
 			el := c.order.PushFront(&romEntry{key: key, model: m})
 			c.entries[key] = el
 			for c.order.Len() > c.cap {
@@ -97,8 +120,10 @@ func (c *ROMCache) GetOrCompute(key string, compute func() (*sympvl.Model, error
 		}
 		c.mu.Unlock()
 		close(done)
-		return m, err
-	}
+	}()
+	m, err = compute()
+	completed = true
+	return m, err
 }
 
 // Stats returns the cumulative hit and miss counts. Misses count compute

@@ -1,0 +1,114 @@
+package glitch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"xtverify/internal/sympvl"
+)
+
+// TestROMCachePanicUnblocksWaiters pins the singleflight panic contract: a
+// compute that panics must deregister its flight and close the done channel,
+// so waiters retry instead of deadlocking, and the panic must still propagate
+// to the computing goroutine (where the engine's recover ladder converts it
+// to ErrPanic).
+func TestROMCachePanicUnblocksWaiters(t *testing.T) {
+	c := NewROMCache(4)
+	ctx := context.Background()
+	want := &sympvl.Model{}
+
+	computeStarted := make(chan struct{})
+	release := make(chan struct{})
+	panicked := make(chan interface{}, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.GetOrCompute(ctx, "k", func() (*sympvl.Model, error) {
+			close(computeStarted)
+			<-release
+			panic("matrix dimension mismatch")
+		})
+	}()
+
+	<-computeStarted
+	var wg sync.WaitGroup
+	results := make([]*sympvl.Model, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.GetOrCompute(ctx, "k", func() (*sympvl.Model, error) {
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: unexpected error %v", i, err)
+			}
+			results[i] = m
+		}(i)
+	}
+	// Give the waiters time to block on the in-flight computation, then
+	// release the panic.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	doneWaiting := make(chan struct{})
+	go func() { wg.Wait(); close(doneWaiting) }()
+	select {
+	case <-doneWaiting:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters deadlocked after compute panic")
+	}
+	if p := <-panicked; p == nil {
+		t.Error("panic did not propagate to the computing goroutine")
+	}
+	for i, m := range results {
+		if m != want {
+			t.Errorf("waiter %d got model %p, want the retried shared instance %p", i, m, want)
+		}
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("Len() = %d after retries, want 1", got)
+	}
+}
+
+// TestROMCacheWaiterHonorsContext pins the waiter escape hatch: a caller
+// blocked on another worker's in-flight computation returns with its own
+// context error when that context is cancelled, without waiting for the
+// computation to finish.
+func TestROMCacheWaiterHonorsContext(t *testing.T) {
+	c := NewROMCache(4)
+	computeStarted := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.GetOrCompute(context.Background(), "k", func() (*sympvl.Model, error) {
+			close(computeStarted)
+			<-release
+			return &sympvl.Model{}, nil
+		})
+	}()
+	<-computeStarted
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrCompute(ctx, "k", func() (*sympvl.Model, error) {
+			t.Error("waiter ran compute while another flight held the key")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	// Let the waiter block on the flight, then cancel only its context.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still blocked on the in-flight computation")
+	}
+}

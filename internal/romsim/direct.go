@@ -251,8 +251,11 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 		t := float64(step) * dt
 		// Trapezoidal: (a·C + G')·v_{n+1} = C·(a·v_n + v̇_n) + f(t) + B_nl·i.
 		// The history product uses the compiled CSR form of C — O(nnz), not
-		// the O(n²) dense sweep — which is exact: skipping structural zeros
-		// drops only additions of 0.
+		// the O(n²) dense sweep. Skipping structural zeros drops only
+		// additions of 0, which leaves any finite result unchanged up to
+		// signed zeros (-0.0 + 0.0 is +0.0) and, if the iterate has already
+		// diverged to ±Inf, omits the dense path's 0·±Inf = NaN terms; the
+		// regression suite pins the reports on the supported designs.
 		hist, base := scr.hist, scr.base
 		for i := 0; i < n; i++ {
 			hist[i] = a*v[i] + vdot[i]
