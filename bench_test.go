@@ -172,7 +172,10 @@ func BenchmarkPruning(b *testing.B) {
 // benchCluster prepares a mid-size coupled cluster once.
 func benchCluster(b *testing.B) (*extract.Parasitics, *prune.Cluster) {
 	b.Helper()
-	d := dsp.ParallelWires(5, 2000, 1.2, []string{"INV_X4"}, "INV_X1")
+	d, err := dsp.ParallelWires(5, 2000, 1.2, []string{"INV_X4"}, "INV_X1")
+	if err != nil {
+		b.Fatal(err)
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		b.Fatal(err)
@@ -268,7 +271,10 @@ func orderName(q int) string {
 // BenchmarkAblationPrune sweeps the capacitance-ratio threshold and reports
 // the cluster-size / retained-coupling trade.
 func BenchmarkAblationPrune(b *testing.B) {
-	d := dsp.Generate(benchDSP())
+	d, err := dsp.Generate(benchDSP())
+	if err != nil {
+		b.Fatal(err)
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		b.Fatal(err)
@@ -348,7 +354,10 @@ func BenchmarkAblationWoodbury(b *testing.B) {
 // formulations (I–V surface vs two-curve blend) on short-wire accuracy,
 // where the difference is largest.
 func BenchmarkAblationDriverForm(b *testing.B) {
-	d := dsp.ParallelWires(2, 150, 1.2, []string{"BUF_X4", "INV_X1"}, "INV_X1")
+	d, err := dsp.ParallelWires(2, 150, 1.2, []string{"BUF_X4", "INV_X1"}, "INV_X1")
+	if err != nil {
+		b.Fatal(err)
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		b.Fatal(err)
@@ -440,7 +449,10 @@ func BenchmarkFullChipVerify(b *testing.B) {
 
 // BenchmarkSTA measures window annotation on the bench design.
 func BenchmarkSTA(b *testing.B) {
-	d := dsp.Generate(benchDSP())
+	d, err := dsp.Generate(benchDSP())
+	if err != nil {
+		b.Fatal(err)
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		b.Fatal(err)
@@ -455,7 +467,10 @@ func BenchmarkSTA(b *testing.B) {
 
 // BenchmarkExtraction measures the synthetic extractor.
 func BenchmarkExtraction(b *testing.B) {
-	d := dsp.Generate(benchDSP())
+	d, err := dsp.Generate(benchDSP())
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := extract.Extract(d, extract.Tech025()); err != nil {

@@ -1,8 +1,16 @@
 package xtverify
 
 import (
+	"fmt"
+
 	"xtverify/internal/cells"
 )
+
+// ErrUnknownCell is the typed error for cell names not present in the
+// bundled library. Every public entry point that takes a cell name —
+// DriveResistance, AnalyzeCoupledWires, the DSP generators — returns an
+// error matching this (via errors.Is) instead of panicking.
+var ErrUnknownCell = cells.ErrUnknownCell
 
 // CellInfo describes one library cell for API consumers.
 type CellInfo struct {
@@ -47,9 +55,9 @@ func libraryNames() []string {
 // engine and returns its effective linear drive resistances for rising and
 // falling output transitions (the Section 4.1 timing-library model).
 func DriveResistance(cellName string) (riseOhms, fallOhms float64, err error) {
-	c, ok := cells.ByName(cellName)
-	if !ok {
-		return 0, 0, errUnknownCell(cellName)
+	c, err := cells.Lookup(cellName)
+	if err != nil {
+		return 0, 0, fmt.Errorf("xtverify: %w", err)
 	}
 	tm, err := cells.CharacterizeCached(c)
 	if err != nil {
@@ -57,9 +65,3 @@ func DriveResistance(cellName string) (riseOhms, fallOhms float64, err error) {
 	}
 	return tm.DriveResistance(true), tm.DriveResistance(false), nil
 }
-
-type unknownCellError string
-
-func (e unknownCellError) Error() string { return "xtverify: unknown cell " + string(e) }
-
-func errUnknownCell(name string) error { return unknownCellError(name) }

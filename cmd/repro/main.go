@@ -10,8 +10,11 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof endpoint
 	"os"
 	"strings"
 	"time"
@@ -27,6 +30,12 @@ var (
 	seed    = flag.Int64("seed", 1999, "synthetic DSP seed")
 	workers = flag.Int("workers", 0, "parallel cluster workers for the verify experiment (0 = GOMAXPROCS)")
 	strict  = flag.Bool("strict", false, "fail fast in the verify experiment instead of degrading")
+	metrics = flag.String("metrics-out", "", "write the verify experiment's metrics snapshot to this JSON file")
+	pprofOn = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); verify metrics appear live at /debug/vars under \"xtverify\"")
+
+	// collector instruments the verify experiment when -metrics-out or
+	// -pprof is given.
+	collector *xtverify.MetricsCollector
 )
 
 func main() {
@@ -40,6 +49,17 @@ func main() {
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *metrics != "" || *pprofOn != "" {
+		collector = xtverify.NewMetricsCollector()
+	}
+	if *pprofOn != "" {
+		expvar.Publish("xtverify", expvar.Func(func() any { return collector.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof endpoint: %v\n", err)
+			}
+		}()
 	}
 	for _, a := range args {
 		if a == "all" {
@@ -179,8 +199,9 @@ func run(name string) (string, error) {
 		// Full-chip verification through the fault-tolerant parallel
 		// engine, with the run diagnostics in the rendered report.
 		v, err := xtverify.NewVerifierFromDSP(xtverify.DSPConfig(dspCfg()), xtverify.Config{
-			Workers: *workers,
-			Strict:  *strict,
+			Workers:   *workers,
+			Strict:    *strict,
+			Collector: collector,
 		})
 		if err != nil {
 			return "", err
@@ -192,6 +213,20 @@ func run(name string) (string, error) {
 		var b strings.Builder
 		if err := rep.WriteText(&b); err != nil {
 			return "", err
+		}
+		if *metrics != "" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				return "", err
+			}
+			if err := rep.Diagnostics.Metrics.WriteJSON(f); err != nil {
+				f.Close()
+				return "", err
+			}
+			if err := f.Close(); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "wrote metrics to %s\n", *metrics)
 		}
 		return b.String(), nil
 	default:

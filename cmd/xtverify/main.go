@@ -10,9 +10,12 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof endpoint
 	"os"
 	"os/signal"
 
@@ -39,6 +42,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel cluster workers (0 = GOMAXPROCS)")
 		strict   = flag.Bool("strict", false, "fail fast on the first cluster error instead of degrading")
 		cluTO    = flag.Duration("cluster-timeout", 0, "per-cluster analysis deadline (0 = none)")
+		metrics  = flag.String("metrics-out", "", "write the run's metrics snapshot to this JSON file")
+		pprofOn  = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); metrics appear live at /debug/vars under \"xtverify\"")
 	)
 	flag.Parse()
 
@@ -62,6 +67,20 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
 		os.Exit(2)
+	}
+	var collector *xtverify.MetricsCollector
+	if *metrics != "" || *pprofOn != "" {
+		collector = xtverify.NewMetricsCollector()
+		cfg.Collector = collector
+	}
+	if *pprofOn != "" {
+		// Live snapshots under /debug/vars, profiles under /debug/pprof.
+		expvar.Publish("xtverify", expvar.Func(func() any { return collector.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof endpoint: %v\n", err)
+			}
+		}()
 	}
 	dspCfg := xtverify.DefaultDSPConfig()
 	dspCfg.Seed = *seed
@@ -136,6 +155,22 @@ func main() {
 	if err := rep.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rep.Diagnostics.Metrics.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metrics)
 	}
 	if *timFlag {
 		impacts, err := v.RunTimingImpact(true)

@@ -28,6 +28,7 @@ import (
 
 	"xtverify/internal/cells"
 	"xtverify/internal/glitch"
+	"xtverify/internal/obs"
 	"xtverify/internal/prune"
 	"xtverify/internal/romsim"
 	"xtverify/internal/sympvl"
@@ -84,6 +85,11 @@ type Diagnostics struct {
 	ROMCacheHits, ROMCacheMisses uint64
 	// Clusters holds one outcome per analyzed cluster, in victim order.
 	Clusters []ClusterOutcome
+	// Metrics is the observability snapshot of the run, nil unless
+	// Config.Collector was set. Like the cache statistics it is absent from
+	// WriteText: counter totals are deterministic, but durations and the
+	// queue gauge are run-dependent and would break report byte-identity.
+	Metrics *MetricsSnapshot
 }
 
 // WorstUnverified returns up to n unverified outcomes ordered by retained
@@ -118,6 +124,10 @@ type runParams struct {
 type clusterResult struct {
 	outcome   ClusterOutcome
 	violation *Violation
+	// trace is the cluster's observability record, nil when no collector
+	// is configured. It is merged into the collector serially, in cluster
+	// order, during result assembly.
+	trace *obs.Trace
 	// err is the fail-fast error for strict mode, wrapped exactly like the
 	// historical serial loop wrapped it.
 	err error
@@ -138,14 +148,17 @@ func (v *Verifier) RunContext(ctx context.Context) (*Report, error) {
 }
 
 func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) {
+	col := v.cfg.Collector
 	pOpt := prune.Options{
 		CapRatioThreshold: v.cfg.CapRatioThreshold,
 		MinCouplingF:      0.5e-15,
 		UseTimingWindows:  v.cfg.UseTimingWindows,
 		MaxAggressors:     v.cfg.MaxAggressors,
 	}
+	pruneSpan := col.Start(obs.PhasePrune)
 	stats := prune.ComputeStats(v.par, pOpt)
 	clusters := prune.Clusters(v.par, pOpt)
+	pruneSpan.End()
 	baseOpts := glitch.Options{
 		Model:               v.cfg.Model.kind(),
 		FixedOhms:           v.cfg.FixedOhms,
@@ -187,7 +200,9 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 				if runCtx.Err() != nil {
 					continue // run aborted: leave the slot unattempted
 				}
+				col.TaskStarted()
 				res := v.analyzeCluster(runCtx, baseOpts, clusters[idx], p)
+				col.TaskDone()
 				results[idx] = res
 				if p.strict && res.err != nil {
 					cancel() // fail fast: stop feeding and drain
@@ -248,6 +263,9 @@ feed:
 		}
 		rep.AnalyzedVictims++
 		diag.Clusters = append(diag.Clusters, r.outcome)
+		// Serial, cluster-order merge: this is what makes the aggregated
+		// counter totals identical between serial and Workers=N runs.
+		col.MergeTrace(r.outcome.Victim, r.outcome.Stage.String(), r.trace)
 		if r.outcome.Err != nil {
 			diag.Unverified++
 		} else {
@@ -263,6 +281,14 @@ feed:
 	diag.WallTime = time.Since(start)
 	if romCache != nil {
 		diag.ROMCacheHits, diag.ROMCacheMisses = romCache.Stats()
+		col.Add(obs.CtrROMCacheHits, int64(diag.ROMCacheHits))
+		col.Add(obs.CtrROMCacheMisses, int64(diag.ROMCacheMisses))
+		col.Add(obs.CtrROMCacheEvictions, int64(romCache.Evictions()))
+	}
+	if col != nil {
+		col.SetWorkers(workers)
+		col.SetWallTime(diag.WallTime)
+		diag.Metrics = col.Snapshot()
 	}
 	rep.Diagnostics = diag
 	sort.Slice(rep.Violations, func(i, j int) bool {
@@ -279,7 +305,8 @@ feed:
 func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, cl *prune.Cluster, p runParams) *clusterResult {
 	start := time.Now()
 	victim := v.des.Nets[cl.Victim].Name
-	res := &clusterResult{outcome: ClusterOutcome{Victim: victim, CouplingF: cl.KeptF}}
+	tr := v.cfg.Collector.NewTrace()
+	res := &clusterResult{outcome: ClusterOutcome{Victim: victim, CouplingF: cl.KeptF}, trace: tr}
 	cctx := ctx
 	if p.timeout > 0 {
 		var cancel context.CancelFunc
@@ -292,13 +319,14 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	}
 	var attempts []Attempt
 	for _, stage := range stages {
-		viol, recheckErr, err := v.attemptCluster(cctx, stage, baseOpts, cl, victim)
+		viol, recheckErr, err := v.attemptCluster(cctx, stage, baseOpts, tr, cl, victim)
 		if err == nil {
 			res.outcome.Stage = stage
 			res.outcome.Attempts = len(attempts) + 1
 			res.outcome.WallTime = time.Since(start)
 			res.outcome.RecheckErr = recheckErr
 			res.violation = viol
+			tr.Add(stageCounter(stage), 1)
 			if p.strict && recheckErr != nil {
 				res.err = recheckErr
 			}
@@ -311,6 +339,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 			res.outcome.WallTime = time.Since(start)
 			res.outcome.Err = &ClusterError{Victim: victim, Stage: stage,
 				Attempts: []Attempt{{Stage: stage, Err: err}}}
+			tr.Add(obs.CtrFallbackUnverified, 1)
 			return res
 		}
 		cerr := classifyClusterErr(err)
@@ -330,7 +359,23 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	res.outcome.Attempts = len(attempts)
 	res.outcome.WallTime = time.Since(start)
 	res.outcome.Err = &ClusterError{Victim: victim, Stage: lastStage, Attempts: attempts}
+	tr.Add(obs.CtrFallbackUnverified, 1)
 	return res
+}
+
+// stageCounter maps the rung that produced a cluster's result onto its
+// fallback-ladder counter.
+func stageCounter(s FallbackStage) obs.Counter {
+	switch s {
+	case StageReduced:
+		return obs.CtrFallbackReduced
+	case StageRegularized:
+		return obs.CtrFallbackRegularized
+	case StageDirectMNA:
+		return obs.CtrFallbackDirectMNA
+	default:
+		return obs.CtrFallbackUnverified
+	}
 }
 
 // attemptCluster tries one ladder rung: both glitch polarities, threshold
@@ -339,7 +384,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 // ErrPanic-wrapped failure. A nil violation with nil error means the victim
 // is clean at this threshold.
 func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, baseOpts glitch.Options,
-	cl *prune.Cluster, victim string) (viol *Violation, recheckErr error, err error) {
+	tr *obs.Trace, cl *prune.Cluster, victim string) (viol *Violation, recheckErr error, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			viol, recheckErr = nil, nil
@@ -352,6 +397,7 @@ func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, base
 		}
 	}
 	opts := baseOpts
+	opts.Trace = tr
 	switch stage {
 	case StageRegularized:
 		opts.Gmin = regularizedGmin

@@ -26,7 +26,10 @@ import (
 func main() {
 	cfg := dsp.Config{Seed: 1999, Channels: 1, TracksPerChannel: 60,
 		ChannelLengthUM: 1500, BusFraction: 0.05, LatchFraction: 0.3, ClockSpines: 1}
-	d := dsp.Generate(cfg)
+	d, err := dsp.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		log.Fatal(err)

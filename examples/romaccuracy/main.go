@@ -28,7 +28,10 @@ import (
 
 func main() {
 	// Five coupled 2 mm wires: a mid-size cluster.
-	d := dsp.ParallelWires(5, 2000, 1.2, []string{"INV_X4"}, "INV_X1")
+	d, err := dsp.ParallelWires(5, 2000, 1.2, []string{"INV_X4"}, "INV_X1")
+	if err != nil {
+		log.Fatal(err)
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		log.Fatal(err)

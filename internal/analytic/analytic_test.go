@@ -73,7 +73,10 @@ func TestDelayMillerFactors(t *testing.T) {
 // analysis.
 func TestAnalyticVsDetailedFlow(t *testing.T) {
 	for _, l := range []float64{1000, 3000} {
-		d := dsp.ParallelWires(2, l, 1.2, []string{"INV_X4", "INV_X1"}, "INV_X1")
+		d, err := dsp.ParallelWires(2, l, 1.2, []string{"INV_X4", "INV_X1"}, "INV_X1")
+		if err != nil {
+			t.Fatal(err)
+		}
 		par, err := extract.Extract(d, extract.Tech025())
 		if err != nil {
 			t.Fatal(err)

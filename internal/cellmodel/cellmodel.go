@@ -163,7 +163,9 @@ func CharacterizeIV(c *cells.Cell, which Stage, points int) (*IVCurve, error) {
 		if which == StagePullUp {
 			hold = cells.HoldHigh
 		}
-		c.BuildHolding(n, "u", out, vddN, hold)
+		if err := c.BuildHolding(n, "u", out, vddN, hold); err != nil {
+			return nil, err
+		}
 		op, err := n.DCOperatingPoint(0, spice.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("cellmodel: IV characterization of %s at %g V: %w", c.Name, vForce, err)

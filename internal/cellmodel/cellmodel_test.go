@@ -136,7 +136,9 @@ func spiceDriveWave(t *testing.T, c *cells.Cell, outRising bool, rWire, cWire, c
 		v0, v1 = Vdd, 0
 	}
 	n.Drive(in, waveform.Ramp(v0, v1, 100e-12, 100e-12))
-	c.BuildDriver(n, "u", in, out, vdd)
+	if _, err := c.BuildDriver(n, "u", in, out, vdd); err != nil {
+		t.Fatal(err)
+	}
 	n.AddR(out, far, rWire)
 	n.AddC(out, spice.Ground, cWire/2)
 	n.AddC(far, spice.Ground, cWire/2+cLoad)
@@ -243,7 +245,9 @@ func TestLinearVsNonlinearHoldingAccuracy(t *testing.T) {
 	goldNet.Drive(asrc, waveform.Ramp(0, Vdd, 100e-12, 100e-12))
 	goldNet.AddR(asrc, a, 150)
 	goldNet.AddC(a, spice.Ground, cWire)
-	victim.BuildHolding(goldNet, "u", v, vdd, cells.HoldLow)
+	if err := victim.BuildHolding(goldNet, "u", v, vdd, cells.HoldLow); err != nil {
+		t.Fatal(err)
+	}
 	goldNet.AddR(v, vf, rWire)
 	goldNet.AddC(vf, spice.Ground, cWire)
 	goldNet.AddC(a, vf, cc)

@@ -90,7 +90,9 @@ func CharacterizeIVSurface(c *cells.Cell, levels, points int) (*IVSurface, error
 			n.Drive(force, waveform.Const(vForce))
 			n.Drive(in, waveform.Const(u))
 			n.AddR(force, out, rSense)
-			c.BuildDriver(n, "u", in, out, vddN)
+			if _, err := c.BuildDriver(n, "u", in, out, vddN); err != nil {
+				return nil, err
+			}
 			op, err := n.DCOperatingPoint(0, spice.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("cellmodel: IV surface of %s at u=%.2f v=%.2f: %w", c.Name, u, vForce, err)

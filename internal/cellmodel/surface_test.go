@@ -118,7 +118,9 @@ func TestSurfaceDriverMatchesTransistorTransient(t *testing.T) {
 	vdd := gold.Node("vdd")
 	gold.Drive(vdd, waveform.Const(Vdd))
 	gold.Drive(in, waveform.Ramp(Vdd, 0, t0-slew/2, slew))
-	c.BuildDriver(gold, "u", in, out, vdd)
+	if _, err := c.BuildDriver(gold, "u", in, out, vdd); err != nil {
+		t.Fatal(err)
+	}
 	gold.AddC(out, spice.Ground, cLoad+c.OutDiffCapF)
 	gres, err := gold.Transient(spice.Options{TEnd: 2e-9, Dt: 1e-12})
 	if err != nil {

@@ -10,12 +10,23 @@
 package cells
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"xtverify/internal/devices"
 	"xtverify/internal/spice"
 	"xtverify/internal/waveform"
+)
+
+// Sentinel errors for cell resolution and instantiation. Callers match with
+// errors.Is; the wrapped message carries the offending name or kind.
+var (
+	// ErrUnknownCell reports a library lookup for a name that does not exist.
+	ErrUnknownCell = errors.New("cells: unknown cell")
+	// ErrUnknownKind reports a Cell whose Kind is outside the library's
+	// families (a hand-built Cell struct, not a library member).
+	ErrUnknownKind = errors.New("cells: unknown cell kind")
 )
 
 // Kind enumerates cell families.
@@ -129,6 +140,15 @@ func ByName(name string) (*Cell, bool) {
 	return c, ok
 }
 
+// Lookup resolves a cell by name, returning an error wrapping ErrUnknownCell
+// when the name is not in the library.
+func Lookup(name string) (*Cell, error) {
+	if c, ok := ByName(name); ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w %q", ErrUnknownCell, name)
+}
+
 func buildLibrary() {
 	add := func(kind Kind, strengths []float64, inputs int, tri, seq bool) {
 		for _, s := range strengths {
@@ -169,8 +189,10 @@ func mos(t devices.MOSType, w float64) func(vd, vg, vs float64) (float64, float6
 // prefixed with the cell name.
 //
 // The returned polarity is −1 for inverting paths (output falls when the
-// input rises) and +1 for non-inverting ones.
-func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.Node) int {
+// input rises) and +1 for non-inverting ones. A Cell whose Kind is not a
+// library family yields an error wrapping ErrUnknownKind (and leaves
+// whatever was added so far in the netlist — callers discard it).
+func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.Node) (int, error) {
 	high := waveform.Const(devices.Vdd025)
 	low := waveform.Const(0)
 	tieHigh := func(name string) spice.Node {
@@ -191,7 +213,7 @@ func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.N
 	case INV:
 		n.AddMOS(out, in, spice.Ground, mos(devices.NMOS, c.Wn))
 		n.AddMOS(out, in, vdd, mos(devices.PMOS, c.Wp))
-		return -1
+		return -1, nil
 	case BUF, CLKBUF, DLY, DFF, LATCH:
 		// Two inverters; the first is quarter-strength. For sequential cells
 		// this is the Q output driver path, which is what crosstalk analysis
@@ -206,7 +228,7 @@ func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.N
 		n.AddC(mid, spice.Ground, (c.Wn+c.Wp)*CGatePerMeter)
 		n.AddMOS(out, mid, spice.Ground, mos(devices.NMOS, c.Wn))
 		n.AddMOS(out, mid, vdd, mos(devices.PMOS, c.Wp))
-		return 1
+		return 1, nil
 	case NAND2, NAND3:
 		// Pulldown: series stack (widened); pullup: parallel PMOS. Side
 		// inputs tied high so the switching input controls the gate.
@@ -231,7 +253,7 @@ func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.N
 		for i := 1; i < k; i++ {
 			n.AddMOS(out, tieHigh(fmt.Sprintf("pin%d", i)), vdd, mos(devices.PMOS, c.Wp))
 		}
-		return -1
+		return -1, nil
 	case NOR2, NOR3:
 		k := c.Inputs
 		wp := c.Wp * float64(k)
@@ -254,7 +276,7 @@ func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.N
 		for i := 1; i < k; i++ {
 			n.AddMOS(out, tieLow(fmt.Sprintf("nin%d", i)), spice.Ground, mos(devices.NMOS, c.Wn))
 		}
-		return -1
+		return -1, nil
 	case AOI21, AOI22:
 		// AOI21: out = !(A·B + C). Switching input = C (the fast path):
 		// pulldown NMOS from out to ground gated by C; the A·B series branch
@@ -270,7 +292,7 @@ func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.N
 		n.AddMOS(pm, tieLow("pa"), vdd, mos(devices.PMOS, 2*c.Wp))
 		n.AddMOS(pm, tieLow("pb"), vdd, mos(devices.PMOS, 2*c.Wp))
 		n.AddMOS(out, in, pm, mos(devices.PMOS, 2*c.Wp))
-		return -1
+		return -1, nil
 	case OAI21, OAI22:
 		// OAI21: out = !((A+B)·C); switching input = C. Pullup PMOS direct;
 		// pulldown: series (C, conducting parallel pair).
@@ -279,7 +301,7 @@ func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.N
 		n.AddMOS(nm, tieHigh("na"), spice.Ground, mos(devices.NMOS, 2*c.Wn))
 		n.AddMOS(nm, tieHigh("nb"), spice.Ground, mos(devices.NMOS, 2*c.Wn))
 		n.AddMOS(out, in, nm, mos(devices.NMOS, 2*c.Wn))
-		return -1
+		return -1, nil
 	case TBUF:
 		// Tri-state buffer, enabled: data path is a buffer whose output
 		// stage sits in series with always-on enable devices.
@@ -293,9 +315,9 @@ func (c *Cell) BuildDriver(n *spice.Netlist, prefix string, in, out, vdd spice.N
 		n.AddMOS(nstk, mid, spice.Ground, mos(devices.NMOS, 2*c.Wn))
 		n.AddMOS(out, tieLow("enb"), pstk, mos(devices.PMOS, 2*c.Wp))
 		n.AddMOS(pstk, mid, vdd, mos(devices.PMOS, 2*c.Wp))
-		return 1
+		return 1, nil
 	default:
-		panic(fmt.Sprintf("cells: unknown kind %d", c.Kind))
+		return 0, fmt.Errorf("%w %d (cell %q)", ErrUnknownKind, int(c.Kind), c.Name)
 	}
 }
 
@@ -310,8 +332,8 @@ const (
 
 // BuildHolding instantiates the cell driving a constant output (the victim
 // configuration): the switching input is tied so the output is held at the
-// requested rail. It returns the input source value used.
-func (c *Cell) BuildHolding(n *spice.Netlist, prefix string, out, vdd spice.Node, hold HoldState) {
+// requested rail. It fails with ErrUnknownKind for non-library kinds.
+func (c *Cell) BuildHolding(n *spice.Netlist, prefix string, out, vdd spice.Node, hold HoldState) error {
 	in := n.Node(prefix + ".hold_in")
 	pol := c.polarity()
 	var v float64
@@ -319,7 +341,8 @@ func (c *Cell) BuildHolding(n *spice.Netlist, prefix string, out, vdd spice.Node
 		v = devices.Vdd025 // inverting cell holding low needs input high
 	}
 	n.Drive(in, waveform.Const(v))
-	c.BuildDriver(n, prefix, in, out, vdd)
+	_, err := c.BuildDriver(n, prefix, in, out, vdd)
+	return err
 }
 
 // polarity reports the sign of the cell's in→out path (−1 inverting).

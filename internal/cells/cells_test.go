@@ -1,6 +1,7 @@
 package cells
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -68,7 +69,9 @@ func driveTransient(t *testing.T, c *Cell, inRising bool, load float64) *wavefor
 		v0, v1 = v1, v0
 	}
 	n.Drive(in, waveform.Ramp(v0, v1, 100e-12, 100e-12))
-	c.BuildDriver(n, "u", in, out, vdd)
+	if _, err := c.BuildDriver(n, "u", in, out, vdd); err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
 	n.AddC(out, spice.Ground, load)
 	res, err := n.Transient(spice.Options{TEnd: 4e-9, Dt: 2e-12})
 	if err != nil {
@@ -95,6 +98,47 @@ func TestEveryCellDrivesFullSwing(t *testing.T) {
 	}
 }
 
+// TestUnknownKindTypedErrors pins the instantiation error contract: a Cell
+// with a Kind outside the library families fails BuildDriver/BuildHolding
+// with an error matching ErrUnknownKind instead of panicking, and Lookup
+// reports missing names via ErrUnknownCell.
+func TestUnknownKindTypedErrors(t *testing.T) {
+	bogus := &Cell{Name: "HAND_BUILT", Kind: Kind(99), Wn: WnBase, Wp: WpBase}
+	cases := []struct {
+		name string
+		run  func() error
+		want error
+	}{
+		{"build driver unknown kind", func() error {
+			n := spice.NewNetlist("bad")
+			_, err := bogus.BuildDriver(n, "u", n.Node("in"), n.Node("out"), n.Node("vdd"))
+			return err
+		}, ErrUnknownKind},
+		{"build holding unknown kind", func() error {
+			n := spice.NewNetlist("bad")
+			return bogus.BuildHolding(n, "u", n.Node("out"), n.Node("vdd"), HoldLow)
+		}, ErrUnknownKind},
+		{"lookup unknown name", func() error {
+			_, err := Lookup("INV_X999")
+			return err
+		}, ErrUnknownCell},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("expected a typed error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %q does not match %v", err, tc.want)
+			}
+		})
+	}
+	if c, err := Lookup("INV_X2"); err != nil || c == nil || c.Name != "INV_X2" {
+		t.Fatalf("Lookup(INV_X2) = %v, %v", c, err)
+	}
+}
+
 func TestBuildHoldingHoldsRails(t *testing.T) {
 	for _, name := range []string{"INV_X2", "BUF_X2", "NAND2_X2", "TBUF_X2"} {
 		c, _ := ByName(name)
@@ -103,7 +147,9 @@ func TestBuildHoldingHoldsRails(t *testing.T) {
 			out := n.Node("out")
 			vdd := n.Node("vdd")
 			n.Drive(vdd, waveform.Const(devices.Vdd025))
-			c.BuildHolding(n, "u", out, vdd, hold)
+			if err := c.BuildHolding(n, "u", out, vdd, hold); err != nil {
+				t.Fatalf("%s hold %v: %v", name, hold, err)
+			}
 			v, err := n.DCOperatingPoint(0, spice.Options{})
 			if err != nil {
 				t.Fatalf("%s hold %v: %v", name, hold, err)

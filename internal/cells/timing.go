@@ -134,7 +134,9 @@ func measureArc(c *Cell, load, slew float64, outRising bool, dt float64) (delay,
 		v0, v1 = vdd, 0
 	}
 	n.Drive(in, waveform.Ramp(v0, v1, t0, slew))
-	c.BuildDriver(n, "u", in, out, vddN)
+	if _, err := c.BuildDriver(n, "u", in, out, vddN); err != nil {
+		return 0, 0, err
+	}
 	n.AddC(out, spice.Ground, load+c.OutDiffCapF)
 	// Span scaled to the expected RC of this arc so fast cells don't pay for
 	// slow ones; the step follows so every arc resolves its edge.

@@ -55,7 +55,9 @@ func CharacterizeVTC(c *Cell) (*VTC, error) {
 		vddN := n.Node("vdd")
 		n.Drive(vddN, waveform.Const(vdd))
 		n.Drive(in, waveform.Const(vin))
-		c.BuildDriver(n, "u", in, out, vddN)
+		if _, err := c.BuildDriver(n, "u", in, out, vddN); err != nil {
+			return nil, err
+		}
 		op, err := n.DCOperatingPoint(0, spice.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("cells: VTC of %s at %.2f V: %w", c.Name, vin, err)

@@ -11,7 +11,10 @@ import (
 )
 
 func TestRoundTripParallelWires(t *testing.T) {
-	d := dsp.ParallelWires(3, 800, 1.2, []string{"INV_X4", "INV_X1"}, "NAND2_X1")
+	d, err := dsp.ParallelWires(3, 800, 1.2, []string{"INV_X4", "INV_X1"}, "NAND2_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Write(&buf, d); err != nil {
 		t.Fatal(err)
@@ -43,8 +46,11 @@ func TestRoundTripParallelWires(t *testing.T) {
 func TestRoundTripExtractionEquivalence(t *testing.T) {
 	// The real test: the reconstructed design must extract to the same
 	// parasitics (within DBU rounding).
-	d := dsp.Generate(dsp.Config{Seed: 23, Channels: 1, TracksPerChannel: 20,
+	d, err := dsp.Generate(dsp.Config{Seed: 23, Channels: 1, TracksPerChannel: 20,
 		ChannelLengthUM: 600, BusFraction: 0.1, LatchFraction: 0.3, ClockSpines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Write(&buf, d); err != nil {
 		t.Fatal(err)
@@ -92,7 +98,10 @@ func TestReadRejectsBadInput(t *testing.T) {
 }
 
 func TestWriterEmitsSections(t *testing.T) {
-	d := dsp.ParallelWires(2, 100, 1.2, []string{"BUF_X1"}, "INV_X1")
+	d, err := dsp.ParallelWires(2, 100, 1.2, []string{"BUF_X1"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Write(&buf, d); err != nil {
 		t.Fatal(err)
@@ -106,8 +115,11 @@ func TestWriterEmitsSections(t *testing.T) {
 }
 
 func TestClockNetUseClause(t *testing.T) {
-	d := dsp.Generate(dsp.Config{Seed: 2, Channels: 1, TracksPerChannel: 5,
+	d, err := dsp.Generate(dsp.Config{Seed: 2, Channels: 1, TracksPerChannel: 5,
 		ChannelLengthUM: 300, ClockSpines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Write(&buf, d); err != nil {
 		t.Fatal(err)

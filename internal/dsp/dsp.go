@@ -13,25 +13,37 @@ import (
 	"xtverify/internal/design"
 )
 
-// mustCell resolves a library cell or panics (generator-internal names are
-// compile-time constants).
-func mustCell(name string) *cells.Cell {
-	c, ok := cells.ByName(name)
-	if !ok {
-		panic(fmt.Sprintf("dsp: unknown cell %q", name))
+// lookupAll resolves a list of cell names, failing with the library's typed
+// ErrUnknownCell on the first name that does not resolve.
+func lookupAll(names []string) ([]*cells.Cell, error) {
+	out := make([]*cells.Cell, len(names))
+	for i, name := range names {
+		c, err := cells.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("dsp: %w", err)
+		}
+		out[i] = c
 	}
-	return c
+	return out, nil
 }
 
 // ParallelWires builds the Figure 1 test structure: n parallel wires of the
 // given length at pitch pitchUM, each driven by driverNames[i] (cycled) and
 // received by receiverName. Wire 0 is conventionally the victim when n is
-// odd the middle wire is a better victim; callers decide.
-func ParallelWires(n int, lengthUM, pitchUM float64, driverNames []string, receiverName string) *design.Design {
+// odd the middle wire is a better victim; callers decide. Unknown cell names
+// yield an error wrapping cells.ErrUnknownCell.
+func ParallelWires(n int, lengthUM, pitchUM float64, driverNames []string, receiverName string) (*design.Design, error) {
 	d := design.New(fmt.Sprintf("lines_%dx%.0fum", n, lengthUM))
-	recv := mustCell(receiverName)
+	recv, err := cells.Lookup(receiverName)
+	if err != nil {
+		return nil, fmt.Errorf("dsp: %w", err)
+	}
+	drvs, err := lookupAll(driverNames)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
-		drv := mustCell(driverNames[i%len(driverNames)])
+		drv := drvs[i%len(drvs)]
 		y := float64(i) * pitchUM
 		net := &design.Net{
 			Name: fmt.Sprintf("w%d", i),
@@ -45,7 +57,7 @@ func ParallelWires(n int, lengthUM, pitchUM float64, driverNames []string, recei
 		}
 		d.AddNet(net)
 	}
-	return d
+	return d, nil
 }
 
 // Config parameterizes the synthetic DSP.
@@ -112,10 +124,29 @@ var receiverPool = []struct {
 	{"DFF_X1", 4},
 }
 
-func pick(rng *rand.Rand, pool []struct {
+// weightedCell is a pool entry with its cell pre-resolved, so generation
+// after validation cannot hit a lookup failure mid-design.
+type weightedCell struct {
+	cell *cells.Cell
+	w    int
+}
+
+func resolvePool(pool []struct {
 	name string
 	w    int
-}) *cells.Cell {
+}) ([]weightedCell, error) {
+	out := make([]weightedCell, len(pool))
+	for i, p := range pool {
+		c, err := cells.Lookup(p.name)
+		if err != nil {
+			return nil, fmt.Errorf("dsp: %w", err)
+		}
+		out[i] = weightedCell{cell: c, w: p.w}
+	}
+	return out, nil
+}
+
+func pick(rng *rand.Rand, pool []weightedCell) *cells.Cell {
 	total := 0
 	for _, p := range pool {
 		total += p.w
@@ -124,10 +155,10 @@ func pick(rng *rand.Rand, pool []struct {
 	for _, p := range pool {
 		r -= p.w
 		if r < 0 {
-			return mustCell(p.name)
+			return p.cell
 		}
 	}
-	return mustCell(pool[0].name)
+	return pool[0].cell
 }
 
 func minInt(a, b int) int {
@@ -137,8 +168,10 @@ func minInt(a, b int) int {
 	return b
 }
 
-// Generate builds the synthetic DSP design.
-func Generate(cfg Config) *design.Design {
+// Generate builds the synthetic DSP design. All cell names the generator
+// draws from are validated up front, so an unknown name fails with a typed
+// error (wrapping cells.ErrUnknownCell) before any net is produced.
+func Generate(cfg Config) (*design.Design, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := design.New("dsp")
 	const (
@@ -146,8 +179,23 @@ func Generate(cfg Config) *design.Design {
 		channelGap = 60.0 // µm between channels
 		wireWidth  = 0.6
 	)
-	latch := mustCell("LATCH_X1")
-	tbuf := []string{"TBUF_X1", "TBUF_X2", "TBUF_X4", "TBUF_X8"}
+	drivers, err := resolvePool(driverPool)
+	if err != nil {
+		return nil, err
+	}
+	receivers, err := resolvePool(receiverPool)
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := lookupAll([]string{"LATCH_X1", "CLKBUF_X16", "BUF_X4"})
+	if err != nil {
+		return nil, err
+	}
+	latch, clkbuf, clkload := fixed[0], fixed[1], fixed[2]
+	tbuf, err := lookupAll([]string{"TBUF_X1", "TBUF_X2", "TBUF_X4", "TBUF_X8"})
+	if err != nil {
+		return nil, err
+	}
 	var prevNet *design.Net
 	for ch := 0; ch < cfg.Channels; ch++ {
 		yBase := float64(ch) * (float64(cfg.TracksPerChannel)*pitch + channelGap)
@@ -204,20 +252,20 @@ func Generate(cfg Config) *design.Design {
 					px := x0 + (x1-x0)*float64(k)/float64(nd)
 					net.Drivers = append(net.Drivers, design.Pin{
 						Inst: fmt.Sprintf("%s_tb%d", name, k),
-						Cell: mustCell(tbuf[rng.Intn(len(tbuf))]),
+						Cell: tbuf[rng.Intn(len(tbuf))],
 						Pin:  "Z", PosX: px, PosY: y,
 					})
 				}
 			} else {
 				net.Drivers = []design.Pin{{
-					Inst: name + "_drv", Cell: pick(rng, driverPool), Pin: "Z",
+					Inst: name + "_drv", Cell: pick(rng, drivers), Pin: "Z",
 					PosX: x0, PosY: y + stub,
 				}}
 			}
 			// Receivers: 1–3 fanouts at the far end; some latch inputs.
 			nr := 1 + rng.Intn(3)
 			for k := 0; k < nr; k++ {
-				rc := pick(rng, receiverPool)
+				rc := pick(rng, receivers)
 				if k == 0 && rng.Float64() < cfg.LatchFraction {
 					rc = latch
 				}
@@ -256,11 +304,11 @@ func Generate(cfg Config) *design.Design {
 				ClockNet: true,
 				Drivers: []design.Pin{{
 					Inst: fmt.Sprintf("ch%d_clkbuf%d", ch, s),
-					Cell: mustCell("CLKBUF_X16"), Pin: "Z", PosX: 0, PosY: y,
+					Cell: clkbuf, Pin: "Z", PosX: 0, PosY: y,
 				}},
 				Receivers: []design.Pin{{
 					Inst: fmt.Sprintf("ch%d_clkload%d", ch, s),
-					Cell: mustCell("BUF_X4"), Pin: "A", PosX: cfg.ChannelLengthUM, PosY: y,
+					Cell: clkload, Pin: "A", PosX: cfg.ChannelLengthUM, PosY: y,
 				}},
 				Route: []design.Segment{{Layer: 2, X0: 0, Y0: y, X1: cfg.ChannelLengthUM, Y1: y, Width: wireWidth}},
 			}
@@ -268,5 +316,5 @@ func Generate(cfg Config) *design.Design {
 		}
 		prevNet = nil
 	}
-	return d
+	return d, nil
 }

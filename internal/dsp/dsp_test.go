@@ -1,13 +1,28 @@
 package dsp
 
 import (
+	"errors"
 	"testing"
 
 	"xtverify/internal/cells"
+	"xtverify/internal/design"
 )
 
+// generate is a test helper for the common "must succeed" path.
+func generate(t *testing.T, cfg Config) *design.Design {
+	t.Helper()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func TestParallelWires(t *testing.T) {
-	d := ParallelWires(3, 1000, 1.2, []string{"INV_X4", "INV_X2"}, "NAND2_X1")
+	d, err := ParallelWires(3, 1000, 1.2, []string{"INV_X4", "INV_X2"}, "NAND2_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(d.Nets) != 3 {
 		t.Fatalf("%d nets", len(d.Nets))
 	}
@@ -27,14 +42,48 @@ func TestParallelWires(t *testing.T) {
 	}
 }
 
+// TestUnknownCellNames pins the typed-error contract: generators reject
+// unknown cell names with an error matching cells.ErrUnknownCell instead of
+// panicking, and the message names the offending cell.
+func TestUnknownCellNames(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"parallel wires bad receiver", func() error {
+			_, err := ParallelWires(2, 100, 1.2, []string{"INV_X1"}, "NOPE_X9")
+			return err
+		}},
+		{"parallel wires bad driver", func() error {
+			_, err := ParallelWires(2, 100, 1.2, []string{"INV_X1", "BOGUS"}, "INV_X1")
+			return err
+		}},
+		{"lookup bad name", func() error {
+			_, err := cells.Lookup("INV_X999")
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("expected an error for the unknown cell name")
+			}
+			if !errors.Is(err, cells.ErrUnknownCell) {
+				t.Fatalf("error %q does not match cells.ErrUnknownCell", err)
+			}
+		})
+	}
+}
+
 func TestGenerateValidAndDeterministic(t *testing.T) {
 	cfg := Config{Seed: 11, Channels: 2, TracksPerChannel: 30, ChannelLengthUM: 800,
 		BusFraction: 0.1, LatchFraction: 0.3, ComplementaryFraction: 0.1, ClockSpines: 1}
-	d1 := Generate(cfg)
+	d1 := generate(t, cfg)
 	if err := d1.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	d2 := Generate(cfg)
+	d2 := generate(t, cfg)
 	if len(d1.Nets) != len(d2.Nets) {
 		t.Fatal("non-deterministic net count")
 	}
@@ -46,7 +95,7 @@ func TestGenerateValidAndDeterministic(t *testing.T) {
 }
 
 func TestGeneratePopulations(t *testing.T) {
-	d := Generate(DefaultConfig())
+	d := generate(t, DefaultConfig())
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +129,7 @@ func TestGeneratePopulations(t *testing.T) {
 }
 
 func TestFaninsAreDAG(t *testing.T) {
-	d := Generate(Config{Seed: 5, Channels: 1, TracksPerChannel: 50, ChannelLengthUM: 1000})
+	d := generate(t, Config{Seed: 5, Channels: 1, TracksPerChannel: 50, ChannelLengthUM: 1000})
 	for _, n := range d.Nets {
 		for _, f := range n.Fanins {
 			if f >= n.Index {
@@ -91,7 +140,7 @@ func TestFaninsAreDAG(t *testing.T) {
 }
 
 func TestBusDriversAreTriState(t *testing.T) {
-	d := Generate(Config{Seed: 13, Channels: 1, TracksPerChannel: 80, ChannelLengthUM: 1500, BusFraction: 0.3})
+	d := generate(t, Config{Seed: 13, Channels: 1, TracksPerChannel: 80, ChannelLengthUM: 1500, BusFraction: 0.3})
 	buses := 0
 	for _, n := range d.Nets {
 		if n.IsBus() {
@@ -109,7 +158,7 @@ func TestBusDriversAreTriState(t *testing.T) {
 }
 
 func TestComplementaryPairsAreAdjacentNets(t *testing.T) {
-	d := Generate(Config{Seed: 17, Channels: 1, TracksPerChannel: 100, ChannelLengthUM: 1500, ComplementaryFraction: 0.3})
+	d := generate(t, Config{Seed: 17, Channels: 1, TracksPerChannel: 100, ChannelLengthUM: 1500, ComplementaryFraction: 0.3})
 	if len(d.Complementary) == 0 {
 		t.Skip("no pairs this seed")
 	}
@@ -119,5 +168,3 @@ func TestComplementaryPairsAreAdjacentNets(t *testing.T) {
 		}
 	}
 }
-
-var _ = cells.Library

@@ -10,7 +10,10 @@ import (
 
 func extracted(t *testing.T, nWires int, lengthUM float64, driver string) *extract.Parasitics {
 	t.Helper()
-	d := dsp.ParallelWires(nWires, lengthUM, 1.2, []string{driver}, "INV_X1")
+	d, err := dsp.ParallelWires(nWires, lengthUM, 1.2, []string{driver}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +94,10 @@ func TestStrongDriverOnNarrowWireViolates(t *testing.T) {
 }
 
 func TestAnalyzeDesignSortsBySeverity(t *testing.T) {
-	d := dsp.Generate(dsp.Config{Seed: 41, Channels: 1, TracksPerChannel: 8, ChannelLengthUM: 600})
+	d, err := dsp.Generate(dsp.Config{Seed: 41, Channels: 1, TracksPerChannel: 8, ChannelLengthUM: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)

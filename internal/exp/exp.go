@@ -21,7 +21,10 @@ import (
 // around one victim, per the paper's A1/V/A2 drawing) and returns the
 // analysis inputs.
 func linesCluster(lengthUM float64, driver, victimDriver string) (*extract.Parasitics, *prune.Cluster, error) {
-	d := dsp.ParallelWires(3, lengthUM, 1.2, []string{driver, victimDriver, driver}, "INV_X1")
+	d, err := dsp.ParallelWires(3, lengthUM, 1.2, []string{driver, victimDriver, driver}, "INV_X1")
+	if err != nil {
+		return nil, nil, err
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		return nil, nil, err
@@ -36,7 +39,10 @@ func linesCluster(lengthUM float64, driver, victimDriver string) (*extract.Paras
 // pairCluster builds a single aggressor + victim pair for the Table 3/4
 // model-accuracy sweeps.
 func pairCluster(lengthUM float64, aggressorDriver, victimDriver string) (*extract.Parasitics, *prune.Cluster, error) {
-	d := dsp.ParallelWires(2, lengthUM, 1.2, []string{aggressorDriver, victimDriver}, "INV_X1")
+	d, err := dsp.ParallelWires(2, lengthUM, 1.2, []string{aggressorDriver, victimDriver}, "INV_X1")
+	if err != nil {
+		return nil, nil, err
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		return nil, nil, err
@@ -57,7 +63,10 @@ func glitchTEnd(lengthUM float64) float64 {
 
 // dspPopulation generates the Section 5 design, extracts, and prunes it.
 func dspPopulation(cfg dsp.Config, maxAggressors int) (*extract.Parasitics, []*prune.Cluster, error) {
-	d := dsp.Generate(cfg)
+	d, err := dsp.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		return nil, nil, err

@@ -83,7 +83,10 @@ func RunEMStudy(cfg dsp.Config, activityHz float64, maxNets int) (*EMStudyResult
 	if cfg.Channels == 0 {
 		cfg = dsp.DefaultConfig()
 	}
-	d := dsp.Generate(cfg)
+	d, err := dsp.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		return nil, err

@@ -8,7 +8,10 @@ import (
 )
 
 func TestTwoWireExtraction(t *testing.T) {
-	d := dsp.ParallelWires(2, 1000, 1.2, []string{"INV_X2"}, "INV_X1")
+	d, err := dsp.ParallelWires(2, 1000, 1.2, []string{"INV_X2"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := Extract(d, Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +55,10 @@ func TestTwoWireExtraction(t *testing.T) {
 
 func TestCouplingFallsWithSpacing(t *testing.T) {
 	ccAt := func(pitch float64) float64 {
-		d := dsp.ParallelWires(2, 500, pitch, []string{"INV_X2"}, "INV_X1")
+		d, err := dsp.ParallelWires(2, 500, pitch, []string{"INV_X2"}, "INV_X1")
+		if err != nil {
+			t.Fatal(err)
+		}
 		p, err := Extract(d, Tech025())
 		if err != nil {
 			t.Fatal(err)
@@ -78,7 +84,10 @@ func TestCouplingDominatesForMinPitch(t *testing.T) {
 	// The paper's premise: at minimum pitch with neighbours on both sides,
 	// coupling exceeds 70% of total capacitance for long wires. Use bare
 	// wire stats (middle wire of three).
-	d := dsp.ParallelWires(3, 2000, 1.2, []string{"INV_X2"}, "INV_X1")
+	d, err := dsp.ParallelWires(3, 2000, 1.2, []string{"INV_X2"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := Extract(d, Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +112,10 @@ func TestCouplingDominatesForMinPitch(t *testing.T) {
 }
 
 func TestNetCouplingFSymmetric(t *testing.T) {
-	d := dsp.ParallelWires(3, 400, 1.2, []string{"INV_X2"}, "INV_X1")
+	d, err := dsp.ParallelWires(3, 400, 1.2, []string{"INV_X2"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := Extract(d, Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +130,10 @@ func TestNetCouplingFSymmetric(t *testing.T) {
 }
 
 func TestPinAttachment(t *testing.T) {
-	d := dsp.ParallelWires(1, 300, 1.2, []string{"BUF_X4"}, "NAND2_X1")
+	d, err := dsp.ParallelWires(1, 300, 1.2, []string{"BUF_X4"}, "NAND2_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := Extract(d, Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +153,10 @@ func TestPinAttachment(t *testing.T) {
 
 func TestExtractionDeterministic(t *testing.T) {
 	gen := func() Stats {
-		d := dsp.Generate(dsp.Config{Seed: 7, Channels: 1, TracksPerChannel: 20, ChannelLengthUM: 600, LatchFraction: 0.3})
+		d, err := dsp.Generate(dsp.Config{Seed: 7, Channels: 1, TracksPerChannel: 20, ChannelLengthUM: 600, LatchFraction: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
 		p, err := Extract(d, Tech025())
 		if err != nil {
 			t.Fatal(err)
@@ -152,7 +170,10 @@ func TestExtractionDeterministic(t *testing.T) {
 }
 
 func TestDSPExtractionStats(t *testing.T) {
-	d := dsp.Generate(dsp.Config{Seed: 3, Channels: 2, TracksPerChannel: 40, ChannelLengthUM: 1200, LatchFraction: 0.25, BusFraction: 0.05, ClockSpines: 1})
+	d, err := dsp.Generate(dsp.Config{Seed: 3, Channels: 2, TracksPerChannel: 40, ChannelLengthUM: 1200, LatchFraction: 0.25, BusFraction: 0.05, ClockSpines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := Extract(d, Tech025())
 	if err != nil {
 		t.Fatal(err)

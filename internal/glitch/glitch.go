@@ -22,6 +22,7 @@ import (
 	"xtverify/internal/devices"
 	"xtverify/internal/extract"
 	"xtverify/internal/mna"
+	"xtverify/internal/obs"
 	"xtverify/internal/prune"
 	"xtverify/internal/romsim"
 	"xtverify/internal/sympvl"
@@ -89,6 +90,10 @@ type Options struct {
 	Cache *ROMCache
 	// DisableROMCache turns reduced-model memoization off entirely.
 	DisableROMCache bool
+	// Trace, when non-nil, receives this engine's phase spans and counters
+	// (one trace per cluster: the verifier installs a fresh one per
+	// analyzed cluster). Nil disables instrumentation at near-zero cost.
+	Trace *obs.Trace
 }
 
 func (o *Options) setDefaults() {
@@ -420,17 +425,27 @@ func (e *Engine) reducedOrder(p int) int {
 func (e *Engine) reduceModel(ctx context.Context, sys *mna.System, ckt *circuit.Circuit,
 	order int, decoupled, cacheable bool) (*sympvl.Model, error) {
 	reduce := func() (*sympvl.Model, error) {
-		return sympvl.Reduce(sys, sympvl.Options{Order: order, Check: ctx.Err, Workspace: e.ws})
+		return sympvl.Reduce(sys, sympvl.Options{Order: order, Check: ctx.Err, Workspace: e.ws, Trace: e.Opt.Trace})
 	}
 	if !cacheable || e.Opt.Cache == nil || e.Opt.DisableROMCache {
-		return reduce()
+		span := e.Opt.Trace.Start(obs.PhaseReduce)
+		m, err := reduce()
+		span.End()
+		return m, err
 	}
 	gmin := e.Opt.Gmin
 	if gmin == 0 {
 		gmin = mna.DefaultGmin
 	}
+	fpSpan := e.Opt.Trace.Start(obs.PhaseFingerprint)
 	key := prune.Fingerprint(ckt, gmin, order, decoupled)
+	fpSpan.End()
+	// The reduce span includes the cache lookup: a hit shows up as a
+	// near-zero span, and Lanczos iterations are attributed (inside
+	// sympvl.Reduce) to the cluster that actually performed the reduction.
+	span := e.Opt.Trace.Start(obs.PhaseReduce)
 	m, err := e.Opt.Cache.GetOrCompute(ctx, key, reduce)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -523,7 +538,7 @@ func (e *Engine) analyzeGlitchCustom(ctx context.Context, cl *prune.Cluster, gli
 		}
 	}
 	// Idle bus drivers are tri-stated: open terminations (zero Termination).
-	simOpt := romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Check: ctx.Err}
+	simOpt := romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Check: ctx.Err, Trace: e.Opt.Trace}
 	var simRes *romsim.Result
 	if e.Opt.DirectMNA {
 		simRes, err = romsim.SimulateDirect(sys, terms, simOpt)
@@ -609,7 +624,7 @@ func (e *Engine) AnalyzeDelay(cl *prune.Cluster, victimRising, withCoupling bool
 			return nil, err
 		}
 	}
-	simRes, err := romsim.Simulate(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt})
+	simRes, err := romsim.Simulate(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Trace: e.Opt.Trace})
 	if err != nil {
 		return nil, err
 	}

@@ -16,7 +16,10 @@ import (
 // with the middle wire as victim.
 func linesSetup(t *testing.T, nWires int, lengthUM float64, drv string) (*extract.Parasitics, *prune.Cluster) {
 	t.Helper()
-	d := dsp.ParallelWires(nWires, lengthUM, 1.2, []string{drv}, "INV_X1")
+	d, err := dsp.ParallelWires(nWires, lengthUM, 1.2, []string{drv}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +119,10 @@ func TestNonlinearROMvsTransistorSPICE(t *testing.T) {
 }
 
 func TestTimingWindowsSuppressAggressors(t *testing.T) {
-	d := dsp.Generate(dsp.Config{Seed: 21, Channels: 1, TracksPerChannel: 60, ChannelLengthUM: 1200, LatchFraction: 0.2})
+	d, err := dsp.Generate(dsp.Config{Seed: 21, Channels: 1, TracksPerChannel: 60, ChannelLengthUM: 1200, LatchFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +164,10 @@ func TestLogicCorrelationReducesGlitch(t *testing.T) {
 	// Three wires: both outer aggressors are complementary outputs of one
 	// flip-flop; with correlation on, one must switch the other way and the
 	// glitch shrinks.
-	d := dsp.ParallelWires(3, 1200, 1.2, []string{"DFF_X2"}, "INV_X1")
+	d, err := dsp.ParallelWires(3, 1200, 1.2, []string{"DFF_X2"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	d.MarkComplementary(0, 2)
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
@@ -332,8 +341,11 @@ func TestAdviseRepairs(t *testing.T) {
 	// glitch, and shielding must be the most effective.
 	p, cl := linesSetup(t, 3, 2000, "INV_X8")
 	// Victim driver is also INV_X8 in linesSetup; rebuild with weak victim.
-	d := dsp.ParallelWires(3, 2000, 1.2, []string{"INV_X8", "INV_X1", "INV_X8"}, "INV_X1")
-	p, err := extract.Extract(d, extract.Tech025())
+	d, err := dsp.ParallelWires(3, 2000, 1.2, []string{"INV_X8", "INV_X1", "INV_X8"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +387,10 @@ func TestAdviseRepairs(t *testing.T) {
 
 func TestAdviseRepairsInfeasibleUpsize(t *testing.T) {
 	// Strongest inverter as victim driver: upsizing must report infeasible.
-	d := dsp.ParallelWires(2, 1000, 1.2, []string{"INV_X8", "INV_X12"}, "INV_X1")
+	d, err := dsp.ParallelWires(2, 1000, 1.2, []string{"INV_X8", "INV_X12"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)

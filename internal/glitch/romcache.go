@@ -37,9 +37,10 @@ type ROMCache struct {
 	cap      int
 	entries  map[string]*list.Element // completed models, keyed by fingerprint
 	order    *list.List               // LRU order: front = most recent
-	inflight map[string]chan struct{}
-	hits     uint64
-	misses   uint64
+	inflight  map[string]chan struct{}
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type romEntry struct {
@@ -116,6 +117,7 @@ func (c *ROMCache) runFlight(key string, done chan struct{}, compute func() (*sy
 				back := c.order.Back()
 				c.order.Remove(back)
 				delete(c.entries, back.Value.(*romEntry).key)
+				c.evictions++
 			}
 		}
 		c.mu.Unlock()
@@ -132,6 +134,14 @@ func (c *ROMCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns the number of completed entries dropped by the LRU
+// bound since the cache was created.
+func (c *ROMCache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Len returns the number of completed entries currently cached.

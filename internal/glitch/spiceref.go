@@ -77,7 +77,9 @@ func (e *Engine) SPICEGlitch(cl *prune.Cluster, glitchRising, transistorLevel bo
 	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
 	vNode := nodeOf[ckt.Ports[cp.victimDriver].Node]
 	if transistorLevel {
-		vPin.Cell.BuildHolding(net, "xvictim", vNode, vddNode, hold)
+		if err := vPin.Cell.BuildHolding(net, "xvictim", vNode, vddNode, hold); err != nil {
+			return nil, err
+		}
 	} else {
 		term, err := e.holdTermination(vPin.Cell, hold)
 		if err != nil {
@@ -93,14 +95,18 @@ func (e *Engine) SPICEGlitch(cl *prune.Cluster, glitchRising, transistorLevel bo
 		if transistorLevel {
 			prefix := fmt.Sprintf("xagg%d", i)
 			if plan.Quiet {
-				plan.Cell.BuildHolding(net, prefix, aNode, vddNode, cells.HoldLow)
+				if err := plan.Cell.BuildHolding(net, prefix, aNode, vddNode, cells.HoldLow); err != nil {
+					return nil, err
+				}
 				continue
 			}
 			inRising, src := e.aggressorSource(plan)
 			_ = inRising
 			in := net.Node(prefix + ".in")
 			net.Drive(in, src)
-			plan.Cell.BuildDriver(net, prefix, in, aNode, vddNode)
+			if _, err := plan.Cell.BuildDriver(net, prefix, in, aNode, vddNode); err != nil {
+				return nil, err
+			}
 		} else {
 			term, err := e.driverTermination(plan, e.loadEstimate(plan.Net))
 			if err != nil {

@@ -69,6 +69,56 @@ func TestCSRMatchesSparse(t *testing.T) {
 	}
 }
 
+// TestCSRMatchesSparseNonFinite extends the bit-identity property to
+// non-finite inputs: vectors carrying ±0, ±Inf and NaN, and matrices with
+// stored explicit zeros (cancelled accumulations) and non-finite entries.
+// Both kernels iterate the stored entries in the same sorted row-major
+// order, so even NaN-producing terms (0·±Inf, Inf−Inf) must evaluate in the
+// same sequence and land on identical bit patterns. This pins the CSR
+// history product of the direct-MNA path as bit-equal to the map-backed
+// reference regardless of how far an iterate has diverged.
+func TestCSRMatchesSparseNonFinite(t *testing.T) {
+	specials := []float64{
+		0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(),
+		1.5, -2.25, math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(30)
+		s := randomSparse(rng, n, 0.15)
+		// Stored explicit zeros: accumulate +v then −v on the same slot.
+		for k := 0; k < 1+n/4; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			v := 1 + rng.Float64()
+			s.Add(i, j, v)
+			s.Add(i, j, -v)
+		}
+		// A few non-finite and signed-zero matrix entries.
+		for k := 0; k < 1+n/4; k++ {
+			s.Add(rng.Intn(n), rng.Intn(n), specials[rng.Intn(len(specials))])
+		}
+		c := s.Compile()
+
+		x := make([]float64, n)
+		for i := range x {
+			if rng.Intn(2) == 0 {
+				x[i] = specials[rng.Intn(len(specials))]
+			} else {
+				x[i] = rng.NormFloat64()
+			}
+		}
+		ys := s.MulVec(x)
+		yc := make([]float64, n)
+		c.MulVecTo(yc, x)
+		for i := range ys {
+			if math.Float64bits(ys[i]) != math.Float64bits(yc[i]) {
+				t.Fatalf("trial %d: MulVec[%d] bits differ: CSR %x (%g) vs Sparse %x (%g)",
+					trial, i, math.Float64bits(yc[i]), yc[i], math.Float64bits(ys[i]), ys[i])
+			}
+		}
+	}
+}
+
 // TestCSRAdjacencyPermutedMatchSparse checks the graph-side operations used by
 // the RCM reordering pipeline against the reference Sparse implementations.
 func TestCSRAdjacencyPermutedMatchSparse(t *testing.T) {

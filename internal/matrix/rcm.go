@@ -3,13 +3,21 @@ package matrix
 // RCM computes a reverse Cuthill–McKee ordering for the graph given by the
 // adjacency lists. It returns perm with perm[old] = new, chosen to reduce the
 // matrix profile before skyline factorization. Disconnected components are
-// handled by restarting from the lowest-degree unvisited node.
+// handled by restarting from the lowest-degree unvisited node (lowest
+// original index among equal degrees).
 //
 // The BFS queue is the visit-order slice itself (every dequeued node is
 // appended to the order in enqueue order, so the two sequences coincide), and
-// freshly enqueued neighbours are degree-sorted in place with a stable
-// insertion sort — RC-network degrees are tiny, and this keeps the whole
-// routine at three allocations regardless of graph size.
+// freshly enqueued neighbours are degree-sorted in place with an insertion
+// sort — RC-network degrees are tiny, and this keeps the whole routine at
+// three allocations regardless of graph size.
+//
+// The ordering is fully deterministic and independent of the adjacency
+// lists' own ordering: equal-degree neighbours are tied broken by ascending
+// original index (explicitly, in the sort comparison), so every input
+// describing the same graph yields the same permutation. Fingerprint-keyed
+// ROM memoization relies on this: two structurally identical clusters must
+// factor through the same ordering to produce bit-identical models.
 func RCM(adj [][]int) []int {
 	n := len(adj)
 	order := make([]int, 0, n) // Cuthill–McKee visit order (old indices)
@@ -44,7 +52,8 @@ func RCM(adj [][]int) []int {
 			for a := 1; a < len(seg); a++ {
 				x := seg[a]
 				b := a - 1
-				for b >= 0 && deg[seg[b]] > deg[x] {
+				for b >= 0 && (deg[seg[b]] > deg[x] ||
+					(deg[seg[b]] == deg[x] && seg[b] > x)) {
 					seg[b+1] = seg[b]
 					b--
 				}

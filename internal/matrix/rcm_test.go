@@ -1,0 +1,79 @@
+package matrix
+
+import "testing"
+
+// TestRCMEqualDegreeTieBreak pins the documented tie-break: equal-degree
+// neighbours enqueue in ascending original index, regardless of the order
+// the adjacency lists present them in. The permutation below is a frozen
+// regression value — any change to it silently re-keys every skyline
+// factorization and breaks ROM-cache bit-identity.
+func TestRCMEqualDegreeTieBreak(t *testing.T) {
+	// A star with center 0 and four equal-degree leaves. Sorted adjacency
+	// and reversed adjacency describe the same graph, so they must order
+	// identically.
+	sorted := [][]int{{1, 2, 3, 4}, {0}, {0}, {0}, {0}}
+	reversed := [][]int{{4, 3, 2, 1}, {0}, {0}, {0}, {0}}
+	p1 := RCM(sorted)
+	p2 := RCM(reversed)
+	// Root is leaf 1 (lowest index among minimum degree); BFS enqueues 0,
+	// then 0's unvisited neighbours 2,3,4 ascending. CM order 1,0,2,3,4
+	// reversed gives:
+	want := []int{3, 4, 2, 1, 0}
+	for i := range want {
+		if p1[i] != want[i] {
+			t.Fatalf("RCM(sorted) = %v, want %v", p1, want)
+		}
+		if p2[i] != want[i] {
+			t.Fatalf("RCM(reversed) = %v, want %v (tie-break depends on adjacency order)", p2, want)
+		}
+	}
+}
+
+// TestRCMAdjacencyOrderInvariance checks permutation equality on a larger
+// graph with many equal-degree ties, presented with shuffled adjacency.
+func TestRCMAdjacencyOrderInvariance(t *testing.T) {
+	// 4x4 grid: interior nodes have degree 4, edges 3, corners 2 — plenty
+	// of equal-degree ties at every BFS front.
+	const w, h = 4, 4
+	n := w * h
+	id := func(x, y int) int { return y*w + x }
+	fwd := make([][]int, n)
+	rev := make([][]int, n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var nb []int
+			if x > 0 {
+				nb = append(nb, id(x-1, y))
+			}
+			if x < w-1 {
+				nb = append(nb, id(x+1, y))
+			}
+			if y > 0 {
+				nb = append(nb, id(x, y-1))
+			}
+			if y < h-1 {
+				nb = append(nb, id(x, y+1))
+			}
+			fwd[id(x, y)] = nb
+			r := make([]int, len(nb))
+			for i, v := range nb {
+				r[len(nb)-1-i] = v
+			}
+			rev[id(x, y)] = r
+		}
+	}
+	p1 := RCM(fwd)
+	p2 := RCM(rev)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("grid RCM depends on adjacency presentation order:\nfwd %v\nrev %v", p1, p2)
+		}
+	}
+	// Frozen regression permutation for the sorted-adjacency 4x4 grid.
+	want := []int{15, 14, 12, 9, 13, 11, 8, 5, 10, 7, 4, 2, 6, 3, 1, 0}
+	for i := range want {
+		if p1[i] != want[i] {
+			t.Fatalf("grid RCM permutation changed: got %v, want %v", p1, want)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package obs is the engine's observability layer: per-cluster, per-phase
+// span timing and cheap counters, aggregated into a machine-readable
+// metrics snapshot.
+//
+// The design splits responsibilities between two types:
+//
+//   - Trace is a per-cluster, single-goroutine recorder. The engine creates
+//     one Trace per analyzed cluster and threads it (as a plain pointer in
+//     the options structs) down through glitch → sympvl/romsim. All Trace
+//     methods are nil-safe no-ops, so a disabled collector costs one nil
+//     check per instrumentation site — hot loops keep their counts in local
+//     variables and post them once per call, never per iteration.
+//
+//   - Collector is the run-level aggregator shared by every worker. It is
+//     safe for concurrent use, but the engine only touches it concurrently
+//     for the in-flight gauge; traces are merged serially, in cluster
+//     order, during result assembly — which is what makes the aggregated
+//     counter totals of a serial run and a Workers=N run identical.
+//
+// Durations come from time.Since, which uses the monotonic clock reading
+// embedded in time.Now. Counter totals are scheduling-independent; span
+// durations, per-cluster counter attribution (a ROM-cache flight is counted
+// where it was computed) and the queue gauge are run-dependent by nature
+// and documented as such.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one timed stage of the cluster-verification pipeline.
+type Phase int
+
+// The pipeline phases, in flow order.
+const (
+	// PhasePrune is the run-level coupling-graph pruning and clustering
+	// stage (one span per run, recorded on the Collector itself).
+	PhasePrune Phase = iota
+	// PhaseFingerprint is the structural fingerprint serialization that
+	// keys the ROM cache.
+	PhaseFingerprint
+	// PhaseReduce is the SyMPVL reduction, cache lookup included: a cache
+	// hit shows up as a near-zero reduce span.
+	PhaseReduce
+	// PhaseDiagonalize is the termination fold-in and eigendecomposition
+	// of the reduced model (romsim's per-analysis setup).
+	PhaseDiagonalize
+	// PhaseTransient is the Newton trapezoidal time-stepping loop.
+	PhaseTransient
+
+	// NumPhases bounds the Phase enum.
+	NumPhases
+)
+
+// String names the phase as it appears in metrics snapshots.
+func (p Phase) String() string {
+	switch p {
+	case PhasePrune:
+		return "prune"
+	case PhaseFingerprint:
+		return "fingerprint"
+	case PhaseReduce:
+		return "reduce"
+	case PhaseDiagonalize:
+		return "diagonalize"
+	case PhaseTransient:
+		return "transient"
+	default:
+		return "phase(?)"
+	}
+}
+
+// Counter identifies one aggregate event count.
+type Counter int
+
+// The engine's counters.
+const (
+	// CtrLanczosIterations counts completed block Lanczos steps across all
+	// actually-performed SyMPVL reductions (cache hits add nothing).
+	CtrLanczosIterations Counter = iota
+	// CtrNewtonIterations counts Newton iterations across all transients,
+	// DC initialization included.
+	CtrNewtonIterations
+	// CtrNewtonDivergences counts Newton loops that exhausted their budget.
+	CtrNewtonDivergences
+	// CtrWoodburySolves counts Sherman–Morrison–Woodbury rank-k Jacobian
+	// solves (the Eq. 7 fast path; dense-ablation and rank-0 solves are
+	// not counted).
+	CtrWoodburySolves
+	// CtrFallbackReduced..CtrFallbackUnverified count clusters by the
+	// ladder rung that produced their result.
+	CtrFallbackReduced
+	CtrFallbackRegularized
+	CtrFallbackDirectMNA
+	CtrFallbackUnverified
+	// CtrROMCacheHits, CtrROMCacheMisses and CtrROMCacheEvictions mirror
+	// the run's ROM-cache statistics (recorded once, at run end).
+	CtrROMCacheHits
+	CtrROMCacheMisses
+	CtrROMCacheEvictions
+
+	// NumCounters bounds the Counter enum.
+	NumCounters
+)
+
+// String names the counter as it appears in metrics snapshots.
+func (c Counter) String() string {
+	switch c {
+	case CtrLanczosIterations:
+		return "lanczos_iterations"
+	case CtrNewtonIterations:
+		return "newton_iterations"
+	case CtrNewtonDivergences:
+		return "newton_divergences"
+	case CtrWoodburySolves:
+		return "woodbury_solves"
+	case CtrFallbackReduced:
+		return "fallback_reduced"
+	case CtrFallbackRegularized:
+		return "fallback_regularized"
+	case CtrFallbackDirectMNA:
+		return "fallback_direct_mna"
+	case CtrFallbackUnverified:
+		return "fallback_unverified"
+	case CtrROMCacheHits:
+		return "rom_cache_hits"
+	case CtrROMCacheMisses:
+		return "rom_cache_misses"
+	case CtrROMCacheEvictions:
+		return "rom_cache_evictions"
+	default:
+		return "counter(?)"
+	}
+}
+
+// spanStat accumulates the durations of one phase.
+type spanStat struct {
+	count   int64
+	totalNs int64
+	maxNs   int64
+}
+
+func (s *spanStat) observe(ns int64) {
+	s.count++
+	s.totalNs += ns
+	if ns > s.maxNs {
+		s.maxNs = ns
+	}
+}
+
+func (s *spanStat) merge(o spanStat) {
+	s.count += o.count
+	s.totalNs += o.totalNs
+	if o.maxNs > s.maxNs {
+		s.maxNs = o.maxNs
+	}
+}
+
+// Trace records one cluster's phases and counters. It is owned by a single
+// goroutine (the worker analyzing the cluster) and merged into the Collector
+// exactly once, during serial result assembly. All methods are safe on a nil
+// receiver, which is the entire disabled-collector fast path.
+type Trace struct {
+	counters [NumCounters]int64
+	spans    [NumPhases]spanStat
+}
+
+// Add increments counter c by n. No-op on a nil Trace.
+func (t *Trace) Add(c Counter, n int64) {
+	if t == nil {
+		return
+	}
+	t.counters[c] += n
+}
+
+// Start opens a span for phase p; close it with End. On a nil Trace the
+// returned Span is inert and End is a no-op.
+func (t *Trace) Start(p Phase) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{trace: t, phase: p, start: time.Now()}
+}
+
+// Span is an open phase timing. The zero Span is inert.
+type Span struct {
+	trace *Trace
+	coll  *Collector
+	phase Phase
+	start time.Time
+}
+
+// End records the span's monotonic-clock duration. Calling End on an inert
+// Span does nothing; a Span whose End is never reached (error return mid-
+// phase) is simply not recorded.
+func (s Span) End() {
+	if s.trace == nil && s.coll == nil {
+		return
+	}
+	ns := time.Since(s.start).Nanoseconds()
+	if s.trace != nil {
+		s.trace.spans[s.phase].observe(ns)
+	}
+	if s.coll != nil {
+		s.coll.mu.Lock()
+		s.coll.spans[s.phase].observe(ns)
+		s.coll.mu.Unlock()
+	}
+}
+
+// Collector aggregates one verification run. Create one per run with
+// NewCollector; a nil *Collector disables all instrumentation at near-zero
+// cost (every method is nil-safe).
+type Collector struct {
+	// Gauge fields are updated concurrently by the worker pool.
+	submitted   atomic.Int64
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+
+	mu       sync.Mutex
+	counters [NumCounters]int64
+	spans    [NumPhases]spanStat
+	clusters []ClusterMetrics
+	workers  int
+	wallNs   int64
+}
+
+// NewCollector returns an empty collector for one run.
+func NewCollector() *Collector { return &Collector{} }
+
+// NewTrace returns a fresh per-cluster trace, or nil when the collector is
+// nil — so the disabled path threads a nil Trace everywhere for free.
+func (c *Collector) NewTrace() *Trace {
+	if c == nil {
+		return nil
+	}
+	return &Trace{}
+}
+
+// Add increments a run-level counter directly on the collector.
+func (c *Collector) Add(ctr Counter, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[ctr] += n
+	c.mu.Unlock()
+}
+
+// Start opens a run-level span (used for the prune phase, which happens
+// once per run, outside any cluster).
+func (c *Collector) Start(p Phase) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{coll: c, phase: p, start: time.Now()}
+}
+
+// MergeTrace folds one cluster's trace into the aggregate and appends its
+// per-cluster metrics entry. The engine calls it serially, in cluster
+// order, so both the aggregate totals and the Clusters slice ordering are
+// identical between serial and parallel runs.
+func (c *Collector) MergeTrace(victim, stage string, t *Trace) {
+	if c == nil || t == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range t.counters {
+		c.counters[i] += t.counters[i]
+	}
+	for i := range t.spans {
+		c.spans[i].merge(t.spans[i])
+	}
+	c.clusters = append(c.clusters, t.clusterMetrics(victim, stage))
+}
+
+// TaskStarted marks one cluster entering a worker; pair with TaskDone. The
+// in-flight gauge's high-water mark lands in the snapshot's queue section.
+func (c *Collector) TaskStarted() {
+	if c == nil {
+		return
+	}
+	c.submitted.Add(1)
+	cur := c.inFlight.Add(1)
+	for {
+		max := c.maxInFlight.Load()
+		if cur <= max || c.maxInFlight.CompareAndSwap(max, cur) {
+			return
+		}
+	}
+}
+
+// TaskDone marks one cluster leaving its worker.
+func (c *Collector) TaskDone() {
+	if c == nil {
+		return
+	}
+	c.inFlight.Add(-1)
+}
+
+// SetWorkers records the resolved worker-pool size.
+func (c *Collector) SetWorkers(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.workers = n
+	c.mu.Unlock()
+}
+
+// SetWallTime records the end-to-end cluster-analysis wall time.
+func (c *Collector) SetWallTime(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.wallNs = d.Nanoseconds()
+	c.mu.Unlock()
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety exercises every method on nil receivers — the disabled path.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	var tr *Trace
+	tr.Add(CtrNewtonIterations, 3)
+	tr.Start(PhaseReduce).End()
+	Span{}.End()
+	if got := c.NewTrace(); got != nil {
+		t.Fatalf("nil collector NewTrace = %v, want nil", got)
+	}
+	c.Add(CtrROMCacheHits, 1)
+	c.Start(PhasePrune).End()
+	c.MergeTrace("v", "sympvl", tr)
+	c.TaskStarted()
+	c.TaskDone()
+	c.SetWorkers(4)
+	c.SetWallTime(time.Second)
+	if got := c.Snapshot(); got != nil {
+		t.Fatalf("nil collector Snapshot = %v, want nil", got)
+	}
+}
+
+// TestNames pins every phase and counter name: they are the metrics schema.
+func TestNames(t *testing.T) {
+	wantPhases := []string{"prune", "fingerprint", "reduce", "diagonalize", "transient"}
+	for p := Phase(0); p < NumPhases; p++ {
+		if got := p.String(); got != wantPhases[p] {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, got, wantPhases[p])
+		}
+	}
+	wantCtrs := []string{
+		"lanczos_iterations", "newton_iterations", "newton_divergences",
+		"woodbury_solves", "fallback_reduced", "fallback_regularized",
+		"fallback_direct_mna", "fallback_unverified", "rom_cache_hits",
+		"rom_cache_misses", "rom_cache_evictions",
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if got := c.String(); got != wantCtrs[c] {
+			t.Errorf("Counter(%d).String() = %q, want %q", c, got, wantCtrs[c])
+		}
+	}
+}
+
+// TestMergeOrderIndependence checks the determinism contract: merging the
+// same traces (in the same cluster order) after any concurrent recording
+// schedule yields identical counter totals.
+func TestMergeOrderIndependence(t *testing.T) {
+	build := func() *Collector {
+		c := NewCollector()
+		traces := make([]*Trace, 8)
+		var wg sync.WaitGroup
+		for i := range traces {
+			tr := c.NewTrace()
+			traces[i] = tr
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				c.TaskStarted()
+				defer c.TaskDone()
+				tr.Add(CtrLanczosIterations, int64(k+1))
+				tr.Add(CtrNewtonIterations, 10)
+				sp := tr.Start(PhaseTransient)
+				sp.End()
+			}(i)
+		}
+		wg.Wait()
+		for i, tr := range traces {
+			c.MergeTrace(string(rune('a'+i)), "sympvl", tr)
+		}
+		return c
+	}
+	s1 := build().Snapshot()
+	s2 := build().Snapshot()
+	j1, _ := json.Marshal(s1.Counters)
+	j2, _ := json.Marshal(s2.Counters)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("counter totals differ across runs:\n%s\n%s", j1, j2)
+	}
+	if s1.Counters["lanczos_iterations"] != 36 || s1.Counters["newton_iterations"] != 80 {
+		t.Fatalf("unexpected totals: %v", s1.Counters)
+	}
+	if s1.Queue.Submitted != 8 {
+		t.Fatalf("submitted = %d, want 8", s1.Queue.Submitted)
+	}
+	if s1.Queue.MaxInFlight < 1 || s1.Queue.MaxInFlight > 8 {
+		t.Fatalf("max_in_flight = %d out of range", s1.Queue.MaxInFlight)
+	}
+	if len(s1.Clusters) != 8 || s1.Clusters[0].Victim != "a" {
+		t.Fatalf("clusters not in merge order: %+v", s1.Clusters)
+	}
+}
+
+// TestSnapshotJSON checks the snapshot serializes with the documented
+// schema fields, every counter present, and deterministic bytes.
+func TestSnapshotJSON(t *testing.T) {
+	c := NewCollector()
+	c.SetWorkers(2)
+	c.SetWallTime(5 * time.Millisecond)
+	sp := c.Start(PhasePrune)
+	sp.End()
+	tr := c.NewTrace()
+	tr.Add(CtrNewtonIterations, 7)
+	rs := tr.Start(PhaseReduce)
+	rs.End()
+	c.MergeTrace("net1", "sympvl", tr)
+	c.Add(CtrROMCacheHits, 3)
+
+	var b1, b2 bytes.Buffer
+	if err := c.Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", b1.String(), b2.String())
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if decoded.SchemaVersion != SchemaVersion || decoded.Workers != 2 {
+		t.Fatalf("schema fields lost: %+v", decoded)
+	}
+	if len(decoded.Counters) != int(NumCounters) {
+		t.Fatalf("got %d counters, want all %d (zeros included)", len(decoded.Counters), NumCounters)
+	}
+	if decoded.Counters["newton_iterations"] != 7 || decoded.Counters["rom_cache_hits"] != 3 {
+		t.Fatalf("counter values wrong: %v", decoded.Counters)
+	}
+	if _, ok := decoded.Phases["prune"]; !ok {
+		t.Fatalf("prune phase missing: %v", decoded.Phases)
+	}
+	if decoded.Clusters[0].Victim != "net1" || decoded.Clusters[0].Stage != "sympvl" {
+		t.Fatalf("cluster entry wrong: %+v", decoded.Clusters[0])
+	}
+	if !strings.Contains(b1.String(), "\"max_in_flight\"") {
+		t.Fatalf("queue section missing:\n%s", b1.String())
+	}
+}
+
+// TestSpanDurations checks spans accumulate plausible monotonic durations.
+func TestSpanDurations(t *testing.T) {
+	tr := NewCollector().NewTrace()
+	sp := tr.Start(PhaseTransient)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	cm := tr.clusterMetrics("v", "sympvl")
+	pm := cm.Phases["transient"]
+	if pm.Count != 1 || pm.TotalNs < int64(time.Millisecond) {
+		t.Fatalf("span not recorded: %+v", pm)
+	}
+	if pm.MaxNs != pm.TotalNs || pm.MeanNs != pm.TotalNs {
+		t.Fatalf("single-span stats inconsistent: %+v", pm)
+	}
+}
+
+// BenchmarkNilTrace pins the disabled-collector overhead: a handful of
+// nil-receiver calls, no allocation.
+func BenchmarkNilTrace(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(PhaseTransient)
+		tr.Add(CtrNewtonIterations, 40)
+		tr.Add(CtrWoodburySolves, 40)
+		sp.End()
+	}
+}

@@ -10,7 +10,10 @@ import (
 
 func extracted(t *testing.T, cfg dsp.Config) *extract.Parasitics {
 	t.Helper()
-	d := dsp.Generate(cfg)
+	d, err := dsp.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +89,10 @@ func TestThresholdMonotonicity(t *testing.T) {
 }
 
 func TestTimingWindowPruning(t *testing.T) {
-	d := dsp.Generate(channelCfg(5, 60))
+	d, err := dsp.Generate(channelCfg(5, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)

@@ -23,6 +23,7 @@ import (
 
 	"xtverify/internal/matrix"
 	"xtverify/internal/mna"
+	"xtverify/internal/obs"
 	"xtverify/internal/waveform"
 )
 
@@ -132,6 +133,7 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 	// newtonSolve solves (K + Σ s_k·e_k·e_kᵀ)·x = r with the cached LU of K
 	// via the Woodbury identity over the nonlinear port nodes. The returned
 	// slice aliases scratch and is only valid until the next call.
+	woodburySolves := 0
 	newtonSolve := func(lu *matrix.LU, w [][]float64, s, r []float64) ([]float64, error) {
 		x0 := scr.x0
 		if err := lu.SolveTo(x0, r); err != nil {
@@ -140,6 +142,7 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 		if nNL == 0 {
 			return x0, nil
 		}
+		woodburySolves++
 		core, rhs := scr.core, scr.rhs
 		for c := 0; c < nNL; c++ {
 			for b := 0; b < nNL; b++ {
@@ -198,8 +201,14 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 				return nil
 			}
 		}
+		opt.Trace.Add(obs.CtrNewtonDivergences, 1)
 		return fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
 	}
+	// Post the iteration counters exactly once, error returns included.
+	defer func() {
+		opt.Trace.Add(obs.CtrNewtonIterations, int64(totalNewton))
+		opt.Trace.Add(obs.CtrWoodburySolves, int64(woodburySolves))
+	}()
 
 	// Forcing from linear Thevenin sources at time t.
 	forceInto := func(f []float64, t float64) {
@@ -242,6 +251,8 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 		res.Ports[j].Append(0, v[sys.PortNodes[j]])
 	}
 
+	transSpan := opt.Trace.Start(obs.PhaseTransient)
+	defer transSpan.End()
 	for step := 1; step <= nSteps; step++ {
 		if opt.Check != nil {
 			if err := opt.Check(); err != nil {
@@ -251,11 +262,13 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 		t := float64(step) * dt
 		// Trapezoidal: (a·C + G')·v_{n+1} = C·(a·v_n + v̇_n) + f(t) + B_nl·i.
 		// The history product uses the compiled CSR form of C — O(nnz), not
-		// the O(n²) dense sweep. Skipping structural zeros drops only
-		// additions of 0, which leaves any finite result unchanged up to
-		// signed zeros (-0.0 + 0.0 is +0.0) and, if the iterate has already
-		// diverged to ±Inf, omits the dense path's 0·±Inf = NaN terms; the
-		// regression suite pins the reports on the supported designs.
+		// the O(n²) dense sweep — and its sparse semantics are canonical:
+		// both the CSR and the map-backed Sparse kernels iterate the stored
+		// entries in identical sorted row-major order and agree bit-for-bit,
+		// non-finite inputs included (pinned by TestCSRMatchesSparse). A
+		// structural zero contributes exactly nothing; a diverging iterate
+		// can therefore never smuggle 0·±Inf = NaN terms through absent
+		// entries, and the guard below rejects non-finite states outright.
 		hist, base := scr.hist, scr.base
 		for i := 0; i < n; i++ {
 			hist[i] = a*v[i] + vdot[i]
@@ -267,6 +280,10 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 			return nil, err
 		}
 		for i := 0; i < n; i++ {
+			if !isFinite(vnext[i]) {
+				opt.Trace.Add(obs.CtrNewtonDivergences, 1)
+				return nil, fmt.Errorf("%w: non-finite state at t=%g", ErrNewtonDiverged, t)
+			}
 			vdot[i] = a*(vnext[i]-v[i]) - vdot[i]
 		}
 		v, vnext = vnext, v
@@ -277,4 +294,9 @@ func SimulateDirect(sys *mna.System, terms []Termination, opt Options) (*Result,
 	}
 	res.NewtonIterations = totalNewton
 	return res, nil
+}
+
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"xtverify/internal/matrix"
+	"xtverify/internal/obs"
 	"xtverify/internal/sympvl"
 	"xtverify/internal/waveform"
 )
@@ -87,6 +88,11 @@ type Options struct {
 	// non-nil return aborts the transient with that error. Used to honor
 	// context cancellation and per-cluster deadlines.
 	Check func() error
+	// Trace, when non-nil, receives the analysis' phase spans (diagonalize,
+	// transient) and counters (Newton iterations/divergences, Woodbury
+	// solves). The hot loops keep local counts and post them once per run,
+	// so a nil Trace costs a few nil checks per Simulate call.
+	Trace *obs.Trace
 }
 
 // Result holds the transient outcome.
@@ -139,6 +145,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 		}
 	}
 
+	diagSpan := opt.Trace.Start(obs.PhaseDiagonalize)
 	// M = I + Σ g_j ρ_j ρ_jᵀ over linear ports.
 	mm := matrix.Identity(q)
 	for _, j := range linPorts {
@@ -199,6 +206,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 	for j := 0; j < m.Ports; j++ {
 		etaCols[j] = eta.Col(j)
 	}
+	diagSpan.End()
 
 	// All per-step and per-Newton-iteration scratch is allocated once here
 	// and reused for the whole transient: the inner loop runs thousands of
@@ -237,6 +245,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 	// where Δ = diag(delta). s holds the −di/dv factors per nonlinear port.
 	// The returned slice aliases scratch and is only valid until the next
 	// call.
+	woodburySolves := 0
 	newtonSolve := func(delta []float64, s []float64, r []float64) ([]float64, error) {
 		if opt.DenseNewton {
 			// Ablation path: assemble J = Δ + Σ s_c·η_c·η_cᵀ densely. Kept
@@ -301,6 +310,7 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 		if err := matrix.SolveLUInPlace(core, scr.piv, rhs); err != nil {
 			return nil, fmt.Errorf("romsim: Woodbury core singular: %w", err)
 		}
+		woodburySolves++
 		x := dinvr
 		for c := range nlPorts {
 			matrix.Axpy(-rhs[c], scr.dinvU[c], x)
@@ -342,8 +352,16 @@ func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error
 				return nil
 			}
 		}
+		opt.Trace.Add(obs.CtrNewtonDivergences, 1)
 		return fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
 	}
+	// Post the iteration counters exactly once, error returns included.
+	defer func() {
+		opt.Trace.Add(obs.CtrNewtonIterations, int64(totalNewton))
+		opt.Trace.Add(obs.CtrWoodburySolves, int64(woodburySolves))
+	}()
+	transSpan := opt.Trace.Start(obs.PhaseTransient)
+	defer transSpan.End()
 
 	// Initial condition: DC operating point (ẏ = 0 ⇒ Δ = 1).
 	y := make([]float64, q)

@@ -15,7 +15,10 @@ import (
 // starts from the grammar the writer emits, plus handcrafted near-valid
 // corpus entries targeting each section parser.
 func FuzzReadSPEF(f *testing.F) {
-	d := dsp.ParallelWires(3, 300, 1.2, []string{"INV_X2"}, "INV_X1")
+	d, err := dsp.ParallelWires(3, 300, 1.2, []string{"INV_X2"}, "INV_X1")
+	if err != nil {
+		f.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		f.Fatal(err)

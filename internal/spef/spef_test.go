@@ -24,7 +24,10 @@ func roundTrip(t *testing.T, p *extract.Parasitics) *File {
 }
 
 func TestRoundTripParallelWires(t *testing.T) {
-	d := dsp.ParallelWires(3, 500, 1.2, []string{"INV_X2"}, "NAND2_X1")
+	d, err := dsp.ParallelWires(3, 500, 1.2, []string{"INV_X2"}, "NAND2_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +83,10 @@ func TestRoundTripParallelWires(t *testing.T) {
 }
 
 func TestRoundTripDSPStats(t *testing.T) {
-	d := dsp.Generate(dsp.Config{Seed: 12, Channels: 1, TracksPerChannel: 25, ChannelLengthUM: 700, BusFraction: 0.1})
+	d, err := dsp.Generate(dsp.Config{Seed: 12, Channels: 1, TracksPerChannel: 25, ChannelLengthUM: 700, BusFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +184,10 @@ func TestNetNamesSorted(t *testing.T) {
 }
 
 func TestNameMapEmittedAndResolved(t *testing.T) {
-	d := dsp.ParallelWires(2, 300, 1.2, []string{"INV_X2"}, "INV_X1")
+	d, err := dsp.ParallelWires(2, 300, 1.2, []string{"INV_X2"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -222,5 +231,74 @@ func TestNameMapEmittedAndResolved(t *testing.T) {
 	}
 	if !found {
 		t.Error("coupling between w0 and w1 lost")
+	}
+}
+
+// TestFileRoundTripByteIdentical is the serialization golden test: SPEF
+// emitted from extraction, parsed back, and re-serialized with (*File).Write
+// must reproduce the original bytes exactly — any drift in ordering, number
+// formatting, name-map assignment or section layout shows up as a diff here.
+func TestFileRoundTripByteIdentical(t *testing.T) {
+	designs := map[string]func() (*extract.Parasitics, error){
+		"parallel wires": func() (*extract.Parasitics, error) {
+			d, err := dsp.ParallelWires(3, 500, 1.2, []string{"INV_X2"}, "NAND2_X1")
+			if err != nil {
+				return nil, err
+			}
+			return extract.Extract(d, extract.Tech025())
+		},
+		"synthetic dsp": func() (*extract.Parasitics, error) {
+			d, err := dsp.Generate(dsp.Config{Seed: 12, Channels: 1, TracksPerChannel: 25,
+				ChannelLengthUM: 700, BusFraction: 0.1})
+			if err != nil {
+				return nil, err
+			}
+			return extract.Extract(d, extract.Tech025())
+		},
+	}
+	for name, gen := range designs {
+		t.Run(name, func(t *testing.T) {
+			p, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first bytes.Buffer
+			if err := Write(&first, p); err != nil {
+				t.Fatal(err)
+			}
+			f, err := Parse(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var second bytes.Buffer
+			if err := f.Write(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				a := strings.Split(first.String(), "\n")
+				b := strings.Split(second.String(), "\n")
+				for i := 0; i < len(a) || i < len(b); i++ {
+					var la, lb string
+					if i < len(a) {
+						la = a[i]
+					}
+					if i < len(b) {
+						lb = b[i]
+					}
+					if la != lb {
+						t.Fatalf("re-serialization differs at line %d:\n  wrote:   %q\n  rewrote: %q", i+1, la, lb)
+					}
+				}
+				t.Fatal("re-serialization differs (length only)")
+			}
+			// The re-serialized text must itself parse to an identical file.
+			f2, err := Parse(bytes.NewReader(second.Bytes()))
+			if err != nil {
+				t.Fatalf("re-serialized SPEF does not parse: %v", err)
+			}
+			if f2.Stats() != f.Stats() {
+				t.Fatalf("stats drift across round trip: %+v vs %+v", f2.Stats(), f.Stats())
+			}
+		})
 	}
 }

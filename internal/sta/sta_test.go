@@ -10,7 +10,10 @@ import (
 
 func annotated(t *testing.T, cfg dsp.Config) (*design.Design, *extract.Parasitics) {
 	t.Helper()
-	d := dsp.Generate(cfg)
+	d, err := dsp.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +95,10 @@ func TestClockWindowTight(t *testing.T) {
 }
 
 func TestCycleDetection(t *testing.T) {
-	d := dsp.Generate(dsp.Config{Seed: 8, Channels: 1, TracksPerChannel: 5, ChannelLengthUM: 300})
+	d, err := dsp.Generate(dsp.Config{Seed: 8, Channels: 1, TracksPerChannel: 5, ChannelLengthUM: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)
@@ -108,8 +114,14 @@ func TestCycleDetection(t *testing.T) {
 func TestLongerNetsHaveLaterWindows(t *testing.T) {
 	// Two isolated nets with identical drivers: the longer one must show a
 	// larger gate+wire delay (later window for same launch).
-	short := dsp.ParallelWires(1, 100, 1.2, []string{"INV_X2"}, "INV_X1")
-	long := dsp.ParallelWires(1, 3000, 1.2, []string{"INV_X2"}, "INV_X1")
+	short, err := dsp.ParallelWires(1, 100, 1.2, []string{"INV_X2"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := dsp.ParallelWires(1, 3000, 1.2, []string{"INV_X2"}, "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ps, err := extract.Extract(short, extract.Tech025())
 	if err != nil {
 		t.Fatal(err)

@@ -25,6 +25,7 @@ import (
 
 	"xtverify/internal/matrix"
 	"xtverify/internal/mna"
+	"xtverify/internal/obs"
 )
 
 // DeflationTol is the relative tolerance below which a candidate Lanczos
@@ -88,6 +89,10 @@ type Options struct {
 	// reductions allocate almost nothing. A nil Workspace makes Reduce
 	// allocate a private one per call.
 	Workspace *Workspace
+	// Trace, when non-nil, receives the reduction's counters (block Lanczos
+	// iterations). Counting happens here rather than in the caller so that
+	// memoized reductions attribute work to whoever actually performed it.
+	Trace *obs.Trace
 }
 
 // Workspace holds the scratch buffers a reduction needs — the Lanczos basis
@@ -293,6 +298,7 @@ func Reduce(sys *mna.System, opt Options) (*Model, error) {
 			model.Rho.Set(i, j, matrix.Dot(basis[i], ws.lcols[j]))
 		}
 	}
+	opt.Trace.Add(obs.CtrLanczosIterations, int64(iters))
 	return model, nil
 }
 

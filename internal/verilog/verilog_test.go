@@ -9,8 +9,11 @@ import (
 )
 
 func TestRoundTripDSP(t *testing.T) {
-	d := dsp.Generate(dsp.Config{Seed: 9, Channels: 1, TracksPerChannel: 25,
+	d, err := dsp.Generate(dsp.Config{Seed: 9, Channels: 1, TracksPerChannel: 25,
 		ChannelLengthUM: 700, BusFraction: 0.15, LatchFraction: 0.3, ClockSpines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Write(&buf, d); err != nil {
 		t.Fatal(err)
@@ -31,7 +34,10 @@ func TestRoundTripDSP(t *testing.T) {
 }
 
 func TestRoundTripParallelWires(t *testing.T) {
-	d := dsp.ParallelWires(3, 500, 1.2, []string{"INV_X2"}, "NAND2_X1")
+	d, err := dsp.ParallelWires(3, 500, 1.2, []string{"INV_X2"}, "NAND2_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Write(&buf, d); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,28 @@
+// metrics.go is the public face of the observability layer (internal/obs):
+// the collector callers hand to Config, and the JSON snapshot that lands in
+// Report.Diagnostics.Metrics and behind the CLIs' -metrics-out flag.
+package xtverify
+
+import "xtverify/internal/obs"
+
+// MetricsCollector aggregates one verification run's observability data:
+// per-cluster, per-phase span timings (prune → fingerprint → reduce →
+// diagonalize → transient), engine counters (Lanczos iterations, Newton
+// iterations/divergences, Woodbury solves, fallback rungs, ROM-cache
+// hits/misses/evictions) and the worker-pool in-flight gauge.
+//
+// Create one per run with NewMetricsCollector and set it on Config; the
+// engine fills it and stores its final Snapshot in Diagnostics.Metrics.
+// Snapshot may also be called concurrently mid-run (the CLIs' expvar
+// endpoint does) for a live view. A nil collector disables instrumentation
+// at near-zero cost.
+type MetricsCollector = obs.Collector
+
+// MetricsSnapshot is the frozen, JSON-serializable metrics view of one run
+// (schema obs.SchemaVersion; see the Observability section of DESIGN.md).
+// Counter totals are deterministic across worker counts; durations, the
+// queue gauge and per-cluster counter attribution are run-dependent.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsCollector returns an empty collector for one run.
+func NewMetricsCollector() *MetricsCollector { return obs.NewCollector() }

@@ -1,0 +1,139 @@
+package xtverify
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runWithCollector runs the engine with a fresh collector and returns the
+// report's metrics snapshot.
+func runWithCollector(t *testing.T, cfg Config) (*Report, *MetricsSnapshot) {
+	t.Helper()
+	cfg.Collector = NewMetricsCollector()
+	rep, err := engineVerifier(t, cfg).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diagnostics == nil || rep.Diagnostics.Metrics == nil {
+		t.Fatal("run with collector produced no metrics snapshot")
+	}
+	return rep, rep.Diagnostics.Metrics
+}
+
+// TestMetricsSerialVsParallelTotals is the tentpole's determinism acceptance
+// check: aggregated counter totals must be identical between a serial run
+// and a Workers=8 run.
+func TestMetricsSerialVsParallelTotals(t *testing.T) {
+	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 1}
+	_, serial := runWithCollector(t, cfg)
+	cfg.Workers = 8
+	_, par := runWithCollector(t, cfg)
+
+	js, _ := json.Marshal(serial.Counters)
+	jp, _ := json.Marshal(par.Counters)
+	if !bytes.Equal(js, jp) {
+		t.Errorf("counter totals differ:\nserial:   %s\nparallel: %s", js, jp)
+	}
+	if len(serial.Clusters) != len(par.Clusters) {
+		t.Fatalf("cluster metrics count: serial %d vs parallel %d", len(serial.Clusters), len(par.Clusters))
+	}
+	for i := range serial.Clusters {
+		if serial.Clusters[i].Victim != par.Clusters[i].Victim ||
+			serial.Clusters[i].Stage != par.Clusters[i].Stage {
+			t.Errorf("cluster %d identity differs: serial %s/%s vs parallel %s/%s", i,
+				serial.Clusters[i].Victim, serial.Clusters[i].Stage,
+				par.Clusters[i].Victim, par.Clusters[i].Stage)
+		}
+	}
+}
+
+// TestMetricsPopulated checks a run actually fills in the documented
+// counters, phase spans and queue gauge.
+func TestMetricsPopulated(t *testing.T) {
+	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 2}
+	rep, s := runWithCollector(t, cfg)
+
+	if s.SchemaVersion != 1 || s.Workers != rep.Diagnostics.Workers || s.WallNs <= 0 {
+		t.Errorf("header fields wrong: %+v", s)
+	}
+	for _, ctr := range []string{"lanczos_iterations", "newton_iterations", "fallback_reduced"} {
+		if s.Counters[ctr] <= 0 {
+			t.Errorf("counter %s = %d, want > 0 (all: %v)", ctr, s.Counters[ctr], s.Counters)
+		}
+	}
+	if s.Counters["fallback_reduced"] != int64(rep.Diagnostics.Verified) {
+		t.Errorf("fallback_reduced = %d, want verified count %d", s.Counters["fallback_reduced"], rep.Diagnostics.Verified)
+	}
+	if s.Counters["rom_cache_hits"] != int64(rep.Diagnostics.ROMCacheHits) ||
+		s.Counters["rom_cache_misses"] != int64(rep.Diagnostics.ROMCacheMisses) {
+		t.Errorf("cache counters %v disagree with diagnostics (%d/%d)",
+			s.Counters, rep.Diagnostics.ROMCacheHits, rep.Diagnostics.ROMCacheMisses)
+	}
+	for _, ph := range []string{"prune", "fingerprint", "reduce", "transient"} {
+		pm, ok := s.Phases[ph]
+		if !ok || pm.Count <= 0 || pm.TotalNs <= 0 {
+			t.Errorf("phase %s not populated: %+v (ok=%v)", ph, pm, ok)
+		}
+	}
+	if int(s.Queue.Submitted) != rep.AnalyzedVictims {
+		t.Errorf("queue submitted = %d, want %d", s.Queue.Submitted, rep.AnalyzedVictims)
+	}
+	if s.Queue.MaxInFlight < 1 || s.Queue.MaxInFlight > 2 {
+		t.Errorf("max_in_flight = %d with 2 workers", s.Queue.MaxInFlight)
+	}
+	if len(s.Clusters) != rep.AnalyzedVictims {
+		t.Fatalf("cluster metrics entries %d, want %d", len(s.Clusters), rep.AnalyzedVictims)
+	}
+	// Every cluster entry carries its phase spans; per-cluster Lanczos
+	// attribution is scheduling-dependent (cache flights), so only the
+	// phases and stage are asserted here.
+	for _, cm := range s.Clusters {
+		if cm.Stage != "sympvl" {
+			t.Errorf("cluster %s stage %q, want sympvl", cm.Victim, cm.Stage)
+		}
+		if cm.Phases["transient"].Count <= 0 {
+			t.Errorf("cluster %s has no transient span: %+v", cm.Victim, cm.Phases)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"schema_version\": 1") {
+		t.Errorf("snapshot JSON missing schema version:\n%s", buf.String())
+	}
+}
+
+// TestMetricsDoNotChangeReport pins the byte-identity contract: attaching a
+// collector must not alter the textual report, and runs without a collector
+// must carry no snapshot.
+func TestMetricsDoNotChangeReport(t *testing.T) {
+	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 4}
+	plain, err := engineVerifier(t, cfg).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Diagnostics.Metrics != nil {
+		t.Error("run without collector produced a metrics snapshot")
+	}
+	observed, _ := runWithCollector(t, cfg)
+
+	// Wall time differs between any two runs; normalize it so the
+	// comparison isolates the collector's effect.
+	plain.Diagnostics.WallTime = 0
+	observed.Diagnostics.WallTime = 0
+
+	var a, b bytes.Buffer
+	if err := plain.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("collector changed the textual report")
+	}
+}

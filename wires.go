@@ -62,7 +62,10 @@ func AnalyzeCoupledWires(w WireAnalysis) (*WireResult, error) {
 	if w.ReceiverCell == "" {
 		w.ReceiverCell = "INV_X1"
 	}
-	d := dsp.ParallelWires(w.Wires, w.LengthUM, w.PitchUM, []string{w.DriverCell}, w.ReceiverCell)
+	d, err := dsp.ParallelWires(w.Wires, w.LengthUM, w.PitchUM, []string{w.DriverCell}, w.ReceiverCell)
+	if err != nil {
+		return nil, err
+	}
 	par, err := extract.Extract(d, extract.Tech025())
 	if err != nil {
 		return nil, err

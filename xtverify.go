@@ -116,6 +116,13 @@ type Config struct {
 	// reported number (cached models are bit-identical to fresh reductions);
 	// this knob exists for A/B timing comparisons and as an escape hatch.
 	DisableROMCache bool
+	// Collector, when non-nil, turns on the observability layer: per-phase
+	// span timing and engine counters are gathered during the run and
+	// aggregated into Diagnostics.Metrics. Create one fresh collector per
+	// run (NewMetricsCollector); nil disables instrumentation at near-zero
+	// cost. The collector never changes any reported number, and counter
+	// totals are identical between serial and parallel runs.
+	Collector *MetricsCollector
 }
 
 func (c *Config) setDefaults() {
@@ -257,7 +264,10 @@ type Verifier struct {
 // stand-in) and prepares it for verification. cfg may be zero-valued.
 func NewVerifierFromDSP(dspCfg DSPConfig, cfg Config) (*Verifier, error) {
 	cfg.setDefaults()
-	d := dsp.Generate(dsp.Config(dspCfg))
+	d, err := dsp.Generate(dsp.Config(dspCfg))
+	if err != nil {
+		return nil, err
+	}
 	return newVerifier(d, cfg)
 }
 

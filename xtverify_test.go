@@ -2,6 +2,7 @@ package xtverify
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -132,6 +133,40 @@ func TestCellsAPI(t *testing.T) {
 	}
 	if _, _, err := DriveResistance("BOGUS"); err == nil {
 		t.Error("unknown cell accepted")
+	}
+}
+
+// TestUnknownCellTypedErrors pins the public error contract: every entry
+// point taking a cell name reports unknown names with an error matching
+// ErrUnknownCell, never a panic.
+func TestUnknownCellTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"drive resistance", func() error {
+			_, _, err := DriveResistance("INV_X999")
+			return err
+		}},
+		{"coupled wires driver", func() error {
+			_, err := AnalyzeCoupledWires(WireAnalysis{Wires: 2, LengthUM: 100, DriverCell: "NOPE_X1"})
+			return err
+		}},
+		{"coupled wires receiver", func() error {
+			_, err := AnalyzeCoupledWires(WireAnalysis{Wires: 2, LengthUM: 100, ReceiverCell: "NOPE_X1"})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("unknown cell name accepted")
+			}
+			if !errors.Is(err, ErrUnknownCell) {
+				t.Fatalf("error %q does not match ErrUnknownCell", err)
+			}
+		})
 	}
 }
 
