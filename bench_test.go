@@ -7,6 +7,7 @@ package xtverify
 // *shape* results ride along with the timing.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -233,6 +234,41 @@ func BenchmarkSPICETransient(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGlitchClusterScenarios measures the full multi-scenario sweep a
+// cluster undergoes during verification and timing recalculation — both
+// glitch polarities plus both delay edges, coupled and decoupled — with the
+// prepared/batched transient layer on ("prepared") and off ("seed", the
+// historical Simulate-per-scenario path). Both run against the same warm ROM
+// cache; the gap is what amortizing the termination fold, diagonalization
+// and fingerprint lookups across scenarios saves. Results are bit-identical
+// either way (TestPreparedByteIdenticalToSeedPath).
+func BenchmarkGlitchClusterScenarios(b *testing.B) {
+	par, cl := benchCluster(b)
+	run := func(b *testing.B, disable bool) {
+		eng := glitch.NewEngine(par, glitch.Options{
+			Model: glitch.ModelFixedR, FixedOhms: 1000, TEnd: 5e-9,
+			DisablePrepared: disable,
+		})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.AnalyzeGlitchPairContext(ctx, cl); err != nil {
+				b.Fatal(err)
+			}
+			for _, withCoupling := range []bool{false, true} {
+				for _, rising := range []bool{true, false} {
+					if _, err := eng.AnalyzeDelayContext(ctx, cl, rising, withCoupling); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	b.Run("seed", func(b *testing.B) { run(b, true) })
+	b.Run("prepared", func(b *testing.B) { run(b, false) })
 }
 
 // --- Ablations (DESIGN.md §5) -------------------------------------------

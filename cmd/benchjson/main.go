@@ -8,10 +8,18 @@
 //
 //	go run ./cmd/benchjson                      # auto-numbered BENCH_<n>.json
 //	go run ./cmd/benchjson -bench 'Reduce' -out BENCH_pre.json
+//	go run ./cmd/benchjson -compare BENCH_2.json -out /tmp/pr.json
 //
 // The default benchmark set is the core-kernel trio whose regression budget
-// the acceptance criteria track, plus the sparse-kernel comparison; pass
-// -bench '.' for the full suite (slow: every paper table/figure re-runs).
+// the acceptance criteria track, plus the sparse-kernel comparison and the
+// multi-scenario cluster sweep; pass -bench '.' for the full suite (slow:
+// every paper table/figure re-runs).
+//
+// With -compare, the fresh snapshot is diffed against a committed baseline
+// and the command exits non-zero when any benchmark present in both slowed
+// down by more than -tolerance percent ns/op (default 20%), so CI can gate
+// merges on the numeric core's speed. New and dropped benchmarks are listed
+// but never fail the gate.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
@@ -29,8 +38,9 @@ import (
 )
 
 // defaultBench is the core-kernel set: cheap enough for routine snapshots,
-// covering the hot paths (reduction, ROM transient, reference SPICE, SpMV).
-const defaultBench = "BenchmarkSyMPVLReduce$|BenchmarkROMTransient$|BenchmarkSPICETransient$|BenchmarkSparseMulVec"
+// covering the hot paths (reduction, ROM transient, reference SPICE, SpMV)
+// plus the prepared-vs-seed multi-scenario cluster sweep.
+const defaultBench = "BenchmarkSyMPVLReduce$|BenchmarkROMTransient$|BenchmarkSPICETransient$|BenchmarkSparseMulVec|BenchmarkGlitchClusterScenarios"
 
 // Benchmark is one parsed benchmark result.
 type Benchmark struct {
@@ -56,9 +66,11 @@ type Snapshot struct {
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
-	pkg := flag.String("pkg", ".", "package to benchmark")
+	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
 	out := flag.String("out", "", "output file; default: first unused BENCH_<n>.json")
 	count := flag.Int("count", 1, "go test -count value")
+	compare := flag.String("compare", "", "baseline snapshot to diff against; exit non-zero on ns/op regressions beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 20, "allowed ns/op regression percentage for -compare")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
@@ -115,6 +127,70 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+
+	if *compare != "" {
+		old, err := readSnapshot(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if !compareSnapshots(os.Stderr, old, &snap, *tolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// readSnapshot loads a previously written BENCH_<n>.json file.
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// compareSnapshots diffs ns/op for every benchmark name present in both
+// snapshots and reports false when any regressed beyond tolerancePct.
+// Benchmarks present on only one side are listed but never fail the
+// comparison — the set is allowed to grow between PRs.
+func compareSnapshots(w io.Writer, old, cur *Snapshot, tolerancePct float64) bool {
+	baseline := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		baseline[b.Name] = b
+	}
+	ok := true
+	shared := 0
+	for _, b := range cur.Benchmarks {
+		ob, found := baseline[b.Name]
+		if !found {
+			fmt.Fprintf(w, "benchjson: new       %-40s %12.0f ns/op\n", b.Name, b.NsPerOp)
+			continue
+		}
+		shared++
+		delete(baseline, b.Name)
+		pct := 100 * (b.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		status := "ok"
+		if pct > tolerancePct {
+			status = "REGRESSED"
+			ok = false
+		}
+		fmt.Fprintf(w, "benchjson: %-9s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			status, b.Name, ob.NsPerOp, b.NsPerOp, pct)
+	}
+	for name := range baseline {
+		fmt.Fprintf(w, "benchjson: dropped   %s\n", name)
+	}
+	if shared == 0 {
+		fmt.Fprintf(w, "benchjson: no shared benchmarks with %s; nothing compared\n", old.Date)
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% tolerance\n", tolerancePct)
+	}
+	return ok
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

@@ -30,6 +30,7 @@ var (
 	seed    = flag.Int64("seed", 1999, "synthetic DSP seed")
 	workers = flag.Int("workers", 0, "parallel cluster workers for the verify experiment (0 = GOMAXPROCS)")
 	strict  = flag.Bool("strict", false, "fail fast in the verify experiment instead of degrading")
+	noPrep  = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer in the verify experiment (A/B timing; results are identical either way)")
 	metrics = flag.String("metrics-out", "", "write the verify experiment's metrics snapshot to this JSON file")
 	pprofOn = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); verify metrics appear live at /debug/vars under \"xtverify\"")
 
@@ -202,6 +203,8 @@ func run(name string) (string, error) {
 			Workers:   *workers,
 			Strict:    *strict,
 			Collector: collector,
+
+			DisablePreparedTransients: *noPrep,
 		})
 		if err != nil {
 			return "", err

@@ -41,6 +41,7 @@ func main() {
 		timFlag  = flag.Bool("timing", false, "also run the coupled-delay timing impact report")
 		workers  = flag.Int("workers", 0, "parallel cluster workers (0 = GOMAXPROCS)")
 		strict   = flag.Bool("strict", false, "fail fast on the first cluster error instead of degrading")
+		noPrep   = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer (A/B timing; results are identical either way)")
 		cluTO    = flag.Duration("cluster-timeout", 0, "per-cluster analysis deadline (0 = none)")
 		metrics  = flag.String("metrics-out", "", "write the run's metrics snapshot to this JSON file")
 		pprofOn  = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); metrics appear live at /debug/vars under \"xtverify\"")
@@ -56,6 +57,8 @@ func main() {
 		Workers:             *workers,
 		Strict:              *strict,
 		ClusterTimeout:      *cluTO,
+
+		DisablePreparedTransients: *noPrep,
 	}
 	switch *model {
 	case "fixed":

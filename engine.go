@@ -166,6 +166,7 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 		UseTimingWindows:    v.cfg.UseTimingWindows,
 		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
 		DisableROMCache:     v.cfg.DisableROMCache,
+		DisablePrepared:     v.cfg.DisablePreparedTransients,
 	}
 	// One ROM cache for the whole run, shared by every worker and every
 	// ladder rung (Gmin and order changes are part of the cache key), so
@@ -414,11 +415,15 @@ func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, base
 	}
 	eng := glitch.NewEngine(v.par, opts)
 	worst := Violation{Victim: victim}
-	for _, rising := range []bool{true, false} {
-		res, aerr := eng.AnalyzeGlitchContext(ctx, cl, rising)
-		if aerr != nil {
-			return nil, nil, fmt.Errorf("xtverify: victim %s: %w", victim, aerr)
-		}
+	// Both polarities in one pass: the reduction and the prepared
+	// diagonalization are shared, and (pattern permitting) the two
+	// transients advance as one multi-RHS sweep. Bit-identical to the
+	// historical one-polarity-at-a-time loop.
+	rres, fres, aerr := eng.AnalyzeGlitchPairContext(ctx, cl)
+	if aerr != nil {
+		return nil, nil, fmt.Errorf("xtverify: victim %s: %w", victim, aerr)
+	}
+	for _, res := range []*glitch.Result{rres, fres} {
 		frac := res.PeakV / Vdd
 		if frac < 0 {
 			frac = -frac

@@ -417,9 +417,14 @@ func TestROMCacheParallelByteIdentical(t *testing.T) {
 		t.Errorf("cache-disabled report differs from cached serial:\n--- serial ---\n%s--- disabled ---\n%s", serial, got)
 	}
 
-	// The comparison above is only meaningful if the cache actually engaged:
-	// the bench design repeats wire patterns, so a full run must see hits.
-	v := engineVerifier(t, par)
+	// The comparison above is only meaningful if the cache actually engaged.
+	// Same-cluster reuse (the second glitch polarity) is absorbed by the
+	// engine's prepared-transient memo before it ever reaches the ROM cache,
+	// so probe the cache's hit path with that layer disabled: the polarity
+	// pairs then hit the cache exactly as the historical per-polarity loop.
+	probe := par
+	probe.DisablePreparedTransients = true
+	v := engineVerifier(t, probe)
 	rep, err := v.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)

@@ -90,6 +90,13 @@ type Options struct {
 	Cache *ROMCache
 	// DisableROMCache turns reduced-model memoization off entirely.
 	DisableROMCache bool
+	// DisablePrepared turns the prepared-transient layer off: every
+	// scenario re-runs the termination fold and eigendecomposition through
+	// one-shot romsim.Simulate calls, and rising/falling (and
+	// repair-candidate) scenarios run sequentially instead of as batched
+	// multi-RHS sweeps. Results are bit-identical either way; the knob
+	// exists for the byte-identity regression tests and A/B benchmarking.
+	DisablePrepared bool
 	// Trace, when non-nil, receives this engine's phase spans and counters
 	// (one trace per cluster: the verifier installs a fresh one per
 	// analyzed cluster). Nil disables instrumentation at near-zero cost.
@@ -154,16 +161,32 @@ type Engine struct {
 	// reduction this engine performs.
 	ws *sympvl.Workspace
 	// memo caches the most recent cluster's built circuit, port resolution
-	// and assembled MNA system. The engine analyzes each cluster several
-	// times back to back (two glitch polarities, delay with and without
-	// coupling), and all of those share the identical structures.
+	// and assembled MNA system, one slot per decoupling variant. The engine
+	// analyzes each cluster several times back to back (two glitch
+	// polarities, delay with and without coupling), and the delay sweep
+	// alternates coupled and decoupled — a single slot would thrash on
+	// exactly that access pattern.
 	memo struct {
-		cl        *prune.Cluster
-		decoupled bool
-		ckt       *circuit.Circuit
-		cp        *clusterPorts
-		sys       *mna.System
+		cl *prune.Cluster
+		sl [2]*clusterMemo // indexed by decoupled
 	}
+	// prep memoizes prepared transients (romsim.Prepared) for the current
+	// cluster, keyed by decoupling plus the conductance pattern of the
+	// terminations. A hit skips the reduction and the diagonalization
+	// entirely. The memo is only sound for circuits that match
+	// prune.BuildCircuit output — the pattern key cannot see circuit edits,
+	// so repair transforms bypass it.
+	prep struct {
+		cl      *prune.Cluster
+		entries map[string]*romsim.Prepared
+	}
+}
+
+// clusterMemo is one memoized (cluster, decoupling) build.
+type clusterMemo struct {
+	ckt *circuit.Circuit
+	cp  *clusterPorts
+	sys *mna.System
 }
 
 // clusterSystem returns the built circuit, resolved ports and MNA system for
@@ -172,8 +195,17 @@ type Engine struct {
 // are treated as immutable after construction; callers that edit the circuit
 // (repair transforms) must build their own copy and bypass the memo.
 func (e *Engine) clusterSystem(cl *prune.Cluster, decoupled bool) (*circuit.Circuit, *clusterPorts, *mna.System, error) {
-	if e.memo.cl == cl && e.memo.decoupled == decoupled {
-		return e.memo.ckt, e.memo.cp, e.memo.sys, nil
+	slot := 0
+	if decoupled {
+		slot = 1
+	}
+	if e.memo.cl == cl {
+		if m := e.memo.sl[slot]; m != nil {
+			return m.ckt, m.cp, m.sys, nil
+		}
+	} else {
+		e.memo.cl = cl
+		e.memo.sl = [2]*clusterMemo{}
 	}
 	ckt, err := prune.BuildCircuit(e.Par, cl)
 	if err != nil {
@@ -187,8 +219,7 @@ func (e *Engine) clusterSystem(cl *prune.Cluster, decoupled bool) (*circuit.Circ
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	e.memo.cl, e.memo.decoupled = cl, decoupled
-	e.memo.ckt, e.memo.cp, e.memo.sys = ckt, cp, sys
+	e.memo.sl[slot] = &clusterMemo{ckt: ckt, cp: cp, sys: sys}
 	return ckt, cp, sys, nil
 }
 
@@ -471,6 +502,223 @@ func (e *Engine) AnalyzeGlitchContext(ctx context.Context, cl *prune.Cluster, gl
 	return e.analyzeGlitchCustom(ctx, cl, glitchRising, nil, nil)
 }
 
+// AnalyzeGlitchPair predicts both glitch polarities on the cluster's victim
+// in one pass, sharing the reduction and the prepared diagonalization; see
+// AnalyzeGlitchPairContext.
+func (e *Engine) AnalyzeGlitchPair(cl *prune.Cluster) (rising, falling *Result, err error) {
+	return e.AnalyzeGlitchPairContext(context.Background(), cl)
+}
+
+// AnalyzeGlitchPairContext predicts both glitch polarities on the cluster's
+// victim in one pass. The cluster circuit, MNA system and SyMPVL reduction
+// are shared, the termination fold + eigendecomposition is prepared once per
+// conductance pattern, and — when the driver models give both polarities the
+// same pattern (always true for ModelFixedR) — the two transients advance in
+// lockstep as one multi-RHS sweep. The results are bit-identical to calling
+// AnalyzeGlitchContext once per polarity; on failure the first failing
+// polarity's error is returned, rising first, matching the sequential order.
+func (e *Engine) AnalyzeGlitchPairContext(ctx context.Context, cl *prune.Cluster) (rising, falling *Result, err error) {
+	if e.Opt.DirectMNA || e.Opt.DisablePrepared {
+		if rising, err = e.analyzeGlitchCustom(ctx, cl, true, nil, nil); err != nil {
+			return nil, nil, err
+		}
+		if falling, err = e.analyzeGlitchCustom(ctx, cl, false, nil, nil); err != nil {
+			return nil, nil, err
+		}
+		return rising, falling, nil
+	}
+	results, _, err := e.analyzeGlitchSet(ctx, cl, []glitchScenario{
+		{glitchRising: true},
+		{glitchRising: false},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[0], results[1], nil
+}
+
+// glitchScenario describes one glitch run against a shared cluster setup.
+type glitchScenario struct {
+	glitchRising bool
+	// victimCell overrides the victim's holding cell when non-nil (the
+	// repair advisor's driver-upsize candidate).
+	victimCell *cells.Cell
+}
+
+// glitchTerms builds the stimulus plan and port terminations for one glitch
+// scenario: the victim held at the rail opposite the glitch polarity, the
+// aggressors switching per the alignment/correlation policies, and the idle
+// bus drivers tri-stated (open terminations, the zero value).
+func (e *Engine) glitchTerms(cl *prune.Cluster, ckt *circuit.Circuit, cp *clusterPorts,
+	glitchRising bool, victimCell *cells.Cell) (terms []romsim.Termination, plans []AggressorPlan, baseline float64, err error) {
+	plans = e.planAggressors(cl, glitchRising)
+	hold := cells.HoldLow
+	if !glitchRising {
+		hold = cells.HoldHigh
+		baseline = Vdd
+	}
+	terms = make([]romsim.Termination, len(ckt.Ports))
+	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
+	vCell := vPin.Cell
+	if victimCell != nil {
+		vCell = victimCell
+	}
+	if terms[cp.victimDriver], err = e.holdTermination(vCell, hold); err != nil {
+		return nil, nil, 0, err
+	}
+	for i, pi := range cp.aggDrivers {
+		if terms[pi], err = e.driverTermination(plans[i], e.loadEstimate(plans[i].Net)); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return terms, plans, baseline, nil
+}
+
+// glitchResult assembles the analysis Result from a finished transient.
+func (e *Engine) glitchResult(cl *prune.Cluster, cp *clusterPorts, plans []AggressorPlan,
+	order, nodes int, baseline float64, simRes *romsim.Result) *Result {
+	res := &Result{
+		VictimName:   e.Par.Design.Nets[cl.Victim].Name,
+		Aggressors:   plans,
+		ReducedOrder: order,
+		ClusterNodes: nodes,
+	}
+	for _, p := range plans {
+		if !p.Quiet {
+			res.ActiveAggressors++
+		}
+	}
+	for _, pi := range cp.receivers {
+		pk := simRes.Ports[pi].PeakDeviation(baseline)
+		if pk.Abs > math.Abs(res.PeakV) {
+			res.PeakV = pk.Value
+			res.PeakTime = pk.Time
+			res.ReceiverWave = simRes.Ports[pi]
+		}
+	}
+	if res.ReceiverWave == nil {
+		res.ReceiverWave = simRes.Ports[cp.receivers[0]]
+	}
+	return res
+}
+
+// preparedFor returns the memoized Prepared for (cl, decoupled, pattern of
+// terms), building the reduced model and the factorization on a miss via the
+// reduce callback. A hit skips both the reduction and the diagonalization.
+// Callers whose circuit no longer matches prune.BuildCircuit output (repair
+// transforms) must not use the memo: the pattern key cannot see circuit
+// edits.
+func (e *Engine) preparedFor(cl *prune.Cluster, decoupled bool, terms []romsim.Termination,
+	reduce func() (*sympvl.Model, error)) (*romsim.Prepared, error) {
+	key := romsim.PatternKey(terms)
+	if decoupled {
+		key = "D|" + key
+	}
+	if e.prep.cl != cl {
+		e.prep.cl = cl
+		e.prep.entries = make(map[string]*romsim.Prepared, 4)
+	}
+	if p, ok := e.prep.entries[key]; ok {
+		e.Opt.Trace.Add(obs.CtrPreparedReuses, 1)
+		return p, nil
+	}
+	model, err := reduce()
+	if err != nil {
+		return nil, err
+	}
+	p, err := romsim.Prepare(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Trace: e.Opt.Trace})
+	if err != nil {
+		return nil, err
+	}
+	e.prep.entries[key] = p
+	return p, nil
+}
+
+// analyzeGlitchSet runs several glitch scenarios against one shared cluster
+// reduction, sweeping scenarios whose terminations share a conductance
+// pattern through one Prepared.RunBatch multi-RHS call. Results are indexed
+// like specs. On failure it returns the first error in spec order together
+// with the index of the spec that produced it (so callers can apply
+// per-candidate error wrapping). Callers gate on DirectMNA/DisablePrepared;
+// this path always uses the prepared layer.
+func (e *Engine) analyzeGlitchSet(ctx context.Context, cl *prune.Cluster, specs []glitchScenario) ([]*Result, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	ckt, cp, sys, err := e.clusterSystem(cl, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	type scenarioTerms struct {
+		terms    []romsim.Termination
+		plans    []AggressorPlan
+		baseline float64
+	}
+	built := make([]scenarioTerms, len(specs))
+	for i, sp := range specs {
+		terms, plans, baseline, err := e.glitchTerms(cl, ckt, cp, sp.glitchRising, sp.victimCell)
+		if err != nil {
+			return nil, i, err
+		}
+		built[i] = scenarioTerms{terms, plans, baseline}
+	}
+	reduce := func() (*sympvl.Model, error) {
+		return e.reduceModel(ctx, sys, ckt, e.reducedOrder(sys.P), false, true)
+	}
+
+	// Group scenarios by conductance pattern, preserving spec order inside
+	// each group, and sweep each group through one Prepared. Distinct
+	// patterns (e.g. library-model polarities with different drive G) still
+	// share the reduction through the ROM cache; only the cheap fold
+	// re-runs.
+	groups := make(map[string][]int, len(specs))
+	var keys []string
+	for i := range specs {
+		key := romsim.PatternKey(built[i].terms)
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	simResults := make([]*romsim.Result, len(specs))
+	orders := make([]int, len(specs))
+	errIdx, firstErr := -1, error(nil)
+	for _, key := range keys {
+		idxs := groups[key]
+		p, err := e.preparedFor(cl, false, built[idxs[0]].terms, reduce)
+		if err != nil {
+			return nil, idxs[0], err
+		}
+		scens := make([]romsim.Scenario, len(idxs))
+		for g, i := range idxs {
+			scens[g] = romsim.Scenario{Terms: built[i].terms, Check: ctx.Err, Trace: e.Opt.Trace}
+		}
+		var rs []*romsim.Result
+		var es []error
+		if len(scens) == 1 {
+			r0, e0 := p.Run(scens[0])
+			rs, es = []*romsim.Result{r0}, []error{e0}
+		} else {
+			rs, es = p.RunBatch(scens)
+		}
+		for g, i := range idxs {
+			simResults[i] = rs[g]
+			orders[i] = p.Order()
+			if es[g] != nil && (errIdx == -1 || i < errIdx) {
+				errIdx, firstErr = i, es[g]
+			}
+		}
+	}
+	if errIdx >= 0 {
+		return nil, errIdx, firstErr
+	}
+	out := make([]*Result, len(specs))
+	for i := range specs {
+		out[i] = e.glitchResult(cl, cp, built[i].plans, orders[i], sys.N, built[i].baseline, simResults[i])
+	}
+	return out, -1, nil
+}
+
 // analyzeGlitchCustom is AnalyzeGlitch with two hooks used by the repair
 // advisor: transform edits the cluster circuit before reduction (e.g.
 // shield insertion), and victimCell overrides the victim's holding cell
@@ -503,78 +751,41 @@ func (e *Engine) analyzeGlitchCustom(ctx context.Context, cl *prune.Cluster, gli
 	} else if ckt, cp, sys, err = e.clusterSystem(cl, false); err != nil {
 		return nil, err
 	}
-	var model *sympvl.Model
-	if !e.Opt.DirectMNA {
-		order := e.reducedOrder(sys.P)
+	terms, plans, baseline, err := e.glitchTerms(cl, ckt, cp, glitchRising, victimCell)
+	if err != nil {
+		return nil, err
+	}
+	reduce := func() (*sympvl.Model, error) {
 		// Repair-advisor hooks edit the circuit or the terminations in ways
 		// the fingerprint cannot see; bypass the cache for those runs.
 		cacheable := transform == nil && victimCell == nil
-		model, err = e.reduceModel(ctx, sys, ckt, order, false, cacheable)
-		if err != nil {
-			return nil, err
-		}
+		return e.reduceModel(ctx, sys, ckt, e.reducedOrder(sys.P), false, cacheable)
 	}
-	plans := e.planAggressors(cl, glitchRising)
-
-	// Victim held at the opposite rail of the glitch direction.
-	hold := cells.HoldLow
-	baseline := 0.0
-	if !glitchRising {
-		hold = cells.HoldHigh
-		baseline = Vdd
-	}
-	terms := make([]romsim.Termination, len(ckt.Ports))
-	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
-	vCell := vPin.Cell
-	if victimCell != nil {
-		vCell = victimCell
-	}
-	if terms[cp.victimDriver], err = e.holdTermination(vCell, hold); err != nil {
-		return nil, err
-	}
-	for i, pi := range cp.aggDrivers {
-		if terms[pi], err = e.driverTermination(plans[i], e.loadEstimate(plans[i].Net)); err != nil {
-			return nil, err
-		}
-	}
-	// Idle bus drivers are tri-stated: open terminations (zero Termination).
 	simOpt := romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Check: ctx.Err, Trace: e.Opt.Trace}
 	var simRes *romsim.Result
-	if e.Opt.DirectMNA {
+	order := sys.N // direct integration uses the full state
+	switch {
+	case e.Opt.DirectMNA:
 		simRes, err = romsim.SimulateDirect(sys, terms, simOpt)
-	} else {
+	case transform != nil || e.Opt.DisablePrepared:
+		var model *sympvl.Model
+		if model, err = reduce(); err != nil {
+			return nil, err
+		}
+		order = model.Order
 		simRes, err = romsim.Simulate(model, terms, simOpt)
+	default:
+		var p *romsim.Prepared
+		if p, err = e.preparedFor(cl, false, terms, reduce); err != nil {
+			return nil, err
+		}
+		order = p.Order()
+		simRes, err = p.Run(romsim.Scenario{Terms: terms, Check: ctx.Err, Trace: e.Opt.Trace})
 	}
 	if err != nil {
 		return nil, err
 	}
-	order := sys.N // direct integration uses the full state
-	if model != nil {
-		order = model.Order
-	}
-	res := &Result{
-		VictimName:   e.Par.Design.Nets[cl.Victim].Name,
-		Aggressors:   plans,
-		ReducedOrder: order,
-		ClusterNodes: sys.N,
-	}
-	for _, p := range plans {
-		if !p.Quiet {
-			res.ActiveAggressors++
-		}
-	}
-	for _, pi := range cp.receivers {
-		pk := simRes.Ports[pi].PeakDeviation(baseline)
-		if pk.Abs > math.Abs(res.PeakV) {
-			res.PeakV = pk.Value
-			res.PeakTime = pk.Time
-			res.ReceiverWave = simRes.Ports[pi]
-		}
-	}
-	if res.ReceiverWave == nil {
-		res.ReceiverWave = simRes.Ports[cp.receivers[0]]
-	}
-	return res, nil
+	return e.glitchResult(cl, cp, plans, order, sys.N, baseline, simRes), nil
 }
 
 // DelayResult reports coupled-delay analysis (the paper's Table 2 view).
@@ -593,16 +804,25 @@ type DelayResult struct {
 // switch in the opposite direction (worst case) or with coupling grounded
 // (the decoupled baseline).
 func (e *Engine) AnalyzeDelay(cl *prune.Cluster, victimRising, withCoupling bool) (*DelayResult, error) {
+	return e.AnalyzeDelayContext(context.Background(), cl, victimRising, withCoupling)
+}
+
+// AnalyzeDelayContext is AnalyzeDelay honoring context cancellation and
+// deadlines: both the reduction and the transient poll ctx. (The transient
+// polls through the per-step Check hook, which the historical delay path
+// left unset, so per-cluster deadlines did not cover delay analysis.)
+func (e *Engine) AnalyzeDelayContext(ctx context.Context, cl *prune.Cluster, victimRising, withCoupling bool) (*DelayResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ckt, cp, sys, err := e.clusterSystem(cl, !withCoupling)
 	if err != nil {
 		return nil, err
 	}
-	order := e.reducedOrder(sys.P)
 	// The decoupled baseline zeroes coupling capacitors during assembly, so
 	// the same circuit yields a different C; the flag keys the cache apart.
-	model, err := e.reduceModel(context.Background(), sys, ckt, order, !withCoupling, true)
-	if err != nil {
-		return nil, err
+	reduce := func() (*sympvl.Model, error) {
+		return e.reduceModel(ctx, sys, ckt, e.reducedOrder(sys.P), !withCoupling, true)
 	}
 	// Victim switches; aggressors switch opposite (worst case for delay).
 	plans := e.planAggressors(cl, !victimRising)
@@ -624,10 +844,32 @@ func (e *Engine) AnalyzeDelay(cl *prune.Cluster, victimRising, withCoupling bool
 			return nil, err
 		}
 	}
-	simRes, err := romsim.Simulate(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Trace: e.Opt.Trace})
-	if err != nil {
-		return nil, err
+	var simRes *romsim.Result
+	if e.Opt.DisablePrepared {
+		model, rerr := reduce()
+		if rerr != nil {
+			return nil, rerr
+		}
+		simOpt := romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Check: ctx.Err, Trace: e.Opt.Trace}
+		if simRes, err = romsim.Simulate(model, terms, simOpt); err != nil {
+			return nil, err
+		}
+	} else {
+		p, perr := e.preparedFor(cl, !withCoupling, terms, reduce)
+		if perr != nil {
+			return nil, perr
+		}
+		if simRes, err = p.Run(romsim.Scenario{Terms: terms, Check: ctx.Err, Trace: e.Opt.Trace}); err != nil {
+			return nil, err
+		}
 	}
+	return e.delayResult(cl, cp, simRes, victimRising, withCoupling)
+}
+
+// delayResult extracts the worst receiver delay and slew from a finished
+// delay transient.
+func (e *Engine) delayResult(cl *prune.Cluster, cp *clusterPorts, simRes *romsim.Result,
+	victimRising, withCoupling bool) (*DelayResult, error) {
 	res := &DelayResult{VictimName: e.Par.Design.Nets[cl.Victim].Name, WithCoupling: withCoupling}
 	worst := -math.MaxFloat64
 	for _, pi := range cp.receivers {

@@ -1,0 +1,129 @@
+package glitch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xtverify/internal/obs"
+	"xtverify/internal/prune"
+)
+
+// TestPreparedPairMatchesSeedPath pins the glitch-pair fast path: the batched
+// rising+falling analysis must produce exactly the results of two sequential
+// per-polarity analyses with the prepared layer disabled.
+func TestPreparedPairMatchesSeedPath(t *testing.T) {
+	p, cl := linesSetup(t, 3, 1000, "INV_X2")
+	for _, model := range []ModelKind{ModelFixedR, ModelNonlinear} {
+		on := NewEngine(p, Options{Model: model})
+		off := NewEngine(p, Options{Model: model, DisablePrepared: true})
+
+		gotR, gotF, err := on.AnalyzeGlitchPair(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, wantF, err := off.AnalyzeGlitchPair(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range []struct {
+			name      string
+			got, want *Result
+		}{{"rising", gotR, wantR}, {"falling", gotF, wantF}} {
+			if pair.got.PeakV != pair.want.PeakV || pair.got.PeakTime != pair.want.PeakTime {
+				t.Errorf("model %v %s: prepared peak (%g @ %g) != seed (%g @ %g)", model, pair.name,
+					pair.got.PeakV, pair.got.PeakTime, pair.want.PeakV, pair.want.PeakTime)
+			}
+			if pair.got.ReducedOrder != pair.want.ReducedOrder {
+				t.Errorf("model %v %s: order %d != %d", model, pair.name,
+					pair.got.ReducedOrder, pair.want.ReducedOrder)
+			}
+		}
+	}
+}
+
+// TestPreparedReuseAcrossDelayEdges checks the memo actually amortizes: under
+// ModelFixedR both victim edges share a conductance pattern, so the worst-edge
+// timing sweep must reuse the decoupled and coupled Prepareds instead of
+// re-diagonalizing, and both paths must agree on the measured delays.
+func TestPreparedReuseAcrossDelayEdges(t *testing.T) {
+	coll := obs.NewCollector()
+	tr := coll.NewTrace()
+	p, cl := linesSetup(t, 3, 1000, "INV_X2")
+	e := NewEngine(p, Options{Model: ModelFixedR, TEnd: 8e-9, Trace: tr})
+	got, err := e.TimingImpactWorstEdge(context.Background(), []*prune.Cluster{cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll.MergeTrace(got[0].Victim, "test", tr)
+	s := coll.Snapshot()
+	// Four delay transients over two conductance patterns (decoupled and
+	// coupled): the second edge must hit the memo for both.
+	if s.Counters["prepared_reuses"] < 2 {
+		t.Errorf("prepared_reuses = %d, want >= 2 (all: %v)", s.Counters["prepared_reuses"], s.Counters)
+	}
+	if s.Counters["diagonalize_skipped"] < 2 {
+		t.Errorf("diagonalize_skipped = %d, want >= 2", s.Counters["diagonalize_skipped"])
+	}
+
+	off := NewEngine(p, Options{Model: ModelFixedR, TEnd: 8e-9, DisablePrepared: true})
+	want, err := off.TimingImpactWorstEdge(context.Background(), []*prune.Cluster{cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].BaseDelay != want[0].BaseDelay || got[0].CoupledDelay != want[0].CoupledDelay ||
+		got[0].BaseSlew != want[0].BaseSlew || got[0].Rising != want[0].Rising {
+		t.Errorf("prepared worst-edge impact %+v differs from seed %+v", got[0], want[0])
+	}
+}
+
+// TestAnalyzeDelayContextCancelled pins the cancellation fix: a cancelled
+// context must abort the delay transient instead of running it to completion.
+func TestAnalyzeDelayContextCancelled(t *testing.T) {
+	p, cl := linesSetup(t, 3, 1000, "INV_X2")
+	e := NewEngine(p, Options{Model: ModelFixedR})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AnalyzeDelayContext(ctx, cl, true, true); !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeDelayContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestAdviseRepairsContextCancelled pins the advisor's cancellation fix: the
+// candidate sweep must honor the caller's context.
+func TestAdviseRepairsContextCancelled(t *testing.T) {
+	p, cl := linesSetup(t, 3, 1000, "INV_X2")
+	e := NewEngine(p, Options{Model: ModelFixedR})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AdviseRepairsContext(ctx, cl, true, 0.1); !errors.Is(err, context.Canceled) {
+		t.Errorf("AdviseRepairsContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestAdviseRepairsMatchesSeedPath checks the advisor's batched upsize sweep
+// returns the options the sequential path returns.
+func TestAdviseRepairsMatchesSeedPath(t *testing.T) {
+	p, cl := linesSetup(t, 3, 1000, "INV_X2")
+	on := NewEngine(p, Options{Model: ModelFixedR})
+	off := NewEngine(p, Options{Model: ModelFixedR, DisablePrepared: true})
+	got, err := on.AdviseRepairs(cl, true, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := off.AdviseRepairs(cl, true, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OriginalPeakV != want.OriginalPeakV {
+		t.Errorf("original peak %g != %g", got.OriginalPeakV, want.OriginalPeakV)
+	}
+	if len(got.Options) != len(want.Options) {
+		t.Fatalf("option count %d != %d", len(got.Options), len(want.Options))
+	}
+	for i := range want.Options {
+		if got.Options[i] != want.Options[i] {
+			t.Errorf("option %d: prepared %+v != seed %+v", i, got.Options[i], want.Options[i])
+		}
+	}
+}

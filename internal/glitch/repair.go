@@ -80,9 +80,43 @@ func (a *RepairAdvice) Recommended() *RepairOption {
 // AdviseRepairs re-simulates the cluster under each candidate fix and ranks
 // the outcomes. thresholdV is the acceptable peak magnitude.
 func (e *Engine) AdviseRepairs(cl *prune.Cluster, glitchRising bool, thresholdV float64) (*RepairAdvice, error) {
-	base, err := e.AnalyzeGlitch(cl, glitchRising)
-	if err != nil {
-		return nil, err
+	return e.AdviseRepairsContext(context.Background(), cl, glitchRising, thresholdV)
+}
+
+// AdviseRepairsContext is AdviseRepairs honoring context cancellation and
+// deadlines in the base analysis and every candidate run (the historical
+// entry point hardcoded context.Background(), so repairs ignored engine
+// timeouts). When the prepared-transient layer is enabled, the base analysis
+// and the driver-upsize candidate — which share the cluster circuit and its
+// reduction — advance as one batched multi-RHS sweep; the circuit-editing
+// candidates (respace, shield) change the model and run one-shot.
+func (e *Engine) AdviseRepairsContext(ctx context.Context, cl *prune.Cluster, glitchRising bool, thresholdV float64) (*RepairAdvice, error) {
+	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
+	stronger := nextStronger(vPin.Cell)
+
+	var base, upsized *Result
+	if stronger != nil && !e.Opt.DirectMNA && !e.Opt.DisablePrepared {
+		results, idx, err := e.analyzeGlitchSet(ctx, cl, []glitchScenario{
+			{glitchRising: glitchRising},
+			{glitchRising: glitchRising, victimCell: stronger},
+		})
+		if err != nil {
+			if idx == 1 {
+				return nil, fmt.Errorf("glitch: repair upsize: %w", err)
+			}
+			return nil, err
+		}
+		base, upsized = results[0], results[1]
+	} else {
+		var err error
+		if base, err = e.analyzeGlitchCustom(ctx, cl, glitchRising, nil, nil); err != nil {
+			return nil, err
+		}
+		if stronger != nil {
+			if upsized, err = e.analyzeGlitchCustom(ctx, cl, glitchRising, nil, stronger); err != nil {
+				return nil, fmt.Errorf("glitch: repair upsize: %w", err)
+			}
+		}
 	}
 	advice := &RepairAdvice{
 		Victim:        base.VictimName,
@@ -92,13 +126,8 @@ func (e *Engine) AdviseRepairs(cl *prune.Cluster, glitchRising bool, thresholdV 
 	victimName := e.Par.Design.Nets[cl.Victim].Name
 
 	// Candidate 1: upsize the victim's holding driver.
-	_, vPin := strongestPin(e.Par.Design.Nets[cl.Victim].Drivers)
-	if stronger := nextStronger(vPin.Cell); stronger != nil {
-		res, err := e.analyzeGlitchCustom(context.Background(), cl, glitchRising, nil, stronger)
-		if err != nil {
-			return nil, fmt.Errorf("glitch: repair upsize: %w", err)
-		}
-		advice.Options = append(advice.Options, option(FixUpsizeDriver, stronger.Name, res.PeakV, thresholdV))
+	if upsized != nil {
+		advice.Options = append(advice.Options, option(FixUpsizeDriver, stronger.Name, upsized.PeakV, thresholdV))
 	} else {
 		advice.Options = append(advice.Options, RepairOption{Fix: FixUpsizeDriver, Detail: "no stronger cell", Feasible: false})
 	}
@@ -114,7 +143,7 @@ func (e *Engine) AdviseRepairs(cl *prune.Cluster, glitchRising bool, thresholdV 
 		}
 		return out
 	}
-	res, err := e.analyzeGlitchCustom(context.Background(), cl, glitchRising, respace, nil)
+	res, err := e.analyzeGlitchCustom(ctx, cl, glitchRising, respace, nil)
 	if err != nil {
 		return nil, fmt.Errorf("glitch: repair respace: %w", err)
 	}
@@ -126,7 +155,7 @@ func (e *Engine) AdviseRepairs(cl *prune.Cluster, glitchRising bool, thresholdV 
 			return !touchesNet(ckt, c, victimName)
 		})
 	}
-	res, err = e.analyzeGlitchCustom(context.Background(), cl, glitchRising, shield, nil)
+	res, err = e.analyzeGlitchCustom(ctx, cl, glitchRising, shield, nil)
 	if err != nil {
 		return nil, fmt.Errorf("glitch: repair shield: %w", err)
 	}

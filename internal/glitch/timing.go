@@ -1,6 +1,7 @@
 package glitch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,31 +31,77 @@ type TimingImpact struct {
 // TimingImpactReport measures the worst-case coupling delay deterioration
 // for every cluster, sorted by absolute delay change (largest first).
 func (e *Engine) TimingImpactReport(clusters []*prune.Cluster, rising bool) ([]TimingImpact, error) {
+	return e.TimingImpactReportContext(context.Background(), clusters, rising)
+}
+
+// TimingImpactReportContext is TimingImpactReport honoring context
+// cancellation and deadlines in every per-cluster delay analysis.
+func (e *Engine) TimingImpactReportContext(ctx context.Context, clusters []*prune.Cluster, rising bool) ([]TimingImpact, error) {
 	out := make([]TimingImpact, 0, len(clusters))
 	for _, cl := range clusters {
-		base, err := e.AnalyzeDelay(cl, rising, false)
+		ti, err := e.timingImpact(ctx, cl, rising)
 		if err != nil {
-			return nil, fmt.Errorf("glitch: timing impact of %s (base): %w", e.Par.Design.Nets[cl.Victim].Name, err)
-		}
-		coupled, err := e.AnalyzeDelay(cl, rising, true)
-		if err != nil {
-			return nil, fmt.Errorf("glitch: timing impact of %s (coupled): %w", e.Par.Design.Nets[cl.Victim].Name, err)
-		}
-		ti := TimingImpact{
-			Victim:       base.VictimName,
-			Rising:       rising,
-			BaseDelay:    base.Delay,
-			CoupledDelay: coupled.Delay,
-			DeltaS:       coupled.Delay - base.Delay,
-			BaseSlew:     base.Slew,
-			CoupledSlew:  coupled.Slew,
-			Aggressors:   len(cl.Aggressors),
-		}
-		if base.Delay > 0 {
-			ti.DeteriorationPct = 100 * ti.DeltaS / base.Delay
+			return nil, err
 		}
 		out = append(out, ti)
 	}
+	sortImpacts(out)
+	return out, nil
+}
+
+// TimingImpactWorstEdge measures each cluster's coupling delay deterioration
+// on both victim edges and keeps the worse one. The four delay transients
+// per cluster run back to back, so the prepared layer diagonalizes the
+// decoupled and coupled systems once each and reuses them across the edges
+// (the two edges share a conductance pattern under ModelFixedR and for
+// symmetric library cells). Sorted like TimingImpactReport.
+func (e *Engine) TimingImpactWorstEdge(ctx context.Context, clusters []*prune.Cluster) ([]TimingImpact, error) {
+	out := make([]TimingImpact, 0, len(clusters))
+	for _, cl := range clusters {
+		var worst TimingImpact
+		for i, rising := range []bool{true, false} {
+			ti, err := e.timingImpact(ctx, cl, rising)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || ti.DeltaS > worst.DeltaS {
+				worst = ti
+			}
+		}
+		out = append(out, worst)
+	}
+	sortImpacts(out)
+	return out, nil
+}
+
+// timingImpact runs the decoupled-baseline and coupled delay transients for
+// one cluster and edge.
+func (e *Engine) timingImpact(ctx context.Context, cl *prune.Cluster, rising bool) (TimingImpact, error) {
+	base, err := e.AnalyzeDelayContext(ctx, cl, rising, false)
+	if err != nil {
+		return TimingImpact{}, fmt.Errorf("glitch: timing impact of %s (base): %w", e.Par.Design.Nets[cl.Victim].Name, err)
+	}
+	coupled, err := e.AnalyzeDelayContext(ctx, cl, rising, true)
+	if err != nil {
+		return TimingImpact{}, fmt.Errorf("glitch: timing impact of %s (coupled): %w", e.Par.Design.Nets[cl.Victim].Name, err)
+	}
+	ti := TimingImpact{
+		Victim:       base.VictimName,
+		Rising:       rising,
+		BaseDelay:    base.Delay,
+		CoupledDelay: coupled.Delay,
+		DeltaS:       coupled.Delay - base.Delay,
+		BaseSlew:     base.Slew,
+		CoupledSlew:  coupled.Slew,
+		Aggressors:   len(cl.Aggressors),
+	}
+	if base.Delay > 0 {
+		ti.DeteriorationPct = 100 * ti.DeltaS / base.Delay
+	}
+	return ti, nil
+}
+
+func sortImpacts(out []TimingImpact) {
 	sort.Slice(out, func(i, j int) bool {
 		di, dj := out[i].DeltaS, out[j].DeltaS
 		if di != dj {
@@ -62,5 +109,4 @@ func (e *Engine) TimingImpactReport(clusters []*prune.Cluster, rising bool) ([]T
 		}
 		return out[i].Victim < out[j].Victim
 	})
-	return out, nil
 }

@@ -100,6 +100,17 @@ const (
 	CtrROMCacheHits
 	CtrROMCacheMisses
 	CtrROMCacheEvictions
+	// CtrPreparedReuses counts analyses that reused a memoized prepared
+	// transient (romsim.Prepared) instead of re-running Prepare.
+	CtrPreparedReuses
+	// CtrScenariosBatched counts scenarios advanced through multi-RHS
+	// Prepared.RunBatch sweeps (each batched column counts once).
+	CtrScenariosBatched
+	// CtrDiagonalizeSkipped counts termination-fold eigendecompositions
+	// avoided by the prepared-transient layer: every scenario after the
+	// first executed against one Prepared is a diagonalization the
+	// per-Simulate path would have repeated.
+	CtrDiagonalizeSkipped
 
 	// NumCounters bounds the Counter enum.
 	NumCounters
@@ -130,6 +141,12 @@ func (c Counter) String() string {
 		return "rom_cache_misses"
 	case CtrROMCacheEvictions:
 		return "rom_cache_evictions"
+	case CtrPreparedReuses:
+		return "prepared_reuses"
+	case CtrScenariosBatched:
+		return "scenarios_batched"
+	case CtrDiagonalizeSkipped:
+		return "diagonalize_skipped"
 	default:
 		return "counter(?)"
 	}

@@ -43,7 +43,8 @@ func TestNames(t *testing.T) {
 		"lanczos_iterations", "newton_iterations", "newton_divergences",
 		"woodbury_solves", "fallback_reduced", "fallback_regularized",
 		"fallback_direct_mna", "fallback_unverified", "rom_cache_hits",
-		"rom_cache_misses", "rom_cache_evictions",
+		"rom_cache_misses", "rom_cache_evictions", "prepared_reuses",
+		"scenarios_batched", "diagonalize_skipped",
 	}
 	for c := Counter(0); c < NumCounters; c++ {
 		if got := c.String(); got != wantCtrs[c] {

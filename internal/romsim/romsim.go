@@ -11,20 +11,26 @@
 //
 // Folding the linear conductances into the left-hand side yields
 // M·x̂ + T·dx̂/dt = f(t) + Σ ρ_k·i_k with M = I + Σ g_j·ρ_j·ρ_jᵀ. The
-// generalized symmetric pair (T, M) is diagonalized once per analysis
-// (M = L·Lᵀ, then eigendecomposition of L⁻¹·T·L⁻ᵀ), giving the diagonal
-// system D·ẏ + y = η·i of paper Eq. 5. A trapezoidal (linear multistep)
+// generalized symmetric pair (T, M) is diagonalized (M = L·Lᵀ, then
+// eigendecomposition of L⁻¹·T·L⁻ᵀ), giving the diagonal system
+// D·ẏ + y = η·i of paper Eq. 5. A trapezoidal (linear multistep)
 // integrator then advances y; each Newton step solves a diagonal-plus-rank-k
 // Jacobian by the Sherman–Morrison–Woodbury identity (Eq. 7), which is what
 // makes the method so much cheaper than SPICE.
+//
+// Crucially, the diagonalization depends only on the model and the linear
+// conductance pattern — not on the source waveforms or device models — so it
+// can be shared between scenarios. Prepare factors it (together with the
+// per-step scratch and the trapezoidal coefficients for a fixed Dt) into a
+// reusable Prepared object; Prepared.Run executes one scenario against it and
+// Prepared.RunBatch advances several scenarios in lockstep as a multi-RHS
+// sweep. Simulate is the one-shot convenience wrapper (Prepare + Run) and is
+// bit-identical to running the two stages separately.
 package romsim
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
-	"xtverify/internal/matrix"
 	"xtverify/internal/obs"
 	"xtverify/internal/sympvl"
 	"xtverify/internal/waveform"
@@ -41,6 +47,9 @@ var (
 	// termination matrix is not SPD or a significantly negative time
 	// constant survived reduction.
 	ErrUnstableModel = errors.New("romsim: unstable or non-passive model")
+	// ErrPatternMismatch reports a scenario whose terminations do not match
+	// the conductance pattern a Prepared object was factored for.
+	ErrPatternMismatch = errors.New("romsim: scenario terminations do not match prepared conductance pattern")
 )
 
 // Device is a nonlinear one-port termination. Current returns the current
@@ -86,7 +95,9 @@ type Options struct {
 	DenseNewton bool
 	// Check, when non-nil, is polled once per accepted time step; a
 	// non-nil return aborts the transient with that error. Used to honor
-	// context cancellation and per-cluster deadlines.
+	// context cancellation and per-cluster deadlines. Prepare ignores Check
+	// (preparation is not a stepping loop); per-scenario checks travel in
+	// Scenario.Check instead.
 	Check func() error
 	// Trace, when non-nil, receives the analysis' phase spans (diagonalize,
 	// transient) and counters (Newton iterations/divergences, Woodbury
@@ -106,330 +117,15 @@ type Result struct {
 }
 
 // Simulate runs a transient analysis of the reduced model with the given
-// terminations (len(terms) must equal the model port count).
+// terminations (len(terms) must equal the model port count). It is the
+// one-shot form of Prepare followed by Prepared.Run and produces bit-identical
+// results; callers that run several scenarios against the same model and
+// conductance pattern should hold the Prepared instead, amortizing the
+// diagonalization.
 func Simulate(m *sympvl.Model, terms []Termination, opt Options) (*Result, error) {
-	if len(terms) != m.Ports {
-		return nil, fmt.Errorf("romsim: %d terminations for %d ports", len(terms), m.Ports)
-	}
-	if opt.TEnd <= 0 {
-		return nil, fmt.Errorf("romsim: TEnd must be positive")
-	}
-	dt := opt.Dt
-	if dt <= 0 {
-		dt = opt.TEnd / 1000
-	}
-	tol := opt.NewtonTol
-	if tol <= 0 {
-		tol = 1e-9
-	}
-	maxNewton := opt.MaxNewton
-	if maxNewton <= 0 {
-		maxNewton = 50
-	}
-	q := m.Order
-
-	// Partition ports.
-	var linPorts, nlPorts []int
-	for j, tm := range terms {
-		if tm.Linear != nil && tm.Dev != nil {
-			return nil, fmt.Errorf("romsim: port %d has both linear and nonlinear terminations", j)
-		}
-		if tm.Linear != nil {
-			if tm.Linear.G < 0 {
-				return nil, fmt.Errorf("romsim: port %d has negative conductance", j)
-			}
-			linPorts = append(linPorts, j)
-		}
-		if tm.Dev != nil {
-			nlPorts = append(nlPorts, j)
-		}
-	}
-
-	diagSpan := opt.Trace.Start(obs.PhaseDiagonalize)
-	// M = I + Σ g_j ρ_j ρ_jᵀ over linear ports.
-	mm := matrix.Identity(q)
-	for _, j := range linPorts {
-		g := terms[j].Linear.G
-		col := m.Rho.Col(j)
-		for a := 0; a < q; a++ {
-			for b := 0; b < q; b++ {
-				mm.Add(a, b, g*col[a]*col[b])
-			}
-		}
-	}
-	chol, err := matrix.FactorCholesky(mm)
+	p, err := Prepare(m, terms, opt)
 	if err != nil {
-		return nil, fmt.Errorf("%w: termination matrix not SPD: %v", ErrUnstableModel, err)
+		return nil, err
 	}
-	// T̃ = L⁻¹·T·L⁻ᵀ.
-	ttil := matrix.NewDense(q, q)
-	for j := 0; j < q; j++ {
-		// Column j of T·L⁻ᵀ ... compute L⁻¹ T L⁻ᵀ column by column.
-		ej := make([]float64, q)
-		ej[j] = 1
-		lj := chol.SolveUpper(ej)            // L⁻ᵀ e_j
-		tlj := m.T.MulVec(lj)                // T L⁻ᵀ e_j
-		ttil.SetCol(j, chol.SolveLower(tlj)) // L⁻¹ T L⁻ᵀ e_j
-	}
-	// Symmetrize against roundoff and diagonalize.
-	for a := 0; a < q; a++ {
-		for b := a + 1; b < q; b++ {
-			v := 0.5 * (ttil.At(a, b) + ttil.At(b, a))
-			ttil.Set(a, b, v)
-			ttil.Set(b, a, v)
-		}
-	}
-	dvals, qmat, err := matrix.EigenSym(ttil)
-	if err != nil {
-		return nil, fmt.Errorf("romsim: diagonalization failed: %w", err)
-	}
-	// Clamp tiny negative roundoff eigenvalues; the SyMPVL guarantee makes
-	// true eigenvalues non-negative.
-	for i, d := range dvals {
-		if d < 0 {
-			if maxd := dvals[len(dvals)-1]; d < -1e-9*math.Max(1, maxd) {
-				return nil, fmt.Errorf("%w: significantly negative time constant %g", ErrUnstableModel, d)
-			}
-			dvals[i] = 0
-		}
-	}
-
-	// W = Qᵀ·L⁻¹, η = W·ρ. The diagonal system is D·ẏ + y = η_lin·u(t) + η_nl·i.
-	eta := matrix.NewDense(q, m.Ports)
-	for j := 0; j < m.Ports; j++ {
-		w := chol.SolveLower(m.Rho.Col(j)) // L⁻¹ ρ_j
-		eta.SetCol(j, qmat.MulVecT(w))     // Qᵀ (L⁻¹ ρ_j)
-	}
-
-	// Cache η columns once: the transient loop reads them every step.
-	etaCols := make([][]float64, m.Ports)
-	for j := 0; j < m.Ports; j++ {
-		etaCols[j] = eta.Col(j)
-	}
-	diagSpan.End()
-
-	// All per-step and per-Newton-iteration scratch is allocated once here
-	// and reused for the whole transient: the inner loop runs thousands of
-	// times per cluster and must not touch the allocator.
-	nNL := len(nlPorts)
-	scr := &simScratch{
-		delta: make([]float64, q),
-		base:  make([]float64, q),
-		r:     make([]float64, q),
-		dinvr: make([]float64, q),
-		s:     make([]float64, nNL),
-		rhs:   make([]float64, nNL),
-		piv:   make([]int, nNL),
-		core:  matrix.NewDense(nNL, nNL),
-		dinvU: make([][]float64, nNL),
-	}
-	dinvUData := make([]float64, nNL*q)
-	for c := range scr.dinvU {
-		scr.dinvU[c] = dinvUData[c*q : (c+1)*q]
-	}
-
-	// Forcing from linear sources: f(t) = Σ g_j·Vs_j(t)·η_j.
-	forceInto := func(f []float64, t float64) {
-		for i := range f {
-			f[i] = 0
-		}
-		for _, j := range linPorts {
-			lt := terms[j].Linear
-			matrix.Axpy(lt.G*lt.Vs(t), etaCols[j], f)
-		}
-	}
-
-	portV := func(y []float64, j int) float64 { return matrix.Dot(etaCols[j], y) }
-
-	// newtonSolve solves (Δ + Σ_nl (−di_k/dv)·η_k·η_kᵀ)·x = r via Woodbury,
-	// where Δ = diag(delta). s holds the −di/dv factors per nonlinear port.
-	// The returned slice aliases scratch and is only valid until the next
-	// call.
-	woodburySolves := 0
-	newtonSolve := func(delta []float64, s []float64, r []float64) ([]float64, error) {
-		if opt.DenseNewton {
-			// Ablation path: assemble J = Δ + Σ s_c·η_c·η_cᵀ densely. Kept
-			// deliberately allocation-heavy and factorization-per-call — it
-			// exists to measure what Eq. 7 saves, not to be fast.
-			j := matrix.NewDense(q, q)
-			for i := 0; i < q; i++ {
-				j.Set(i, i, delta[i])
-			}
-			for c, jp := range nlPorts {
-				col := etaCols[jp]
-				sc := s[c]
-				if sc == 0 {
-					continue
-				}
-				for a := 0; a < q; a++ {
-					for b := 0; b < q; b++ {
-						j.Add(a, b, sc*col[a]*col[b])
-					}
-				}
-			}
-			lu, err := matrix.FactorLU(j)
-			if err != nil {
-				return nil, err
-			}
-			return lu.Solve(r)
-		}
-		dinvr := scr.dinvr
-		for i := range r {
-			dinvr[i] = r[i] / delta[i]
-		}
-		if nNL == 0 {
-			return dinvr, nil
-		}
-		// Small core system: (I + S·UᵀΔ⁻¹U)·z = S·UᵀΔ⁻¹r, x = Δ⁻¹r − Δ⁻¹U·z.
-		core := scr.core
-		for a := 0; a < nNL; a++ {
-			for b := 0; b < nNL; b++ {
-				if a == b {
-					core.Set(a, b, 1)
-				} else {
-					core.Set(a, b, 0)
-				}
-			}
-		}
-		rhs := scr.rhs
-		for c, j := range nlPorts {
-			col := etaCols[j]
-			du := scr.dinvU[c]
-			for i := 0; i < q; i++ {
-				du[i] = col[i] / delta[i]
-			}
-		}
-		for a, ja := range nlPorts {
-			ua := etaCols[ja]
-			for b := 0; b < nNL; b++ {
-				core.Add(a, b, s[a]*matrix.Dot(ua, scr.dinvU[b]))
-			}
-			rhs[a] = s[a] * matrix.Dot(ua, dinvr)
-		}
-		// Factor and solve the tiny core in place; rhs becomes z.
-		if err := matrix.SolveLUInPlace(core, scr.piv, rhs); err != nil {
-			return nil, fmt.Errorf("romsim: Woodbury core singular: %w", err)
-		}
-		woodburySolves++
-		x := dinvr
-		for c := range nlPorts {
-			matrix.Axpy(-rhs[c], scr.dinvU[c], x)
-		}
-		return x, nil
-	}
-
-	// residualInto computes R(y) = Δ∘y − base − η_nl·i(v,t) into r and the
-	// s = −di/dv factors into s, for a given diagonal delta and constant part
-	// base.
-	residualInto := func(r, s, delta, base, y []float64, t float64) {
-		for i := range r {
-			r[i] = delta[i]*y[i] - base[i]
-		}
-		for c, j := range nlPorts {
-			v := portV(y, j)
-			i, di := terms[j].Dev.Current(v, t)
-			matrix.Axpy(-i, etaCols[j], r)
-			s[c] = -di
-		}
-	}
-
-	// newtonLoop drives yout (seeded from y0) to R(yout)=0 for the given
-	// delta/base/t. yout must not alias y0.
-	totalNewton := 0
-	newtonLoop := func(delta, base, y0, yout []float64, t float64) error {
-		copy(yout, y0)
-		for it := 0; it < maxNewton; it++ {
-			totalNewton++
-			residualInto(scr.r, scr.s, delta, base, yout, t)
-			dy, err := newtonSolve(delta, scr.s, scr.r)
-			if err != nil {
-				return err
-			}
-			matrix.Axpy(-1, dy, yout)
-			// Convergence on the port-voltage scale: η is bounded, so the
-			// state-space norm is a safe proxy.
-			if matrix.NormInf(dy) < tol {
-				return nil
-			}
-		}
-		opt.Trace.Add(obs.CtrNewtonDivergences, 1)
-		return fmt.Errorf("%w at t=%g", ErrNewtonDiverged, t)
-	}
-	// Post the iteration counters exactly once, error returns included.
-	defer func() {
-		opt.Trace.Add(obs.CtrNewtonIterations, int64(totalNewton))
-		opt.Trace.Add(obs.CtrWoodburySolves, int64(woodburySolves))
-	}()
-	transSpan := opt.Trace.Start(obs.PhaseTransient)
-	defer transSpan.End()
-
-	// Initial condition: DC operating point (ẏ = 0 ⇒ Δ = 1).
-	y := make([]float64, q)
-	ynext := make([]float64, q)
-	if !opt.NoInitDC {
-		ones := make([]float64, q)
-		for i := range ones {
-			ones[i] = 1
-		}
-		forceInto(scr.base, 0)
-		if err := newtonLoop(ones, scr.base, y, ynext, 0); err != nil {
-			return nil, fmt.Errorf("romsim: DC init: %w", err)
-		}
-		y, ynext = ynext, y
-	}
-	// ẏ at t=0 from D·ẏ = −R_alg(y); with DC init it is ~0. For simplicity
-	// and stability start trapezoidal with ẏ = 0 (consistent after DC init).
-	ydot := make([]float64, q)
-
-	nSteps := int(math.Round(opt.TEnd / dt))
-	if nSteps < 1 {
-		nSteps = 1
-	}
-	res := &Result{Ports: make([]*waveform.Waveform, m.Ports)}
-	for j := range res.Ports {
-		res.Ports[j] = waveform.New(nSteps + 1)
-		res.Ports[j].Append(0, portV(y, j))
-	}
-
-	a := 2 / dt
-	for n := 1; n <= nSteps; n++ {
-		if opt.Check != nil {
-			if err := opt.Check(); err != nil {
-				return nil, err
-			}
-		}
-		t := float64(n) * dt
-		// Trapezoidal: D·(a·(y−y_prev) − ẏ_prev) + y = f(t) + η·i.
-		// Δ_i = a·D_i + 1; base = f(t) + D∘(a·y_prev + ẏ_prev).
-		delta, base := scr.delta, scr.base
-		forceInto(base, t)
-		for i := 0; i < q; i++ {
-			delta[i] = a*dvals[i] + 1
-			base[i] += dvals[i] * (a*y[i] + ydot[i])
-		}
-		if err := newtonLoop(delta, base, y, ynext, t); err != nil {
-			return nil, err
-		}
-		for i := 0; i < q; i++ {
-			ydot[i] = a*(ynext[i]-y[i]) - ydot[i]
-		}
-		y, ynext = ynext, y
-		for j := range res.Ports {
-			res.Ports[j].Append(t, portV(y, j))
-		}
-		res.Steps++
-	}
-	res.NewtonIterations = totalNewton
-	return res, nil
-}
-
-// simScratch bundles the buffers Simulate's inner loops reuse across every
-// time step and Newton iteration.
-type simScratch struct {
-	delta, base []float64 // per-step trapezoidal diagonal and constant part
-	r, dinvr    []float64 // Newton residual and Δ⁻¹-scaled copies
-	s, rhs      []float64 // −di/dv factors and Woodbury core RHS
-	piv         []int     // pivot scratch for the in-place core solve
-	core        *matrix.Dense
-	dinvU       [][]float64 // Δ⁻¹·U columns over one flat backing array
+	return p.Run(Scenario{Terms: terms, Check: opt.Check, Trace: opt.Trace})
 }

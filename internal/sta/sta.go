@@ -109,6 +109,44 @@ func Annotate(d *design.Design, par *extract.Parasitics, opt Options) error {
 	return nil
 }
 
+// WindowAdjustment widens one net's switching window by a coupling-induced
+// delay change, re-aligning the STA view with the coupling-aware transient
+// delays.
+type WindowAdjustment struct {
+	// Net is the design net index.
+	Net int
+	// DeltaS is the worst-case coupled delay change in seconds: positive
+	// (aggressors opposing) extends the Late bound, negative (a coupling
+	// speedup) pulls the Early bound in. Either way the window only widens —
+	// re-alignment must stay conservative for the pruning policies that
+	// consume it.
+	DeltaS float64
+}
+
+// ApplyCouplingDeltas folds coupling-induced delay changes back into the
+// annotated switching windows: one crosstalk-aware STA re-alignment pass.
+// Nets without a valid window (or a zero delta) are skipped; the number of
+// windows actually widened is returned. Call after Annotate.
+func ApplyCouplingDeltas(d *design.Design, adj []WindowAdjustment) (int, error) {
+	changed := 0
+	for _, a := range adj {
+		if a.Net < 0 || a.Net >= len(d.Nets) {
+			return changed, fmt.Errorf("sta: adjustment net %d out of range", a.Net)
+		}
+		w := &d.Nets[a.Net].Window
+		if !w.Valid || a.DeltaS == 0 {
+			continue
+		}
+		if a.DeltaS > 0 {
+			w.Late += a.DeltaS
+		} else {
+			w.Early += a.DeltaS
+		}
+		changed++
+	}
+	return changed, nil
+}
+
 // launchWindow gives the arrival window at the driver input for nets without
 // fanins: clock nets launch at the edge; sequential outputs launch after
 // clk-to-q; primary-input-like nets get the full early clock region.

@@ -141,3 +141,42 @@ func TestLongerNetsHaveLaterWindows(t *testing.T) {
 			long.Nets[0].Window.Late, short.Nets[0].Window.Late)
 	}
 }
+
+func TestApplyCouplingDeltasWidensOnly(t *testing.T) {
+	d, _ := annotated(t, dsp.Config{Seed: 2, Channels: 1, TracksPerChannel: 40, ChannelLengthUM: 900, LatchFraction: 0.2, ClockSpines: 1})
+	w0 := d.Nets[0].Window
+	w1 := d.Nets[1].Window
+	w2 := d.Nets[2].Window
+	n, err := ApplyCouplingDeltas(d, []WindowAdjustment{
+		{Net: 0, DeltaS: 30e-12},  // slowdown: Late extends
+		{Net: 1, DeltaS: -10e-12}, // speedup: Early pulls in
+		{Net: 2, DeltaS: 0},       // no change: skipped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("widened %d windows, want 2", n)
+	}
+	if got := d.Nets[0].Window; got.Late != w0.Late+30e-12 || got.Early != w0.Early {
+		t.Errorf("net 0 window %+v, want Late extended from %+v", got, w0)
+	}
+	if got := d.Nets[1].Window; got.Early != w1.Early-10e-12 || got.Late != w1.Late {
+		t.Errorf("net 1 window %+v, want Early pulled in from %+v", got, w1)
+	}
+	if got := d.Nets[2].Window; got != w2 {
+		t.Errorf("net 2 window %+v changed, want untouched %+v", got, w2)
+	}
+	// Every applied adjustment must only ever widen the window.
+	if d.Nets[0].Window.Late-d.Nets[0].Window.Early < w0.Late-w0.Early ||
+		d.Nets[1].Window.Late-d.Nets[1].Window.Early < w1.Late-w1.Early {
+		t.Error("a coupling delta narrowed a window")
+	}
+}
+
+func TestApplyCouplingDeltasRejectsBadNet(t *testing.T) {
+	d, _ := annotated(t, dsp.Config{Seed: 2, Channels: 1, TracksPerChannel: 40, ChannelLengthUM: 900})
+	if _, err := ApplyCouplingDeltas(d, []WindowAdjustment{{Net: len(d.Nets), DeltaS: 1e-12}}); err == nil {
+		t.Error("out-of-range net index accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package xtverify
 
 import (
+	"context"
 	"fmt"
 
 	"xtverify/internal/glitch"
@@ -36,6 +37,12 @@ type RepairAdvice struct {
 // upsizing, spacing, shielding) for the named victim net by re-simulating
 // its cluster under each fix.
 func (v *Verifier) AdviseRepair(victim string) (*RepairAdvice, error) {
+	return v.AdviseRepairContext(context.Background(), victim)
+}
+
+// AdviseRepairContext is AdviseRepair honoring context cancellation and
+// deadlines across the polarity screen and every candidate re-simulation.
+func (v *Verifier) AdviseRepairContext(ctx context.Context, victim string) (*RepairAdvice, error) {
 	net, ok := v.des.NetByName(victim)
 	if !ok {
 		return nil, fmt.Errorf("xtverify: unknown net %q", victim)
@@ -56,19 +63,18 @@ func (v *Verifier) AdviseRepair(victim string) (*RepairAdvice, error) {
 		Order:               v.cfg.ReducedOrder,
 		UseTimingWindows:    v.cfg.UseTimingWindows,
 		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+		DisablePrepared:     v.cfg.DisablePreparedTransients,
 	})
-	// Analyze the worse polarity first.
-	rise, err := eng.AnalyzeGlitch(cl, true)
-	if err != nil {
-		return nil, err
-	}
-	fall, err := eng.AnalyzeGlitch(cl, false)
+	// Analyze the worse polarity first. The pair call shares one reduction
+	// and prepared diagonalization between the polarities, and the repair
+	// sweep below reuses the same engine memo.
+	rise, fall, err := eng.AnalyzeGlitchPairContext(ctx, cl)
 	if err != nil {
 		return nil, err
 	}
 	rising := rise.PeakV >= -fall.PeakV
 	threshold := v.cfg.GlitchThresholdFrac * Vdd
-	adv, err := eng.AdviseRepairs(cl, rising, threshold)
+	adv, err := eng.AdviseRepairsContext(ctx, cl, rising, threshold)
 	if err != nil {
 		return nil, err
 	}

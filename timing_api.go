@@ -1,11 +1,13 @@
 package xtverify
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"xtverify/internal/glitch"
 	"xtverify/internal/prune"
+	"xtverify/internal/sta"
 )
 
 // TimingImpact is the coupling-induced delay change of one victim net.
@@ -39,6 +41,7 @@ func (v *Verifier) RunTimingImpact(rising bool) ([]TimingImpact, error) {
 		Order:               v.cfg.ReducedOrder,
 		UseTimingWindows:    v.cfg.UseTimingWindows,
 		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+		DisablePrepared:     v.cfg.DisablePreparedTransients,
 		TEnd:                8e-9,
 	})
 	impacts, err := eng.TimingImpactReport(clusters, rising)
@@ -56,6 +59,46 @@ func (v *Verifier) RunTimingImpact(rising bool) ([]TimingImpact, error) {
 		})
 	}
 	return out, nil
+}
+
+// RefineTimingWindows performs one crosstalk-aware STA re-alignment pass:
+// every coupled victim's worst-edge coupling delay change — measured by the
+// prepared-transient delay engine, both victim edges against the decoupled
+// baseline — is folded back into its annotated switching window (a coupled
+// slowdown extends Late, a speedup pulls Early in). It returns the number of
+// windows widened. Subsequent runs with Config.UseTimingWindows observe the
+// refined, conservatively wider windows. The design must have been annotated
+// (sta.Annotate / the loader's STA pass) first.
+func (v *Verifier) RefineTimingWindows(ctx context.Context) (int, error) {
+	pOpt := prune.Options{
+		CapRatioThreshold: v.cfg.CapRatioThreshold,
+		MinCouplingF:      0.5e-15,
+		UseTimingWindows:  v.cfg.UseTimingWindows,
+		MaxAggressors:     v.cfg.MaxAggressors,
+	}
+	clusters := prune.Clusters(v.par, pOpt)
+	eng := glitch.NewEngine(v.par, glitch.Options{
+		Model:               v.cfg.Model.kind(),
+		FixedOhms:           v.cfg.FixedOhms,
+		Order:               v.cfg.ReducedOrder,
+		UseTimingWindows:    v.cfg.UseTimingWindows,
+		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
+		DisablePrepared:     v.cfg.DisablePreparedTransients,
+		TEnd:                8e-9,
+	})
+	impacts, err := eng.TimingImpactWorstEdge(ctx, clusters)
+	if err != nil {
+		return 0, err
+	}
+	adj := make([]sta.WindowAdjustment, 0, len(impacts))
+	for _, ti := range impacts {
+		net, ok := v.des.NetByName(ti.Victim)
+		if !ok {
+			return 0, fmt.Errorf("xtverify: timing impact names unknown net %q", ti.Victim)
+		}
+		adj = append(adj, sta.WindowAdjustment{Net: net.Index, DeltaS: ti.DeltaS})
+	}
+	return sta.ApplyCouplingDeltas(v.des, adj)
 }
 
 // WriteTimingText renders a timing-impact report (top n rows; n ≤ 0 prints

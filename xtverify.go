@@ -116,6 +116,14 @@ type Config struct {
 	// reported number (cached models are bit-identical to fresh reductions);
 	// this knob exists for A/B timing comparisons and as an escape hatch.
 	DisableROMCache bool
+	// DisablePreparedTransients turns off the prepared-transient layer: each
+	// glitch/delay scenario then repeats the termination fold and
+	// eigendecomposition through one-shot romsim.Simulate calls, and the two
+	// glitch polarities run sequentially instead of as one batched multi-RHS
+	// sweep. The layer never changes any reported number (prepared and
+	// batched runs are bit-identical to the one-shot path); this knob exists
+	// for A/B timing comparisons and the byte-identity regression tests.
+	DisablePreparedTransients bool
 	// Collector, when non-nil, turns on the observability layer: per-phase
 	// span timing and engine counters are gathered during the run and
 	// aggregated into Diagnostics.Metrics. Create one fresh collector per
