@@ -31,6 +31,7 @@ var (
 	workers = flag.Int("workers", 0, "parallel cluster workers for the verify experiment (0 = GOMAXPROCS)")
 	strict  = flag.Bool("strict", false, "fail fast in the verify experiment instead of degrading")
 	noPrep  = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer in the verify experiment (A/B timing; results are identical either way)")
+	romCap  = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries for the verify experiment (0 = default)")
 	metrics = flag.String("metrics-out", "", "write the verify experiment's metrics snapshot to this JSON file")
 	pprofOn = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); verify metrics appear live at /debug/vars under \"xtverify\"")
 
@@ -200,9 +201,10 @@ func run(name string) (string, error) {
 		// Full-chip verification through the fault-tolerant parallel
 		// engine, with the run diagnostics in the rendered report.
 		v, err := xtverify.NewVerifierFromDSP(xtverify.DSPConfig(dspCfg()), xtverify.Config{
-			Workers:   *workers,
-			Strict:    *strict,
-			Collector: collector,
+			Workers:     *workers,
+			Strict:      *strict,
+			Collector:   collector,
+			ROMCacheCap: *romCap,
 
 			DisablePreparedTransients: *noPrep,
 		})

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -18,11 +19,16 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof endpoint
 	"os"
 	"os/signal"
+	"time"
 
 	"xtverify"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code instead of os.Exit, so deferred cleanup
+// (the pprof server's graceful shutdown in particular) actually runs.
+func run() int {
 	var (
 		model    = flag.String("model", "nonlinear", "driver model: fixed | library | nonlinear")
 		fixedR   = flag.Float64("r", 1000, "drive resistance for -model=fixed (ohms)")
@@ -42,7 +48,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel cluster workers (0 = GOMAXPROCS)")
 		strict   = flag.Bool("strict", false, "fail fast on the first cluster error instead of degrading")
 		noPrep   = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer (A/B timing; results are identical either way)")
-		cluTO    = flag.Duration("cluster-timeout", 0, "per-cluster analysis deadline (0 = none)")
+		cluTO    = flag.Duration("cluster-timeout", 0, "per-cluster analysis deadline (0 = none; per-attempt when -rung-retries > 0)")
+		retries  = flag.Int("rung-retries", 0, "retries per fallback rung for transiently timed-out clusters")
+		romCap   = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries (0 = default)")
+		romDir   = flag.String("rom-store", "", "directory for the disk-persistent ROM cache (empty = in-memory only)")
 		metrics  = flag.String("metrics-out", "", "write the run's metrics snapshot to this JSON file")
 		pprofOn  = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); metrics appear live at /debug/vars under \"xtverify\"")
 	)
@@ -57,6 +66,8 @@ func main() {
 		Workers:             *workers,
 		Strict:              *strict,
 		ClusterTimeout:      *cluTO,
+		RungRetries:         *retries,
+		ROMCacheCap:         *romCap,
 
 		DisablePreparedTransients: *noPrep,
 	}
@@ -69,7 +80,15 @@ func main() {
 		cfg.Model = xtverify.NonlinearCellModel
 	default:
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(2)
+		return 2
+	}
+	if *romDir != "" {
+		store, err := xtverify.OpenROMStore(*romDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cfg.ROMStore = store
 	}
 	var collector *xtverify.MetricsCollector
 	if *metrics != "" || *pprofOn != "" {
@@ -77,12 +96,19 @@ func main() {
 		cfg.Collector = collector
 	}
 	if *pprofOn != "" {
-		// Live snapshots under /debug/vars, profiles under /debug/pprof.
+		// Live snapshots under /debug/vars, profiles under /debug/pprof —
+		// on a real server we can stop, not a fire-and-forget goroutine.
 		expvar.Publish("xtverify", expvar.Func(func() any { return collector.Snapshot() }))
+		pprofSrv := &http.Server{Addr: *pprofOn, Handler: http.DefaultServeMux}
 		go func() {
-			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "pprof endpoint: %v\n", err)
 			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = pprofSrv.Shutdown(sctx)
 		}()
 	}
 	dspCfg := xtverify.DefaultDSPConfig()
@@ -98,7 +124,7 @@ func main() {
 		f, err2 := os.Open(*defIn)
 		if err2 != nil {
 			fmt.Fprintln(os.Stderr, err2)
-			os.Exit(1)
+			return 1
 		}
 		v, err = xtverify.NewVerifierFromDEF(f, cfg)
 		f.Close()
@@ -107,44 +133,37 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	writeVia := func(path string, fn func(io.Writer) error, what string) {
+	writeVia := func(path string, fn func(io.Writer) error, what string) error {
 		if path == "" {
-			return
+			return nil
 		}
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if err := fn(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("wrote %s to %s\n", what, path)
+		return nil
 	}
-	writeVia(*vlogOut, v.WriteVerilog, "netlist")
-	writeVia(*defOut, v.WriteDEF, "physical design")
-	if *spefOut != "" {
-		f, err := os.Create(*spefOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := v.WriteSPEF(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote parasitics to %s\n", *spefOut)
+	if err := writeVia(*vlogOut, v.WriteVerilog, "netlist"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := writeVia(*defOut, v.WriteDEF, "physical design"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := writeVia(*spefOut, v.WriteSPEF, "parasitics"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 	// Interrupt (Ctrl-C) cancels the run promptly instead of killing a
 	// half-finished analysis.
@@ -153,25 +172,26 @@ func main() {
 	rep, err := v.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if err := rep.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if *metrics != "" {
 		f, err := os.Create(*metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := rep.Diagnostics.Metrics.WriteJSON(f); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote metrics to %s\n", *metrics)
 	}
@@ -179,19 +199,19 @@ func main() {
 		impacts, err := v.RunTimingImpact(true)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("\nworst coupling-induced delay changes:")
 		if err := xtverify.WriteTimingText(os.Stdout, impacts, 10); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *emFlag {
 		rs, err := v.RunEM(xtverify.EMOptions{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if len(rs) > 10 {
 			rs = rs[:10]
@@ -199,10 +219,11 @@ func main() {
 		fmt.Println("\nworst electromigration utilizations:")
 		if err := xtverify.WriteEMText(os.Stdout, rs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if len(rep.Violations) > 0 {
-		os.Exit(3) // nonzero exit signals signal-integrity violations
+		return 3 // nonzero exit signals signal-integrity violations
 	}
+	return 0
 }

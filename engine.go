@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"xtverify/internal/cells"
+	"xtverify/internal/faultinject"
 	"xtverify/internal/glitch"
 	"xtverify/internal/obs"
 	"xtverify/internal/prune"
@@ -78,7 +79,9 @@ type Diagnostics struct {
 	// Unverified counts clusters every rung failed on.
 	Unverified int
 	// ROMCacheHits and ROMCacheMisses count reduced-model memoization
-	// outcomes across the run (both zero when the cache is disabled). They
+	// outcomes across the run — this run's delta when Config.SharedROMCache
+	// keeps one cache warm across runs (both zero when the cache is
+	// disabled; attribution is approximate when concurrent runs share). They
 	// are diagnostics only and deliberately absent from WriteText: eviction
 	// and scheduling make them run-dependent, and the report must stay
 	// byte-identical between serial and parallel runs.
@@ -118,6 +121,11 @@ type runParams struct {
 	workers int
 	strict  bool
 	timeout time.Duration
+	// retries is the per-rung transient-failure retry budget; backoff the
+	// base delay between retries (doubled per retry). With retries > 0 the
+	// timeout applies per attempt instead of once per cluster.
+	retries int
+	backoff time.Duration
 }
 
 // clusterResult is one worker's output for one cluster.
@@ -144,6 +152,8 @@ func (v *Verifier) RunContext(ctx context.Context) (*Report, error) {
 		workers: v.cfg.Workers,
 		strict:  v.cfg.Strict,
 		timeout: v.cfg.ClusterTimeout,
+		retries: v.cfg.RungRetries,
+		backoff: v.cfg.RungRetryBackoff,
 	})
 }
 
@@ -170,11 +180,28 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 	}
 	// One ROM cache for the whole run, shared by every worker and every
 	// ladder rung (Gmin and order changes are part of the cache key), so
-	// structurally identical clusters reduce once chip-wide.
+	// structurally identical clusters reduce once chip-wide. A caller may
+	// supply a longer-lived SharedROMCache (the daemon shares one across
+	// jobs) and/or a disk-persistent ROMStore behind it; diagnostics then
+	// report this run's deltas against the pre-run counters.
 	var romCache *glitch.ROMCache
+	var cacheHits0, cacheMisses0, cacheEvict0 uint64
+	var store0 ROMStoreStats
 	if !v.cfg.DisableROMCache {
-		romCache = glitch.NewROMCache(glitch.DefaultROMCacheCap)
+		if v.cfg.SharedROMCache != nil {
+			romCache = v.cfg.SharedROMCache
+		} else {
+			romCache = glitch.NewROMCache(v.cfg.ROMCacheCap)
+		}
+		if v.cfg.ROMStore != nil {
+			romCache.SetBacking(v.cfg.ROMStore)
+		}
+		cacheHits0, cacheMisses0 = romCache.Stats()
+		cacheEvict0 = romCache.Evictions()
 		baseOpts.Cache = romCache
+	}
+	if v.cfg.ROMStore != nil {
+		store0 = v.cfg.ROMStore.Stats()
 	}
 	workers := p.workers
 	if workers <= 0 {
@@ -281,10 +308,17 @@ feed:
 	}
 	diag.WallTime = time.Since(start)
 	if romCache != nil {
-		diag.ROMCacheHits, diag.ROMCacheMisses = romCache.Stats()
+		hits, misses := romCache.Stats()
+		diag.ROMCacheHits, diag.ROMCacheMisses = hits-cacheHits0, misses-cacheMisses0
 		col.Add(obs.CtrROMCacheHits, int64(diag.ROMCacheHits))
 		col.Add(obs.CtrROMCacheMisses, int64(diag.ROMCacheMisses))
-		col.Add(obs.CtrROMCacheEvictions, int64(romCache.Evictions()))
+		col.Add(obs.CtrROMCacheEvictions, int64(romCache.Evictions()-cacheEvict0))
+	}
+	if st := v.cfg.ROMStore; st != nil {
+		s1 := st.Stats()
+		col.Add(obs.CtrROMStoreHits, int64(s1.Hits-store0.Hits))
+		col.Add(obs.CtrROMStoreWrites, int64(s1.Writes-store0.Writes))
+		col.Add(obs.CtrCacheCorruptDiscarded, int64(s1.CorruptDiscarded-store0.CorruptDiscarded))
 	}
 	if col != nil {
 		col.SetWorkers(workers)
@@ -308,8 +342,12 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	victim := v.des.Nets[cl.Victim].Name
 	tr := v.cfg.Collector.NewTrace()
 	res := &clusterResult{outcome: ClusterOutcome{Victim: victim, CouplingF: cl.KeptF}, trace: tr}
+	// With retries disabled one deadline budget spans the whole ladder (the
+	// historical contract); with retries enabled each attempt gets a fresh
+	// budget, created inside attemptStage.
+	retrying := !p.strict && p.retries > 0
 	cctx := ctx
-	if p.timeout > 0 {
+	if p.timeout > 0 && !retrying {
 		var cancel context.CancelFunc
 		cctx, cancel = context.WithTimeout(ctx, p.timeout)
 		defer cancel()
@@ -320,7 +358,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	}
 	var attempts []Attempt
 	for _, stage := range stages {
-		viol, recheckErr, err := v.attemptCluster(cctx, stage, baseOpts, tr, cl, victim)
+		viol, recheckErr, err := v.attemptStage(ctx, cctx, stage, baseOpts, tr, cl, victim, p)
 		if err == nil {
 			res.outcome.Stage = stage
 			res.outcome.Attempts = len(attempts) + 1
@@ -348,9 +386,11 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 		if ctx.Err() != nil {
 			break // the run is being cancelled — don't ladder further
 		}
-		if errors.Is(cerr, ErrTimeout) {
+		if errors.Is(cerr, ErrTimeout) && !retrying {
 			break // the per-cluster budget is consumed
 		}
+		// With per-attempt budgets (retrying), a timed-out rung does not
+		// poison the rest of the ladder: the next rung starts fresh.
 	}
 	lastStage := StageReduced
 	if n := len(attempts); n > 0 {
@@ -362,6 +402,46 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	res.outcome.Err = &ClusterError{Victim: victim, Stage: lastStage, Attempts: attempts}
 	tr.Add(obs.CtrFallbackUnverified, 1)
 	return res
+}
+
+// attemptStage runs one ladder rung, retrying transient failures when the
+// run's retry policy allows. A failure is transient exactly when it
+// classifies as ErrTimeout — a cluster starved under load whose own budget
+// expired; cancellations (the parent is going away) and structural numerics
+// failures (deterministic — retrying reproduces them) are returned
+// immediately. Each retry waits an exponentially growing backoff and then
+// re-attempts the same rung under a fresh per-attempt deadline.
+func (v *Verifier) attemptStage(parent, cctx context.Context, stage FallbackStage, baseOpts glitch.Options,
+	tr *obs.Trace, cl *prune.Cluster, victim string, p runParams) (*Violation, error, error) {
+	if p.strict || p.retries <= 0 {
+		return v.attemptCluster(cctx, stage, baseOpts, tr, cl, victim)
+	}
+	backoff := p.backoff
+	if backoff <= 0 {
+		backoff = DefaultRungRetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		actx := parent
+		var cancel context.CancelFunc
+		if p.timeout > 0 {
+			actx, cancel = context.WithTimeout(parent, p.timeout)
+		}
+		viol, recheckErr, err := v.attemptCluster(actx, stage, baseOpts, tr, cl, victim)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil || attempt >= p.retries || parent.Err() != nil ||
+			!errors.Is(classifyClusterErr(err), ErrTimeout) {
+			return viol, recheckErr, err
+		}
+		tr.Add(obs.CtrRungRetries, 1)
+		wait := backoff << attempt
+		select {
+		case <-parent.Done():
+			return nil, nil, parent.Err()
+		case <-time.After(wait):
+		}
+	}
 }
 
 // stageCounter maps the rung that produced a cluster's result onto its
@@ -396,6 +476,12 @@ func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, base
 		if herr := v.faultHook(victim, stage); herr != nil {
 			return nil, nil, herr
 		}
+	}
+	// The process-global fault-injection registry (internal/faultinject):
+	// nil-hook cost is one atomic load; an injected panic lands in the
+	// recover above exactly like a numerics blowup would.
+	if herr := faultinject.FireCluster(victim, stage.String()); herr != nil {
+		return nil, nil, herr
 	}
 	opts := baseOpts
 	opts.Trace = tr
@@ -478,6 +564,12 @@ func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, base
 // sentinels so ladder attempts carry a stable, matchable cause.
 func classifyClusterErr(err error) error {
 	switch {
+	case errors.Is(err, context.Canceled):
+		// Parent-context cancellation — a client disconnect, a daemon
+		// drain, the engine's own fail-fast cancel — is not a deadline:
+		// the cluster never got its time budget, so it must not be
+		// reported (or retried) as a timeout.
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w: %v", ErrTimeout, err)
 	case errors.Is(err, ErrPanic):

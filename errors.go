@@ -20,6 +20,12 @@ var (
 	// ErrTimeout marks a cluster that exceeded its per-cluster deadline
 	// (Config.ClusterTimeout).
 	ErrTimeout = errors.New("xtverify: cluster analysis deadline exceeded")
+	// ErrCanceled marks a cluster abandoned because the parent context was
+	// canceled (a client disconnect, the engine's fail-fast cancellation, a
+	// daemon drain). It is deliberately distinct from ErrTimeout: a canceled
+	// cluster was never given its time budget, so retry policies must not
+	// treat it as a transient overload failure.
+	ErrCanceled = errors.New("xtverify: cluster analysis canceled")
 	// ErrPanic marks a cluster whose analysis panicked; the panic was
 	// recovered and converted into a recorded failure.
 	ErrPanic = errors.New("xtverify: cluster analysis panicked")

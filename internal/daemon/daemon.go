@@ -1,0 +1,526 @@
+// Package daemon implements the xtverifyd verification service: a
+// long-running HTTP/JSON front end over xtverify.Verifier.RunContext with
+// bounded admission control, per-job deadlines, client-disconnect
+// cancellation, graceful drain, and live metrics.
+//
+// Jobs are synchronous: one POST /v1/verify request is one verification
+// run, so the request context is the job context — a disconnected client
+// cancels its job for free, and http.Server.Shutdown draining in-flight
+// requests drains in-flight jobs.
+//
+// Admission is a two-level bound: at most MaxConcurrent jobs run at once
+// (a channel semaphore) and at most MaxQueue more may wait for a slot.
+// Beyond that the daemon sheds load with 429 and a Retry-After estimated
+// from an EWMA of recent job durations — overload degrades to fast,
+// honest rejections, never to an unbounded goroutine pile-up.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtverify"
+)
+
+// Options configures a Server. The zero value is usable: defaults are
+// filled in by New.
+type Options struct {
+	// Engine is the base verification config applied to every job before
+	// per-request overrides. Its SharedROMCache, ROMStore and Collector
+	// fields are managed by the server and must be left nil.
+	Engine xtverify.Config
+	// MaxConcurrent bounds simultaneously running jobs (default 2).
+	MaxConcurrent int
+	// MaxQueue bounds jobs waiting for a slot beyond the running ones
+	// (default 8). Requests arriving past the bound get 429 + Retry-After.
+	MaxQueue int
+	// DefaultJobTimeout is the per-job deadline when a request does not
+	// set timeout_ms (default 2m). MaxJobTimeout clamps requested
+	// deadlines (default 10m).
+	DefaultJobTimeout time.Duration
+	MaxJobTimeout     time.Duration
+	// ROMCacheCap sizes the shared in-memory ROM cache
+	// (xtverify.DefaultROMCacheCap when 0).
+	ROMCacheCap int
+	// Store, when non-nil, is the disk-persistent ROM cache backing the
+	// shared in-memory cache across restarts.
+	Store *xtverify.ROMStore
+	// Logf receives one line per job and lifecycle event (default: drop).
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon state: shared caches, admission bookkeeping and
+// accumulated metrics. Create with New, serve via Handler.
+type Server struct {
+	opts  Options
+	cache *xtverify.ROMCache
+	mux   *http.ServeMux
+
+	sem      chan struct{} // running-job slots
+	waiting  atomic.Int64  // jobs blocked on sem
+	draining atomic.Bool
+	jobs     sync.WaitGroup
+
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64 // 429: queue full
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64 // client disconnect or drain
+	timedOut  atomic.Uint64 // job deadline exceeded
+
+	ewmaNanos atomic.Int64 // smoothed job duration for Retry-After
+
+	mu     sync.Mutex
+	totals map[string]int64 // engine counters accumulated across jobs
+}
+
+// New returns a Server with defaults filled in and routes registered.
+func New(opts Options) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 2
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 8
+	}
+	if opts.DefaultJobTimeout <= 0 {
+		opts.DefaultJobTimeout = 2 * time.Minute
+	}
+	if opts.MaxJobTimeout <= 0 {
+		opts.MaxJobTimeout = 10 * time.Minute
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		opts:   opts,
+		cache:  xtverify.NewROMCache(opts.ROMCacheCap),
+		sem:    make(chan struct{}, opts.MaxConcurrent),
+		totals: make(map[string]int64),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into draining mode: /healthz turns 503 so
+// load balancers stop routing here, and new jobs are refused. In-flight
+// jobs keep running.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.opts.Logf("daemon: draining (new jobs refused)")
+	}
+}
+
+// Drain blocks until every in-flight job has finished or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() { s.jobs.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("daemon: drain: %w", ctx.Err())
+	}
+}
+
+// VerifyRequest is the POST /v1/verify body. Exactly one of DSP or DEF
+// selects the design; the remaining fields override the daemon's base
+// engine config for this job only.
+type VerifyRequest struct {
+	// DSP generates the synthetic design; zero fields take the
+	// paper-scale defaults (seed always applies).
+	DSP *DSPRequest `json:"dsp,omitempty"`
+	// DEF is an inline DEF netlist as produced by WriteDEF.
+	DEF string `json:"def,omitempty"`
+
+	Model               string  `json:"model,omitempty"` // fixed | library | nonlinear
+	FixedOhms           float64 `json:"fixed_ohms,omitempty"`
+	CapRatioThreshold   float64 `json:"cap_ratio_threshold,omitempty"`
+	GlitchThresholdFrac float64 `json:"glitch_threshold_frac,omitempty"`
+	TimingWindows       bool    `json:"timing_windows,omitempty"`
+	LogicCorrelation    bool    `json:"logic_correlation,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds (0 = server
+	// default; clamped to the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DSPRequest mirrors the synthetic DSP generator knobs.
+type DSPRequest struct {
+	Seed                  int64   `json:"seed"`
+	Channels              int     `json:"channels,omitempty"`
+	TracksPerChannel      int     `json:"tracks_per_channel,omitempty"`
+	ChannelLengthUM       float64 `json:"channel_length_um,omitempty"`
+	BusFraction           float64 `json:"bus_fraction,omitempty"`
+	LatchFraction         float64 `json:"latch_fraction,omitempty"`
+	ComplementaryFraction float64 `json:"complementary_fraction,omitempty"`
+	ClockSpines           int     `json:"clock_spines,omitempty"`
+}
+
+// VerifyResponse is the successful job result. ReportText is rendered
+// without the diagnostics block, so for a given design and config it is
+// byte-identical run to run — cold cache, warm cache, or recomputed after
+// cache corruption.
+type VerifyResponse struct {
+	ReportText string           `json:"report_text"`
+	Violations int              `json:"violations"`
+	Clusters   int              `json:"clusters"`
+	Verified   int              `json:"verified"`
+	Degraded   int              `json:"degraded"`
+	Unverified int              `json:"unverified"`
+	WallMS     float64          `json:"wall_ms"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+const maxRequestBytes = 64 << 20 // inline DEF can be large, but bounded
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "jobs_running": len(s.sem),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "jobs_running": len(s.sem),
+	})
+}
+
+// MetricsBody is the /metrics response: daemon job accounting plus the
+// shared ROM cache, persistent store and accumulated engine counters
+// (including cache_corrupt_discarded and rung_retries).
+type MetricsBody struct {
+	Jobs struct {
+		Accepted      uint64 `json:"accepted"`
+		RejectedQueue uint64 `json:"rejected_queue_full"`
+		Completed     uint64 `json:"completed"`
+		Failed        uint64 `json:"failed"`
+		Canceled      uint64 `json:"canceled"`
+		TimedOut      uint64 `json:"timed_out"`
+		Running       int    `json:"running"`
+		Waiting       int64  `json:"waiting"`
+	} `json:"jobs"`
+	ROMCache struct {
+		Hits        uint64 `json:"hits"`
+		Misses      uint64 `json:"misses"`
+		Evictions   uint64 `json:"evictions"`
+		BackingHits uint64 `json:"backing_hits"`
+	} `json:"rom_cache"`
+	ROMStore       *xtverify.ROMStoreStats `json:"rom_store,omitempty"`
+	EngineCounters map[string]int64        `json:"engine_counters"`
+	Draining       bool                    `json:"draining"`
+}
+
+// Metrics returns the current metrics body (also served at /metrics).
+func (s *Server) Metrics() MetricsBody {
+	var m MetricsBody
+	m.Jobs.Accepted = s.accepted.Load()
+	m.Jobs.RejectedQueue = s.rejected.Load()
+	m.Jobs.Completed = s.completed.Load()
+	m.Jobs.Failed = s.failed.Load()
+	m.Jobs.Canceled = s.canceled.Load()
+	m.Jobs.TimedOut = s.timedOut.Load()
+	m.Jobs.Running = len(s.sem)
+	m.Jobs.Waiting = s.waiting.Load()
+	m.ROMCache.Hits, m.ROMCache.Misses = s.cache.Stats()
+	m.ROMCache.Evictions = s.cache.Evictions()
+	m.ROMCache.BackingHits = s.cache.BackingHits()
+	if s.opts.Store != nil {
+		st := s.opts.Store.Stats()
+		m.ROMStore = &st
+	}
+	m.EngineCounters = make(map[string]int64)
+	s.mu.Lock()
+	for k, v := range s.totals {
+		m.EngineCounters[k] = v
+	}
+	s.mu.Unlock()
+	m.Draining = s.draining.Load()
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// retryAfter estimates when a slot is likely to free up: the smoothed job
+// duration scaled by queue depth over parallelism, clamped to [1s, 120s].
+func (s *Server) retryAfter() time.Duration {
+	ewma := time.Duration(s.ewmaNanos.Load())
+	if ewma <= 0 {
+		return time.Second
+	}
+	depth := s.waiting.Load() + 1
+	est := ewma * time.Duration(depth) / time.Duration(s.opts.MaxConcurrent)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 2*time.Minute {
+		est = 2 * time.Minute
+	}
+	return est
+}
+
+func (s *Server) observeDuration(d time.Duration) {
+	const alpha = 0.3
+	for {
+		old := s.ewmaNanos.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = int64(alpha*float64(d) + (1-alpha)*float64(old))
+		}
+		if s.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// admit reserves a running-job slot. It returns a non-nil release when
+// admitted; otherwise an HTTP status explaining the rejection.
+func (s *Server) admit(ctx context.Context) (release func(), status int) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.opts.MaxQueue) {
+		s.waiting.Add(-1)
+		return nil, http.StatusTooManyRequests
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0
+	case <-ctx.Done():
+		// Client gave up while queued; 499 is the conventional
+		// client-closed-request status (nothing will read it anyway).
+		return nil, 499
+	}
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server draining"})
+		return
+	}
+	var req VerifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request: " + err.Error()})
+		return
+	}
+	if (req.DSP == nil) == (req.DEF == "") {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"exactly one of dsp or def is required"})
+		return
+	}
+	cfg, badField := s.jobConfig(&req)
+	if badField != "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad field: " + badField})
+		return
+	}
+
+	release, status := s.admit(r.Context())
+	if release == nil {
+		if status == http.StatusTooManyRequests {
+			s.rejected.Add(1)
+			ra := s.retryAfter()
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
+			writeJSON(w, status, errorResponse{"queue full, retry later"})
+		} else {
+			s.canceled.Add(1)
+		}
+		return
+	}
+	s.jobs.Add(1)
+	defer s.jobs.Done()
+	defer release()
+	s.accepted.Add(1)
+
+	timeout := s.opts.DefaultJobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.opts.MaxJobTimeout {
+		timeout = s.opts.MaxJobTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	resp, errStatus, err := s.runJob(ctx, &req, cfg)
+	wall := time.Since(start)
+
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+		s.observeDuration(wall)
+		resp.WallMS = float64(wall) / float64(time.Millisecond)
+		s.opts.Logf("daemon: job done in %v: %d violations, %d clusters", wall.Round(time.Millisecond), resp.Violations, resp.Clusters)
+		writeJSON(w, http.StatusOK, resp)
+	case r.Context().Err() != nil:
+		// Client disconnected (or the whole listener is shutting down):
+		// the job was canceled on their behalf; nobody reads the response.
+		s.canceled.Add(1)
+		s.opts.Logf("daemon: job canceled by client after %v", wall.Round(time.Millisecond))
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.timedOut.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"job deadline exceeded: " + err.Error()})
+	default:
+		s.failed.Add(1)
+		s.opts.Logf("daemon: job failed after %v: %v", wall.Round(time.Millisecond), err)
+		writeJSON(w, errStatus, errorResponse{err.Error()})
+	}
+}
+
+// jobConfig builds the per-job engine config: base options, shared cache
+// and store, fresh collector, then request overrides.
+func (s *Server) jobConfig(req *VerifyRequest) (xtverify.Config, string) {
+	cfg := s.opts.Engine
+	cfg.SharedROMCache = s.cache
+	cfg.ROMStore = s.opts.Store
+	cfg.Collector = xtverify.NewMetricsCollector()
+	switch strings.ToLower(req.Model) {
+	case "":
+	case "fixed":
+		cfg.Model = xtverify.FixedResistance
+	case "library":
+		cfg.Model = xtverify.TimingLibrary
+	case "nonlinear":
+		cfg.Model = xtverify.NonlinearCellModel
+	default:
+		return cfg, "model"
+	}
+	if req.FixedOhms < 0 || req.CapRatioThreshold < 0 || req.GlitchThresholdFrac < 0 || req.TimeoutMS < 0 {
+		return cfg, "negative value"
+	}
+	if req.FixedOhms > 0 {
+		cfg.FixedOhms = req.FixedOhms
+	}
+	if req.CapRatioThreshold > 0 {
+		cfg.CapRatioThreshold = req.CapRatioThreshold
+	}
+	if req.GlitchThresholdFrac > 0 {
+		cfg.GlitchThresholdFrac = req.GlitchThresholdFrac
+	}
+	if req.TimingWindows {
+		cfg.UseTimingWindows = true
+	}
+	if req.LogicCorrelation {
+		cfg.UseLogicCorrelation = true
+	}
+	return cfg, ""
+}
+
+// runJob builds the verifier and runs it under ctx. The returned int is
+// the HTTP status to use when err is non-nil and not a cancellation.
+func (s *Server) runJob(ctx context.Context, req *VerifyRequest, cfg xtverify.Config) (*VerifyResponse, int, error) {
+	var (
+		v   *xtverify.Verifier
+		err error
+	)
+	if req.DEF != "" {
+		v, err = xtverify.NewVerifierFromDEF(strings.NewReader(req.DEF), cfg)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("parse def: %w", err)
+		}
+	} else {
+		d := xtverify.DefaultDSPConfig()
+		d.Seed = req.DSP.Seed
+		if req.DSP.Channels > 0 {
+			d.Channels = req.DSP.Channels
+		}
+		if req.DSP.TracksPerChannel > 0 {
+			d.TracksPerChannel = req.DSP.TracksPerChannel
+		}
+		if req.DSP.ChannelLengthUM > 0 {
+			d.ChannelLengthUM = req.DSP.ChannelLengthUM
+		}
+		if req.DSP.BusFraction > 0 {
+			d.BusFraction = req.DSP.BusFraction
+		}
+		if req.DSP.LatchFraction > 0 {
+			d.LatchFraction = req.DSP.LatchFraction
+		}
+		if req.DSP.ComplementaryFraction > 0 {
+			d.ComplementaryFraction = req.DSP.ComplementaryFraction
+		}
+		if req.DSP.ClockSpines > 0 {
+			d.ClockSpines = req.DSP.ClockSpines
+		}
+		v, err = xtverify.NewVerifierFromDSP(d, cfg)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("generate design: %w", err)
+		}
+	}
+
+	rep, err := v.RunContext(ctx)
+	// Fold this job's engine counters into the daemon totals whether the
+	// run finished or not — partial work is still work observed.
+	if snap := cfg.Collector.Snapshot(); snap != nil {
+		s.mu.Lock()
+		for k, n := range snap.Counters {
+			s.totals[k] += n
+		}
+		s.mu.Unlock()
+	}
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+
+	diag := rep.Diagnostics
+	resp := &VerifyResponse{
+		Violations: len(rep.Violations),
+	}
+	if diag != nil {
+		resp.Clusters = len(diag.Clusters)
+		resp.Verified = diag.Verified
+		resp.Degraded = diag.Degraded
+		resp.Unverified = diag.Unverified
+		if diag.Metrics != nil {
+			resp.Counters = diag.Metrics.Counters
+		}
+	}
+	// Render without the diagnostics block so report_text is
+	// deterministic: wall times and cache statistics are run-dependent
+	// and live in the structured fields instead.
+	rep.Diagnostics = nil
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("render report: %w", err)
+	}
+	resp.ReportText = sb.String()
+	return resp, 0, nil
+}

@@ -1,0 +1,491 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"xtverify"
+	"xtverify/internal/faultinject"
+)
+
+// tinyJob is the small deterministic design every test submits: one
+// channel, few tracks, fixed-resistance drivers — seconds of work, stable
+// fingerprints so cache layers actually engage across jobs and restarts.
+func tinyJob() *VerifyRequest {
+	return &VerifyRequest{
+		DSP: &DSPRequest{
+			Seed:             77,
+			Channels:         1,
+			TracksPerChannel: 40,
+			ChannelLengthUM:  1000,
+			LatchFraction:    0.3,
+			ClockSpines:      1,
+		},
+		Model:             "fixed",
+		CapRatioThreshold: 0.03,
+	}
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Engine.Workers == 0 {
+		opts.Engine.Workers = 2
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// doVerify is the goroutine-safe submission helper (no t.Fatal).
+func doVerify(ts *httptest.Server, req *VerifyRequest) (status int, raw []byte, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	raw, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+func postVerify(t *testing.T, ts *httptest.Server, req *VerifyRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func verifyOK(t *testing.T, ts *httptest.Server, req *VerifyRequest) VerifyResponse {
+	t.Helper()
+	resp, raw := postVerify(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/verify = %d: %s", resp.StatusCode, raw)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(raw, &vr); err != nil {
+		t.Fatalf("bad response body: %v\n%s", err, raw)
+	}
+	return vr
+}
+
+func getMetrics(t *testing.T, ts *httptest.Server) MetricsBody {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsBody
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestVerifyEndToEnd(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := newTestServer(t, Options{})
+	vr := verifyOK(t, ts, tinyJob())
+	if vr.ReportText == "" {
+		t.Error("empty report_text")
+	}
+	if vr.Clusters == 0 || vr.Verified != vr.Clusters {
+		t.Errorf("clusters %d verified %d, want all verified", vr.Clusters, vr.Verified)
+	}
+	if vr.Unverified != 0 || vr.Degraded != 0 {
+		t.Errorf("healthy job reported degraded %d unverified %d", vr.Degraded, vr.Unverified)
+	}
+	if len(vr.Counters) == 0 {
+		t.Error("no engine counters in response")
+	}
+	m := getMetrics(t, ts)
+	if m.Jobs.Accepted != 1 || m.Jobs.Completed != 1 {
+		t.Errorf("jobs accepted %d completed %d, want 1/1", m.Jobs.Accepted, m.Jobs.Completed)
+	}
+	if len(m.EngineCounters) == 0 {
+		t.Error("daemon accumulated no engine counters")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", "{", http.StatusBadRequest},
+		{"neither design", `{}`, http.StatusBadRequest},
+		{"both designs", `{"dsp":{"seed":1},"def":"x"}`, http.StatusBadRequest},
+		{"unknown field", `{"dsp":{"seed":1},"bogus":true}`, http.StatusBadRequest},
+		{"bad model", `{"dsp":{"seed":1},"model":"quantum"}`, http.StatusBadRequest},
+		{"negative timeout", `{"dsp":{"seed":1},"timeout_ms":-5}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	if m := getMetrics(t, ts); m.Jobs.Accepted != 0 {
+		t.Errorf("bad requests were admitted: %+v", m.Jobs)
+	}
+}
+
+// TestWarmColdRestartByteIdentity is the durability acceptance test at the
+// daemon level: a fresh daemon instance over a populated persistent cache
+// must return byte-identical report_text, and a corrupted cache directory
+// must degrade to recompute — still byte-identical, with the discards
+// surfaced in /metrics.
+func TestWarmColdRestartByteIdentity(t *testing.T) {
+	faultinject.LeakCheck(t)
+	dir := t.TempDir()
+	open := func() Options {
+		store, err := xtverify.OpenROMStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Options{Store: store}
+	}
+
+	// Cold daemon: computes everything, populates the store.
+	_, ts1 := newTestServer(t, open())
+	cold := verifyOK(t, ts1, tinyJob())
+	m1 := getMetrics(t, ts1)
+	if m1.ROMStore == nil || m1.ROMStore.Writes == 0 {
+		t.Fatalf("cold daemon wrote nothing to the store: %+v", m1.ROMStore)
+	}
+	ts1.Close()
+
+	// Restarted daemon: in-memory cache empty, disk warm.
+	_, ts2 := newTestServer(t, open())
+	warm := verifyOK(t, ts2, tinyJob())
+	if warm.ReportText != cold.ReportText {
+		t.Errorf("warm restart report differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold.ReportText, warm.ReportText)
+	}
+	m2 := getMetrics(t, ts2)
+	if m2.ROMCache.BackingHits == 0 || m2.ROMStore.Hits == 0 {
+		t.Errorf("warm daemon never hit the store: cache %+v store %+v", m2.ROMCache, m2.ROMStore)
+	}
+	ts2.Close()
+
+	// Corrupt every entry; a third daemon must recompute, count the
+	// discards, and still produce the identical report.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("store directory empty")
+	}
+	for _, e := range ents {
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x40
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ts3 := newTestServer(t, open())
+	recomputed := verifyOK(t, ts3, tinyJob())
+	if recomputed.ReportText != cold.ReportText {
+		t.Errorf("post-corruption report differs from cold:\n--- cold ---\n%s--- got ---\n%s", cold.ReportText, recomputed.ReportText)
+	}
+	m3 := getMetrics(t, ts3)
+	if m3.ROMStore.CorruptDiscarded == 0 {
+		t.Errorf("store discarded nothing despite corruption: %+v", m3.ROMStore)
+	}
+	if m3.EngineCounters["cache_corrupt_discarded"] == 0 {
+		t.Errorf("cache_corrupt_discarded missing from engine counters: %v", m3.EngineCounters)
+	}
+}
+
+// TestOverloadSheds429 fills the single running slot and the single queue
+// slot with jobs gated on a channel, then checks the next request is shed
+// with 429 + Retry-After while the gated jobs complete normally once
+// released — and the daemon keeps serving afterwards.
+func TestOverloadSheds429(t *testing.T) {
+	faultinject.LeakCheck(t)
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer release()
+	restore := faultinject.SetClusterHook(func(victim, stage string) error {
+		<-gate
+		return nil
+	})
+	defer restore()
+
+	srv, ts := newTestServer(t, Options{MaxConcurrent: 1, MaxQueue: 1})
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			status, raw, err := doVerify(ts, tinyJob())
+			if err != nil {
+				raw = []byte(err.Error())
+			}
+			results <- result{status, raw}
+		}()
+		// First request must hold the slot before the second queues.
+		if i == 0 {
+			waitFor(t, "first job running", func() bool { return srv.Metrics().Jobs.Running == 1 })
+		} else {
+			waitFor(t, "second job queued", func() bool { return srv.Metrics().Jobs.Waiting == 1 })
+		}
+	}
+
+	resp, raw := postVerify(t, ts, tinyJob())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d body %s, want 429", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Errorf("gated job %d: status %d body %s", i, r.status, r.body)
+		}
+	}
+	m := srv.Metrics()
+	if m.Jobs.RejectedQueue != 1 || m.Jobs.Completed != 2 {
+		t.Errorf("jobs = %+v, want 1 rejected, 2 completed", m.Jobs)
+	}
+
+	// Shedding load must not wedge the daemon.
+	restore()
+	verifyOK(t, ts, tinyJob())
+}
+
+// TestClientDisconnectCancelsJob drops the client mid-job and checks the
+// daemon cancels the run, counts it, frees the slot, and keeps serving —
+// no stuck jobs, no goroutine leaks.
+func TestClientDisconnectCancelsJob(t *testing.T) {
+	faultinject.LeakCheck(t)
+	restore := faultinject.SetClusterHook(faultinject.SlowClusters(10 * time.Millisecond))
+	defer restore()
+
+	srv, ts := newTestServer(t, Options{Engine: xtverify.Config{Workers: 1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(tinyJob())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/verify", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request unexpectedly succeeded: %d", resp.StatusCode)
+		}
+		errc <- err
+	}()
+	waitFor(t, "job running", func() bool { return srv.Metrics().Jobs.Running == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client saw %v, want context.Canceled", err)
+	}
+	waitFor(t, "job canceled and slot freed", func() bool {
+		m := srv.Metrics()
+		return m.Jobs.Canceled == 1 && m.Jobs.Running == 0
+	})
+
+	// The slot is free and the daemon healthy.
+	restore()
+	verifyOK(t, ts, tinyJob())
+	if m := srv.Metrics(); m.Jobs.Completed != 1 || m.Jobs.Canceled != 1 {
+		t.Errorf("jobs = %+v, want 1 completed + 1 canceled", m.Jobs)
+	}
+}
+
+// TestInjectedPanicsDegradeNotCrash panics every ladder attempt: the job
+// must come back with every cluster unverified — the daemon absorbs a
+// worst-case numerics blowup as data, not as a crash.
+func TestInjectedPanicsDegradeNotCrash(t *testing.T) {
+	faultinject.LeakCheck(t)
+	restore := faultinject.SetClusterHook(faultinject.PanicClusters())
+	defer restore()
+
+	_, ts := newTestServer(t, Options{})
+	vr := verifyOK(t, ts, tinyJob())
+	if vr.Clusters == 0 || vr.Unverified != vr.Clusters {
+		t.Errorf("clusters %d unverified %d, want all unverified under injected panics", vr.Clusters, vr.Unverified)
+	}
+	restore()
+	clean := verifyOK(t, ts, tinyJob())
+	if clean.Unverified != 0 {
+		t.Errorf("daemon did not recover after panics: %+v", clean)
+	}
+}
+
+// TestInjectedFailuresDegradeToFallback fails only the fast rung: every
+// cluster must still verify via the fallback ladder and the job report the
+// degradation honestly.
+func TestInjectedFailuresDegradeToFallback(t *testing.T) {
+	faultinject.LeakCheck(t)
+	restore := faultinject.SetClusterHook(func(victim, stage string) error {
+		if stage == "sympvl" {
+			return errors.New("faultinject: reduction rejected")
+		}
+		return nil
+	})
+	defer restore()
+
+	_, ts := newTestServer(t, Options{})
+	vr := verifyOK(t, ts, tinyJob())
+	if vr.Unverified != 0 {
+		t.Errorf("unverified %d, want 0 (fallback should absorb fast-rung failures)", vr.Unverified)
+	}
+	if vr.Degraded != vr.Clusters {
+		t.Errorf("degraded %d of %d, want all", vr.Degraded, vr.Clusters)
+	}
+}
+
+// TestDrainRefusesNewJobs: draining must flip /healthz to 503 and refuse
+// new jobs while Drain returns once in-flight work is done.
+func TestDrainRefusesNewJobs(t *testing.T) {
+	faultinject.LeakCheck(t)
+	srv, ts := newTestServer(t, Options{})
+	verifyOK(t, ts, tinyJob())
+
+	srv.BeginDrain()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	r2, raw := postVerify(t, ts, tinyJob())
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("verify while draining = %d body %s, want 503", r2.StatusCode, raw)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Errorf("drain with no in-flight jobs: %v", err)
+	}
+}
+
+// TestJobDeadlineExceeded gives a job a deadline far shorter than its
+// injected slowness: the daemon must answer 504 and stay healthy.
+func TestJobDeadlineExceeded(t *testing.T) {
+	faultinject.LeakCheck(t)
+	restore := faultinject.SetClusterHook(faultinject.SlowClusters(50 * time.Millisecond))
+	defer restore()
+
+	srv, ts := newTestServer(t, Options{Engine: xtverify.Config{Workers: 1}})
+	req := tinyJob()
+	req.TimeoutMS = 30
+	resp, raw := postVerify(t, ts, req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d body %s, want 504", resp.StatusCode, raw)
+	}
+	waitFor(t, "timed-out job accounted", func() bool {
+		m := srv.Metrics()
+		return m.Jobs.TimedOut == 1 && m.Jobs.Running == 0
+	})
+	restore()
+	verifyOK(t, ts, tinyJob())
+}
+
+// TestConcurrentSubmissions hammers the daemon from many goroutines (run
+// under -race in CI): every request must end 200 or 429, accounting must
+// balance, and nothing may leak or wedge.
+func TestConcurrentSubmissions(t *testing.T) {
+	faultinject.LeakCheck(t)
+	srv, ts := newTestServer(t, Options{MaxConcurrent: 2, MaxQueue: 32})
+	const clients, perClient = 4, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				status, raw, err := doVerify(ts, tinyJob())
+				if err != nil {
+					errs <- err
+				} else if status != http.StatusOK && status != http.StatusTooManyRequests {
+					errs <- fmt.Errorf("status %d: %s", status, raw)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	m := srv.Metrics()
+	if got := m.Jobs.Completed + m.Jobs.RejectedQueue; got != clients*perClient {
+		t.Errorf("completed %d + rejected %d = %d, want %d", m.Jobs.Completed, m.Jobs.RejectedQueue, got, clients*perClient)
+	}
+	if m.Jobs.Running != 0 || m.Jobs.Waiting != 0 {
+		t.Errorf("stuck jobs after drain: %+v", m.Jobs)
+	}
+	// Identical design across all jobs: the shared cache must have served.
+	if m.ROMCache.Hits == 0 {
+		t.Errorf("shared ROM cache never hit across %d identical jobs: %+v", clients*perClient, m.ROMCache)
+	}
+}

@@ -1,0 +1,45 @@
+package faultinject
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs; declared locally so
+// importing this package never drags the testing package into a binary.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// LeakCheck snapshots the goroutine count and registers a cleanup that fails
+// the test if the count has not returned to the baseline by the end of the
+// test. Transient goroutines (HTTP keep-alives, timer drains) are given a
+// settle window before the check is declared failed, and the failure message
+// includes the full goroutine dump so the leak is attributable.
+//
+// Use it first in a test, before any servers or pools are started, so its
+// cleanup runs last (cleanups are LIFO).
+func LeakCheck(t TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var buf bytes.Buffer
+		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
+			runtime.NumGoroutine(), baseline, buf.String())
+	})
+}

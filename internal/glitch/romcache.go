@@ -41,6 +41,25 @@ type ROMCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// backing is the optional second cache level (a disk-persistent store).
+	// An in-memory miss consults it before computing, and a fresh computation
+	// is written through to it — all inside the key's singleflight, so at most
+	// one goroutine per key ever touches the backing store.
+	backing     Backing
+	backingHits uint64
+}
+
+// Backing is a second-level model store behind the in-memory LRU — in
+// practice the disk-persistent romstore. Load returns (model, true) only for
+// an entry it fully validated; anything questionable must be reported as a
+// miss, never as a bad model. Save is best-effort: it must swallow I/O
+// failures (recording them in its own stats) because a cache can never be
+// allowed to fail a verification. Implementations must be safe for
+// concurrent use.
+type Backing interface {
+	Load(key string) (*sympvl.Model, bool)
+	Save(key string, m *sympvl.Model)
 }
 
 type romEntry struct {
@@ -98,6 +117,24 @@ func (c *ROMCache) GetOrCompute(ctx context.Context, key string, compute func() 
 	}
 }
 
+// SetBacking installs (or replaces) the second-level store consulted on
+// in-memory misses. Safe to call concurrently with lookups; installing the
+// backing a cache already has is a cheap no-op, so a long-lived shared cache
+// can be re-wired per run without churn.
+func (c *ROMCache) SetBacking(b Backing) {
+	c.mu.Lock()
+	c.backing = b
+	c.mu.Unlock()
+}
+
+// BackingHits returns how many models were served from the backing store
+// (these also count as in-memory misses: the LRU had to go to level two).
+func (c *ROMCache) BackingHits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backingHits
+}
+
 // runFlight executes compute for the flight registered under done and
 // publishes the outcome. The deferred cleanup runs even when compute panics
 // (SyMPVL's linear algebra can panic on malformed clusters; the engine's
@@ -123,8 +160,27 @@ func (c *ROMCache) runFlight(key string, done chan struct{}, compute func() (*sy
 		c.mu.Unlock()
 		close(done)
 	}()
+	c.mu.Lock()
+	b := c.backing
+	c.mu.Unlock()
+	if b != nil {
+		if bm, ok := b.Load(key); ok {
+			c.mu.Lock()
+			c.backingHits++
+			c.mu.Unlock()
+			m, err = bm, nil
+			completed = true
+			return m, err
+		}
+	}
 	m, err = compute()
 	completed = true
+	if err == nil && b != nil {
+		// Write-through inside the singleflight: one disk write per unique
+		// structure, and waiters blocked on this flight still observe the
+		// in-memory entry the deferred publish installs.
+		b.Save(key, m)
+	}
 	return m, err
 }
 

@@ -111,6 +111,20 @@ const (
 	// first executed against one Prepared is a diagonalization the
 	// per-Simulate path would have repeated.
 	CtrDiagonalizeSkipped
+	// CtrRungRetries counts transient-failure retries of a fallback-ladder
+	// rung (Config.RungRetries): a cluster that timed out under load and was
+	// re-attempted on the same rung before the ladder moved on.
+	CtrRungRetries
+	// CtrROMStoreHits counts reductions served from the disk-persistent ROM
+	// store instead of being recomputed.
+	CtrROMStoreHits
+	// CtrROMStoreWrites counts freshly computed models written to the
+	// disk-persistent ROM store.
+	CtrROMStoreWrites
+	// CtrCacheCorruptDiscarded counts persistent-store entries that failed
+	// validation on load (truncated, bit-flipped, wrong version) and were
+	// discarded and recomputed instead of being trusted.
+	CtrCacheCorruptDiscarded
 
 	// NumCounters bounds the Counter enum.
 	NumCounters
@@ -147,6 +161,14 @@ func (c Counter) String() string {
 		return "scenarios_batched"
 	case CtrDiagonalizeSkipped:
 		return "diagonalize_skipped"
+	case CtrRungRetries:
+		return "rung_retries"
+	case CtrROMStoreHits:
+		return "rom_store_hits"
+	case CtrROMStoreWrites:
+		return "rom_store_writes"
+	case CtrCacheCorruptDiscarded:
+		return "cache_corrupt_discarded"
 	default:
 		return "counter(?)"
 	}

@@ -44,7 +44,8 @@ func TestNames(t *testing.T) {
 		"woodbury_solves", "fallback_reduced", "fallback_regularized",
 		"fallback_direct_mna", "fallback_unverified", "rom_cache_hits",
 		"rom_cache_misses", "rom_cache_evictions", "prepared_reuses",
-		"scenarios_batched", "diagonalize_skipped",
+		"scenarios_batched", "diagonalize_skipped", "rung_retries",
+		"rom_store_hits", "rom_store_writes", "cache_corrupt_discarded",
 	}
 	for c := Counter(0); c < NumCounters; c++ {
 		if got := c.String(); got != wantCtrs[c] {

@@ -1,0 +1,42 @@
+// romstore_api.go is the public face of the persistent ROM cache layer
+// (internal/romstore + the in-memory internal/glitch LRU): the handles a
+// daemon — or a CLI invoked thousands of times over one chip — uses to keep
+// reduced models warm across runs and across process restarts.
+package xtverify
+
+import (
+	"time"
+
+	"xtverify/internal/glitch"
+	"xtverify/internal/romstore"
+)
+
+// ROMCache is the in-memory, fingerprint-keyed LRU of SyMPVL reduced models
+// with panic-safe singleflight. One cache may be shared across runs (and
+// across concurrent runs) via Config.SharedROMCache.
+type ROMCache = glitch.ROMCache
+
+// DefaultROMCacheCap is the entry bound used when Config.ROMCacheCap is 0.
+const DefaultROMCacheCap = glitch.DefaultROMCacheCap
+
+// DefaultRungRetryBackoff is the base retry delay used when
+// Config.RungRetries > 0 and RungRetryBackoff is 0.
+const DefaultRungRetryBackoff = 25 * time.Millisecond
+
+// NewROMCache returns an in-memory ROM cache bounded to capacity entries
+// (DefaultROMCacheCap if capacity <= 0), for use as Config.SharedROMCache.
+func NewROMCache(capacity int) *ROMCache { return glitch.NewROMCache(capacity) }
+
+// ROMStore is the disk-persistent, crash-safe ROM cache level: versioned
+// (format + go runtime) entries written via temp-file+rename, loaded
+// defensively — a truncated, bit-flipped or wrong-version entry is
+// discarded and recomputed, never trusted and never fatal.
+type ROMStore = romstore.Store
+
+// ROMStoreStats is a snapshot of a store's counters (hits, misses, writes,
+// corrupt-discarded, I/O errors).
+type ROMStoreStats = romstore.Stats
+
+// OpenROMStore opens (creating if needed) a persistent ROM store rooted at
+// dir, for use as Config.ROMStore.
+func OpenROMStore(dir string) (*ROMStore, error) { return romstore.Open(dir) }

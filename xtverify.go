@@ -109,8 +109,40 @@ type Config struct {
 	Strict bool
 	// ClusterTimeout is RunContext's per-cluster analysis deadline; 0 means
 	// no deadline. A cluster that exceeds it is marked unverified with
-	// ErrTimeout rather than stalling the run.
+	// ErrTimeout rather than stalling the run. With RungRetries > 0 the
+	// deadline applies per attempt (each retry gets a fresh budget) instead
+	// of once per cluster.
 	ClusterTimeout time.Duration
+	// RungRetries makes RunContext re-attempt a fallback-ladder rung up to
+	// this many extra times when it fails transiently (ErrTimeout — a
+	// cluster starved under load), with exponential backoff, before the
+	// ladder moves on. 0 disables retries (the historical behavior, with
+	// one ClusterTimeout budget spanning all rungs). Cancellation
+	// (ErrCanceled) and structural numerics failures are never retried.
+	RungRetries int
+	// RungRetryBackoff is the base delay between rung retries, doubled per
+	// retry; 0 means DefaultRungRetryBackoff. Only meaningful with
+	// RungRetries > 0.
+	RungRetryBackoff time.Duration
+	// ROMCacheCap bounds the in-memory ROM cache (entries, LRU-evicted);
+	// 0 means DefaultROMCacheCap. Ignored when DisableROMCache is set or a
+	// SharedROMCache is supplied.
+	ROMCacheCap int
+	// SharedROMCache, when non-nil, is used instead of a fresh per-run
+	// cache, so reduced models stay warm across runs — the verification
+	// daemon shares one cache across every job. Diagnostics cache counts
+	// are reported as this run's delta; with concurrent runs sharing one
+	// cache the attribution is approximate (totals remain exact).
+	SharedROMCache *ROMCache
+	// ROMStore, when non-nil, attaches a disk-persistent second cache
+	// level behind the in-memory ROM cache: models computed once are
+	// written through (crash-safe temp-file+rename) and survive process
+	// restarts, keyed by the same structural fingerprints. Corrupted or
+	// wrong-version entries are discarded and recomputed, never trusted
+	// (see cache_corrupt_discarded in the metrics snapshot). The store
+	// never changes any reported number: persisted models round-trip
+	// bit-exactly.
+	ROMStore *ROMStore
 	// DisableROMCache turns off the memoization of SyMPVL reduced models
 	// across structurally identical clusters. The cache never changes any
 	// reported number (cached models are bit-identical to fresh reductions);
