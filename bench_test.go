@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"xtverify/internal/cellmodel"
 	"xtverify/internal/cells"
@@ -465,6 +466,51 @@ func blendGlitch(b *testing.B, par *extract.Parasitics, cl *prune.Cluster, aggDe
 		b.Fatal(err)
 	}
 	return res.Ports[2].PeakDeviation(0).Value
+}
+
+// BenchmarkChipVerify is the rung-0 screening headline: end-to-end
+// verification of a local-interconnect-dominated DSP block (short channel
+// spans at relaxed routing pitch — the provably-quiet population a real
+// floorplan is mostly made of) with the analytic screen on versus off.
+// Screened clusters never assemble an MNA system, build a ROM, or run a
+// transient, so the "screen" variant's cluster throughput is the
+// optimization's measured win; the violation list is identical either way
+// (TestScreeningReportIdentity). Reported metrics: clusters/sec and the
+// fraction of clusters cleared at rung 0.
+func BenchmarkChipVerify(b *testing.B) {
+	cfg := DSPConfig{Seed: 1999, Channels: 2, TracksPerChannel: 80,
+		ChannelLengthUM: 70, BusFraction: 0.05, LatchFraction: 0.25,
+		ClockSpines: 1, TrackPitchUM: 1.8}
+	run := func(b *testing.B, noScreen bool) {
+		var clusters, screened int
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			v, err := NewVerifierFromDSP(cfg, Config{Model: TimingLibrary, DisableScreening: noScreen})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := v.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			clusters = rep.AnalyzedVictims
+			if rep.Screening != nil {
+				screened = rep.Screening.Screened
+			}
+		}
+		elapsed := time.Since(start)
+		b.ReportMetric(float64(clusters*b.N)/elapsed.Seconds(), "clusters/sec")
+		b.ReportMetric(float64(screened)/float64(clusters), "screened-frac")
+	}
+	// Warm the cell characterization cache so neither variant pays it.
+	if v, err := NewVerifierFromDSP(cfg, Config{Model: TimingLibrary}); err == nil {
+		if _, err := v.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("no-screen", func(b *testing.B) { run(b, true) })
+	b.Run("screen", func(b *testing.B) { run(b, false) })
 }
 
 // BenchmarkFullChipVerify measures the end-to-end public API flow.

@@ -31,6 +31,7 @@ var (
 	workers = flag.Int("workers", 0, "parallel cluster workers for the verify experiment (0 = GOMAXPROCS)")
 	strict  = flag.Bool("strict", false, "fail fast in the verify experiment instead of degrading")
 	noPrep  = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer in the verify experiment (A/B timing; results are identical either way)")
+	noScreen = flag.Bool("no-screen", false, "disable the rung-0 analytic screen in the verify experiment (A/B; screened clusters are conservative passes)")
 	romCap  = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries for the verify experiment (0 = default)")
 	metrics = flag.String("metrics-out", "", "write the verify experiment's metrics snapshot to this JSON file")
 	pprofOn = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); verify metrics appear live at /debug/vars under \"xtverify\"")
@@ -43,7 +44,7 @@ var (
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 prune analytic timing em prop verify all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 prune analytic screen-sweep timing em prop verify all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -173,6 +174,12 @@ func run(name string) (string, error) {
 			return "", err
 		}
 		return r.Render(), nil
+	case "screen-sweep":
+		r, err := exp.RunScreenSweep(1.2, 0.10, xtverify.DefaultScreenSafetyFactor)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
 	case "timing":
 		r, err := exp.RunTimingImpact(dspCfg(), scaled(200))
 		if err != nil {
@@ -207,6 +214,7 @@ func run(name string) (string, error) {
 			ROMCacheCap: *romCap,
 
 			DisablePreparedTransients: *noPrep,
+			DisableScreening:          *noScreen,
 		})
 		if err != nil {
 			return "", err

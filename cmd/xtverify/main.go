@@ -48,6 +48,8 @@ func run() int {
 		workers  = flag.Int("workers", 0, "parallel cluster workers (0 = GOMAXPROCS)")
 		strict   = flag.Bool("strict", false, "fail fast on the first cluster error instead of degrading")
 		noPrep   = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer (A/B timing; results are identical either way)")
+		noScreen = flag.Bool("no-screen", false, "disable the rung-0 analytic screen (A/B timing; screened clusters are conservative passes)")
+		screenSF = flag.Float64("screen-safety", 0, "rung-0 screening safety factor (0 = default)")
 		cluTO    = flag.Duration("cluster-timeout", 0, "per-cluster analysis deadline (0 = none; per-attempt when -rung-retries > 0)")
 		retries  = flag.Int("rung-retries", 0, "retries per fallback rung for transiently timed-out clusters")
 		romCap   = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries (0 = default)")
@@ -70,6 +72,8 @@ func run() int {
 		ROMCacheCap:         *romCap,
 
 		DisablePreparedTransients: *noPrep,
+		DisableScreening:          *noScreen,
+		ScreenSafetyFactor:        *screenSF,
 	}
 	switch *model {
 	case "fixed":

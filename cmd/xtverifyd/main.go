@@ -45,6 +45,8 @@ func main() {
 		clusterTO  = flag.Duration("cluster-timeout", 0, "per-cluster (per-attempt when retrying) analysis deadline (0 = none)")
 		thresh     = flag.Float64("threshold", 0.10, "default glitch threshold as a fraction of Vdd")
 		capRatio   = flag.Float64("capratio", 0.02, "default pruning capacitance-ratio threshold")
+		noScreen   = flag.Bool("no-screen", false, "disable the rung-0 analytic screen for all jobs (requests may also set no_screen per job)")
+		screenSF   = flag.Float64("screen-safety", 0, "default rung-0 screening safety factor (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,8 @@ func main() {
 			ClusterTimeout:      *clusterTO,
 			RungRetries:         *retries,
 			RungRetryBackoff:    *backoff,
+			DisableScreening:    *noScreen,
+			ScreenSafetyFactor:  *screenSF,
 		},
 		MaxConcurrent:     *maxConc,
 		MaxQueue:          *maxQueue,

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"xtverify/internal/analytic"
 	"xtverify/internal/cells"
 	"xtverify/internal/faultinject"
 	"xtverify/internal/glitch"
@@ -34,6 +35,12 @@ import (
 	"xtverify/internal/romsim"
 	"xtverify/internal/sympvl"
 )
+
+// DefaultScreenSafetyFactor is the bound inflation applied by the rung-0
+// screen when Config.ScreenSafetyFactor is zero: the analytic bound is
+// conservative by construction, the factor adds 25 % engineering margin on
+// top before a cluster is cleared.
+const DefaultScreenSafetyFactor = 0.25
 
 // regularizedGmin is the grounding conductance used by StageRegularized,
 // three orders of magnitude above mna.DefaultGmin: large enough to make any
@@ -57,6 +64,9 @@ type ClusterOutcome struct {
 	// CouplingF is the victim's retained coupling capacitance — the
 	// severity proxy used to rank unverified victims.
 	CouplingF float64
+	// ScreenBoundV is the rung-0 analytic bound that cleared the cluster
+	// (StageScreened only, 0 otherwise).
+	ScreenBoundV float64
 	// Err is the structured failure for unverified clusters, nil otherwise.
 	Err *ClusterError
 	// RecheckErr records a degraded-mode transistor-recheck failure; the
@@ -298,13 +308,30 @@ feed:
 			diag.Unverified++
 		} else {
 			diag.Verified++
-			if r.outcome.Stage != StageReduced {
+			// Screened clusters are rung 0, not a degradation: the ladder
+			// never ran for them.
+			if r.outcome.Stage != StageReduced && r.outcome.Stage != StageScreened {
 				diag.Degraded++
 			}
 		}
 		if r.violation != nil {
 			rep.Violations = append(rep.Violations, *r.violation)
 		}
+	}
+	if !v.cfg.DisableScreening {
+		scr := &ScreeningSummary{
+			SafetyFactor: v.cfg.ScreenSafetyFactor,
+			MarginV:      v.cfg.GlitchThresholdFrac * Vdd,
+		}
+		// Victim (cluster) order, like Diagnostics.Clusters — deterministic
+		// and identical between serial and parallel runs.
+		for _, r := range results {
+			if r != nil && r.outcome.Stage == StageScreened {
+				scr.Screened++
+				scr.Clusters = append(scr.Clusters, ScreenedCluster{Victim: r.outcome.Victim, BoundV: r.outcome.ScreenBoundV})
+			}
+		}
+		rep.Screening = scr
 	}
 	diag.WallTime = time.Since(start)
 	if romCache != nil {
@@ -351,6 +378,27 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 		var cancel context.CancelFunc
 		cctx, cancel = context.WithTimeout(ctx, p.timeout)
 		defer cancel()
+	}
+	// Rung 0: the analytic screen. A cleared cluster never assembles an MNA
+	// system, never builds (or consults) a ROM, never runs a transient. The
+	// screen is skipped — falling through to the ladder, never the other way
+	// around — when the run is being cancelled or the cluster's deadline has
+	// already passed (the wall-clock check, not cctx.Err(): a 1 ns budget is
+	// spent before the context's timer ever fires).
+	if !v.cfg.DisableScreening && ctx.Err() == nil {
+		expired := false
+		if dl, ok := cctx.Deadline(); ok && !time.Now().Before(dl) {
+			expired = true
+		}
+		if !expired {
+			if bound, ok := v.screenCluster(cl, victim, tr); ok {
+				res.outcome.Stage = StageScreened
+				res.outcome.WallTime = time.Since(start)
+				res.outcome.ScreenBoundV = bound
+				tr.Add(stageCounter(StageScreened), 1)
+				return res
+			}
+		}
 	}
 	stages := ladder[:]
 	if p.strict {
@@ -454,9 +502,48 @@ func stageCounter(s FallbackStage) obs.Counter {
 		return obs.CtrFallbackRegularized
 	case StageDirectMNA:
 		return obs.CtrFallbackDirectMNA
+	case StageScreened:
+		return obs.CtrScreenedRung0
 	default:
 		return obs.CtrFallbackUnverified
 	}
+}
+
+// screenCluster evaluates the rung-0 analytic bound for one cluster and
+// decides whether it clears the noise margin with the configured safety
+// factor. Any failure — a degenerate cluster the bound refuses to state, a
+// characterization error, an injected or genuine panic — degrades to
+// (0, false): the cluster simply pays for the full ladder, exactly as if
+// the screen did not exist. The screen deliberately does not consult
+// v.faultHook (that hook drives ladder-shape tests which pin rung
+// semantics); the process-global fault-injection registry fires with the
+// "screened" stage so rung 0 participates in panic-isolation coverage.
+func (v *Verifier) screenCluster(cl *prune.Cluster, victim string, tr *obs.Trace) (bound float64, cleared bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			bound, cleared = 0, false
+		}
+	}()
+	if herr := faultinject.FireCluster(victim, StageScreened.String()); herr != nil {
+		return 0, false
+	}
+	tr.Add(obs.CtrScreenBoundEvals, 1)
+	b, err := analytic.BoundCluster(v.par, cl, analytic.BoundOptions{
+		Model:     v.cfg.Model.boundModel(),
+		FixedOhms: v.cfg.FixedOhms,
+		Vdd:       Vdd,
+	})
+	if err != nil {
+		return 0, false
+	}
+	margin := v.cfg.GlitchThresholdFrac * Vdd
+	if b*(1+v.cfg.ScreenSafetyFactor) < margin {
+		return b, true
+	}
+	if b < margin {
+		tr.Add(obs.CtrScreenNearThreshold, 1)
+	}
+	return 0, false
 }
 
 // attemptCluster tries one ladder rung: both glitch polarities, threshold

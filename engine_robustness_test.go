@@ -151,7 +151,8 @@ func TestRungRetryRecoversTransient(t *testing.T) {
 // budget — a disconnected client's job is abandoned, not hammered.
 func TestCanceledAttemptNotRetried(t *testing.T) {
 	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03,
-		RungRetries: 3, RungRetryBackoff: time.Millisecond}
+		RungRetries: 3, RungRetryBackoff: time.Millisecond,
+		DisableScreening: true} // every cluster must reach the ladder
 	cfg.Collector = NewMetricsCollector()
 	v := engineVerifier(t, cfg)
 	var calls atomic.Int64

@@ -96,7 +96,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 // victim. Degraded mode must recover it via the fallback ladder and still
 // report every victim; strict mode must fail with the panic error.
 func TestFaultInjectionDegradedVsStrict(t *testing.T) {
-	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03}
+	// Screening off: the target victim must reach the ladder rung the hook
+	// fires on, whichever cluster the midpoint selection lands on.
+	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, DisableScreening: true}
 	clean, err := engineVerifier(t, cfg).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +112,7 @@ func TestFaultInjectionDegradedVsStrict(t *testing.T) {
 		return nil
 	}
 
-	v := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 4})
+	v := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 4, DisableScreening: true})
 	v.faultHook = hook
 	rep, err := v.RunContext(context.Background())
 	if err != nil {
@@ -140,12 +142,12 @@ func TestFaultInjectionDegradedVsStrict(t *testing.T) {
 		t.Errorf("degraded count = %d, want 1", rep.Diagnostics.Degraded)
 	}
 
-	sv := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, Strict: true, Workers: 4})
+	sv := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, Strict: true, Workers: 4, DisableScreening: true})
 	sv.faultHook = hook
 	if _, err := sv.RunContext(context.Background()); !errors.Is(err, ErrPanic) {
 		t.Errorf("strict run error = %v, want ErrPanic", err)
 	}
-	sv2 := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03})
+	sv2 := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, DisableScreening: true})
 	sv2.faultHook = hook
 	if _, err := sv2.Run(); !errors.Is(err, ErrPanic) {
 		t.Errorf("Run error = %v, want ErrPanic", err)
@@ -155,8 +157,8 @@ func TestFaultInjectionDegradedVsStrict(t *testing.T) {
 // TestFaultInjectionUnverified fails every rung for one victim and checks the
 // structured ClusterError plus the report rendering.
 func TestFaultInjectionUnverified(t *testing.T) {
-	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 4}
-	clean, err := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03}).Run()
+	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 4, DisableScreening: true}
+	clean, err := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, DisableScreening: true}).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +223,7 @@ func TestFaultInjectionUnverified(t *testing.T) {
 // (unreduced) integrator must produce the result, and checks it agrees with
 // the healthy reduced flow.
 func TestDirectMNAFallbackRung(t *testing.T) {
-	base := Config{Model: FixedResistance, CapRatioThreshold: 0.03}
+	base := Config{Model: FixedResistance, CapRatioThreshold: 0.03, DisableScreening: true}
 	clean, err := engineVerifier(t, base).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -288,12 +290,12 @@ func TestClusterTimeout(t *testing.T) {
 
 	// Part 2: only one victim's analysis hits its deadline — the rest of
 	// the chip is still verified exactly.
-	clean, err := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03}).Run()
+	clean, err := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, DisableScreening: true}).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	target := clean.Diagnostics.Clusters[0].Victim
-	v2 := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 4})
+	v2 := engineVerifier(t, Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 4, DisableScreening: true})
 	v2.faultHook = func(victim string, stage FallbackStage) error {
 		if victim == target {
 			return context.DeadlineExceeded

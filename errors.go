@@ -47,6 +47,12 @@ const (
 	// StageUnverified means every rung failed; the victim is reported as
 	// unverified with the full attempt history.
 	StageUnverified
+	// StageScreened means the rung-0 analytic screen proved the cluster's
+	// worst-case glitch below the noise margin, so no reduction or transient
+	// ever ran. Logically this rung sits ahead of StageReduced; it is
+	// declared after StageUnverified only to keep the historical enum values
+	// stable.
+	StageScreened
 )
 
 // String names the stage for reports.
@@ -60,6 +66,8 @@ func (s FallbackStage) String() string {
 		return "direct-mna"
 	case StageUnverified:
 		return "unverified"
+	case StageScreened:
+		return "screened"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}

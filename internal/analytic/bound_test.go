@@ -1,0 +1,281 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
+)
+
+// TestBoundLumpedDegenerate pins the "cannot screen" contract: every
+// degenerate or non-finite lumped input yields ErrCannotScreen, never a
+// bound that could clear a cluster bogusly.
+func TestBoundLumpedDegenerate(t *testing.T) {
+	okV := VictimLump{WireOhms: 50, GroundCapF: 20e-15, HoldOhms: 1000}
+	okA := []AggressorLump{{CouplingF: 5e-15, SlewS: 120e-12}}
+	cases := []struct {
+		name string
+		v    VictimLump
+		a    []AggressorLump
+		vdd  float64
+	}{
+		{"zero ground cap", VictimLump{WireOhms: 50, HoldOhms: 1000}, okA, 3},
+		{"zero hold resistance", VictimLump{WireOhms: 50, GroundCapF: 20e-15}, okA, 3},
+		{"negative wire resistance", VictimLump{WireOhms: -1, GroundCapF: 20e-15, HoldOhms: 1000}, okA, 3},
+		{"nan hold", VictimLump{WireOhms: 50, GroundCapF: 20e-15, HoldOhms: math.NaN()}, okA, 3},
+		{"inf ground cap", VictimLump{WireOhms: 50, GroundCapF: math.Inf(1), HoldOhms: 1000}, okA, 3},
+		{"zero vdd", okV, okA, 0},
+		{"negative vdd", okV, okA, -3},
+		{"nan vdd", okV, okA, math.NaN()},
+		{"no aggressors", okV, nil, 3},
+		{"zero total coupling", okV, []AggressorLump{{CouplingF: 0, SlewS: 120e-12}}, 3},
+		{"negative coupling", okV, []AggressorLump{{CouplingF: -1e-15, SlewS: 120e-12}}, 3},
+		{"zero slew", okV, []AggressorLump{{CouplingF: 5e-15, SlewS: 0}}, 3},
+		{"nan slew", okV, []AggressorLump{{CouplingF: 5e-15, SlewS: math.NaN()}}, 3},
+		{"inf coupling", okV, []AggressorLump{{CouplingF: math.Inf(1), SlewS: 120e-12}}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := BoundLumped(tc.v, tc.a, tc.vdd)
+			if !errorsIsCannotScreen(err) {
+				t.Fatalf("BoundLumped = (%g, %v), want ErrCannotScreen", b, err)
+			}
+			if b != 0 {
+				t.Fatalf("degenerate input returned nonzero bound %g", b)
+			}
+		})
+	}
+
+	// The healthy baseline actually bounds.
+	b, err := BoundLumped(okV, okA, 3)
+	if err != nil || b <= 0 || b > 3 {
+		t.Fatalf("healthy BoundLumped = (%g, %v), want 0 < bound <= vdd", b, err)
+	}
+}
+
+func errorsIsCannotScreen(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrCannotScreen {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// TestBoundLumpedMonotone checks the property the conservatism argument
+// rests on: the bound is monotone nondecreasing in coupling capacitance,
+// holding resistance, wire resistance, and inverse slew — so lumping the
+// distributed victim into worst-case totals can only increase the bound.
+func TestBoundLumpedMonotone(t *testing.T) {
+	base := VictimLump{WireOhms: 80, GroundCapF: 30e-15, HoldOhms: 1500}
+	agg := AggressorLump{CouplingF: 4e-15, SlewS: 150e-12}
+	ref, err := BoundLumped(base, []AggressorLump{agg}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, v VictimLump, a AggressorLump) {
+		t.Helper()
+		b, err := BoundLumped(v, []AggressorLump{a}, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b < ref {
+			t.Errorf("%s: bound %g < reference %g — not monotone", name, b, ref)
+		}
+	}
+	bigger := base
+	bigger.HoldOhms *= 2
+	check("2x hold resistance", bigger, agg)
+	bigger = base
+	bigger.WireOhms *= 2
+	check("2x wire resistance", bigger, agg)
+	fast := agg
+	fast.SlewS /= 2
+	check("2x faster aggressor", base, fast)
+	coupled := agg
+	coupled.CouplingF *= 2
+	check("2x coupling", base, coupled)
+
+	// More aggressors never lower the bound.
+	two, err := BoundLumped(base, []AggressorLump{agg, agg}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two < ref {
+		t.Errorf("second aggressor lowered the bound: %g < %g", two, ref)
+	}
+
+	// The cap: an absurdly strong cluster still bounds at Vdd.
+	huge := AggressorLump{CouplingF: 1e-9, SlewS: 1e-12}
+	b, err := BoundLumped(base, []AggressorLump{huge, huge}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 3 {
+		t.Errorf("bound %g, want capped at vdd", b)
+	}
+}
+
+// randCluster draws one randomized parallel-wire cluster: 2–5 wires, random
+// coupled length and pitch, random drivers, random victim position.
+func randCluster(rng *rand.Rand) (*extract.Parasitics, *prune.Cluster, float64, error) {
+	drivers := []string{"INV_X1", "INV_X2", "INV_X4", "INV_X8", "BUF_X2", "BUF_X4", "NAND2_X2", "NOR2_X1"}
+	n := 2 + rng.Intn(4)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = drivers[rng.Intn(len(drivers))]
+	}
+	lengthUM := math.Exp(math.Log(10) + rng.Float64()*(math.Log(600)-math.Log(10)))
+	pitchUM := 0.6 + rng.Float64()*1.8
+	recv := "INV_X1"
+	if rng.Intn(2) == 1 {
+		recv = "INV_X4"
+	}
+	d, err := dsp.ParallelWires(n, lengthUM, pitchUM, names, recv)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	par, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	victim := rng.Intn(n)
+	cl := prune.PruneVictim(par, victim, prune.Options{CapRatioThreshold: 0.001, MinCouplingF: 1e-18})
+	return par, cl, lengthUM, nil
+}
+
+// TestBoundClusterConservativeRandomized is the tentpole acceptance
+// property: across >= 1000 randomized clusters and every driver-model
+// family, the analytic bound dominates the simulated glitch peak of both
+// polarities — from the engine's ROM path and (on a subset) from direct
+// unreduced MNA integration. A screened cluster can therefore never hide a
+// real violation.
+func TestBoundClusterConservativeRandomized(t *testing.T) {
+	perModel := 350
+	if testing.Short() {
+		perModel = 40
+	}
+	models := []struct {
+		name   string
+		engine glitch.ModelKind
+		bound  DriverModel
+	}{
+		{"fixed", glitch.ModelFixedR, DriverFixedR},
+		{"library", glitch.ModelTimingLibrary, DriverTimingLibrary},
+		{"nonlinear", glitch.ModelNonlinear, DriverNonlinear},
+	}
+	for mi, m := range models {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(1999 + mi)))
+			skipped := 0
+			for i := 0; i < perModel; i++ {
+				par, cl, lengthUM, err := randCluster(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cl.Aggressors) == 0 {
+					skipped++
+					continue
+				}
+				bound, err := BoundCluster(par, cl, BoundOptions{
+					Model:     m.bound,
+					FixedOhms: 1000,
+					Vdd:       extract.Tech025().Vdd,
+				})
+				if err != nil {
+					t.Fatalf("cluster %d: %v", i, err)
+				}
+				eng := glitch.NewEngine(par, glitch.Options{
+					Model:     m.engine,
+					FixedOhms: 1000,
+					TEnd:      3e-9 + lengthUM*1.2e-12,
+					Dt:        4e-12,
+				})
+				rising, falling, err := eng.AnalyzeGlitchPair(cl)
+				if err != nil {
+					t.Fatalf("cluster %d: %v", i, err)
+				}
+				for _, r := range []*glitch.Result{rising, falling} {
+					if peak := math.Abs(r.PeakV); bound < peak {
+						t.Errorf("cluster %d (%s, len %.0fum, %d aggs): bound %.4f V < simulated peak %.4f V",
+							i, m.name, lengthUM, len(cl.Aggressors), bound, peak)
+					}
+				}
+				// Spot-check the bound against the unreduced integrator too:
+				// conservatism must not depend on reduction truncation.
+				if i%10 == 0 {
+					dEng := glitch.NewEngine(par, glitch.Options{
+						Model:     m.engine,
+						FixedOhms: 1000,
+						TEnd:      3e-9 + lengthUM*1.2e-12,
+						Dt:        4e-12,
+						DirectMNA: true,
+					})
+					dr, err := dEng.AnalyzeGlitch(cl, true)
+					if err != nil {
+						t.Fatalf("cluster %d direct: %v", i, err)
+					}
+					if peak := math.Abs(dr.PeakV); bound < peak {
+						t.Errorf("cluster %d (%s, direct MNA): bound %.4f V < simulated peak %.4f V",
+							i, m.name, bound, peak)
+					}
+				}
+			}
+			if skipped > perModel/4 {
+				t.Fatalf("%d/%d clusters had no aggressors; generator parameters degenerate", skipped, perModel)
+			}
+		})
+	}
+}
+
+// FuzzBoundLumped drives the pure core with arbitrary values: it must never
+// panic, and every return is either ErrCannotScreen with a zero bound or a
+// finite bound in (0, vdd].
+func FuzzBoundLumped(f *testing.F) {
+	f.Add(50.0, 20e-15, 1000.0, 5e-15, 120e-12, 3e-15, 200e-12, 3.0)
+	f.Add(0.0, 1e-15, 1.0, 1e-18, 1e-12, 0.0, 1e-12, 1.0)
+	f.Add(-1.0, math.Inf(1), math.NaN(), 1e-15, -5.0, 1e-15, 0.0, 3.0)
+	f.Fuzz(func(t *testing.T, wireOhms, groundCapF, holdOhms, cc1, slew1, cc2, slew2, vdd float64) {
+		v := VictimLump{WireOhms: wireOhms, GroundCapF: groundCapF, HoldOhms: holdOhms}
+		aggs := []AggressorLump{{CouplingF: cc1, SlewS: slew1}, {CouplingF: cc2, SlewS: slew2}}
+		b, err := BoundLumped(v, aggs, vdd)
+		if err != nil {
+			if !errorsIsCannotScreen(err) {
+				t.Fatalf("error %v does not wrap ErrCannotScreen", err)
+			}
+			if b != 0 {
+				t.Fatalf("error with nonzero bound %g", b)
+			}
+			return
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Fatalf("non-finite bound %g from finite-validated inputs %+v %+v vdd=%g", b, v, aggs, vdd)
+		}
+		if b <= 0 || b > vdd {
+			t.Fatalf("bound %g outside (0, vdd=%g]", b, vdd)
+		}
+	})
+}
+
+// Example of the screening decision at the engine's default margin.
+func ExampleBoundLumped() {
+	v := VictimLump{WireOhms: 30, GroundCapF: 25e-15, HoldOhms: 1200}
+	aggs := []AggressorLump{{CouplingF: 1.2e-15, SlewS: 140e-12}}
+	b, _ := BoundLumped(v, aggs, 3.0)
+	fmt.Printf("bound %.3f V, screens under 0.300 V margin with 1.25x safety: %v\n",
+		b, b*1.25 < 0.300)
+	// Output:
+	// bound 0.033 V, screens under 0.300 V margin with 1.25x safety: true
+}

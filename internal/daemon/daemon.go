@@ -154,6 +154,12 @@ type VerifyRequest struct {
 	GlitchThresholdFrac float64 `json:"glitch_threshold_frac,omitempty"`
 	TimingWindows       bool    `json:"timing_windows,omitempty"`
 	LogicCorrelation    bool    `json:"logic_correlation,omitempty"`
+	// NoScreen disables the rung-0 analytic screen for this job: every
+	// cluster goes through reduction and transient simulation.
+	NoScreen bool `json:"no_screen,omitempty"`
+	// ScreenSafetyFactor overrides the engine's screening safety factor
+	// (0 = server default).
+	ScreenSafetyFactor float64 `json:"screen_safety_factor,omitempty"`
 	// TimeoutMS is the per-job deadline in milliseconds (0 = server
 	// default; clamped to the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -180,6 +186,7 @@ type VerifyResponse struct {
 	Violations int              `json:"violations"`
 	Clusters   int              `json:"clusters"`
 	Verified   int              `json:"verified"`
+	Screened   int              `json:"screened"`
 	Degraded   int              `json:"degraded"`
 	Unverified int              `json:"unverified"`
 	WallMS     float64          `json:"wall_ms"`
@@ -423,7 +430,8 @@ func (s *Server) jobConfig(req *VerifyRequest) (xtverify.Config, string) {
 	default:
 		return cfg, "model"
 	}
-	if req.FixedOhms < 0 || req.CapRatioThreshold < 0 || req.GlitchThresholdFrac < 0 || req.TimeoutMS < 0 {
+	if req.FixedOhms < 0 || req.CapRatioThreshold < 0 || req.GlitchThresholdFrac < 0 ||
+		req.TimeoutMS < 0 || req.ScreenSafetyFactor < 0 {
 		return cfg, "negative value"
 	}
 	if req.FixedOhms > 0 {
@@ -440,6 +448,12 @@ func (s *Server) jobConfig(req *VerifyRequest) (xtverify.Config, string) {
 	}
 	if req.LogicCorrelation {
 		cfg.UseLogicCorrelation = true
+	}
+	if req.NoScreen {
+		cfg.DisableScreening = true
+	}
+	if req.ScreenSafetyFactor > 0 {
+		cfg.ScreenSafetyFactor = req.ScreenSafetyFactor
 	}
 	return cfg, ""
 }
@@ -512,6 +526,9 @@ func (s *Server) runJob(ctx context.Context, req *VerifyRequest, cfg xtverify.Co
 		if diag.Metrics != nil {
 			resp.Counters = diag.Metrics.Counters
 		}
+	}
+	if rep.Screening != nil {
+		resp.Screened = rep.Screening.Screened
 	}
 	// Render without the diagnostics block so report_text is
 	// deterministic: wall times and cache statistics are run-dependent

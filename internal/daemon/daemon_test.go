@@ -140,6 +140,12 @@ func TestVerifyEndToEnd(t *testing.T) {
 	if len(vr.Counters) == 0 {
 		t.Error("no engine counters in response")
 	}
+	if vr.Counters["screen_bound_evals"] == 0 {
+		t.Errorf("screen_bound_evals = 0 with screening on: %v", vr.Counters)
+	}
+	if vr.Screened != int(vr.Counters["screened_rung0"]) {
+		t.Errorf("screened %d disagrees with screened_rung0 counter %d", vr.Screened, vr.Counters["screened_rung0"])
+	}
 	m := getMetrics(t, ts)
 	if m.Jobs.Accepted != 1 || m.Jobs.Completed != 1 {
 		t.Errorf("jobs accepted %d completed %d, want 1/1", m.Jobs.Accepted, m.Jobs.Completed)
@@ -391,12 +397,17 @@ func TestInjectedFailuresDegradeToFallback(t *testing.T) {
 	defer restore()
 
 	_, ts := newTestServer(t, Options{})
-	vr := verifyOK(t, ts, tinyJob())
+	job := tinyJob()
+	job.NoScreen = true // every cluster must reach the failing rung
+	vr := verifyOK(t, ts, job)
 	if vr.Unverified != 0 {
 		t.Errorf("unverified %d, want 0 (fallback should absorb fast-rung failures)", vr.Unverified)
 	}
 	if vr.Degraded != vr.Clusters {
 		t.Errorf("degraded %d of %d, want all", vr.Degraded, vr.Clusters)
+	}
+	if vr.Screened != 0 {
+		t.Errorf("screened %d with no_screen set, want 0", vr.Screened)
 	}
 }
 

@@ -82,6 +82,12 @@ type Config struct {
 	ComplementaryFraction float64
 	// ClockSpines adds long, strongly driven clock nets through channels.
 	ClockSpines int
+	// TrackPitchUM is the channel routing pitch (track center to center).
+	// 0 means the dense default, 1.2 µm — minimum width plus minimum space,
+	// every neighbour maximally coupled. Relaxed-pitch routing (e.g. 2.0)
+	// models the spacing-driven crosstalk fixes a real floorplan carries and
+	// yields a large provably-quiet cluster population.
+	TrackPitchUM float64
 }
 
 // DefaultConfig sizes the design so the Section 5 experiment populations
@@ -175,10 +181,13 @@ func Generate(cfg Config) (*design.Design, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := design.New("dsp")
 	const (
-		pitch      = 1.2  // µm track pitch (0.6 width + 0.6 space)
 		channelGap = 60.0 // µm between channels
 		wireWidth  = 0.6
 	)
+	pitch := cfg.TrackPitchUM
+	if pitch == 0 {
+		pitch = 1.2 // µm: 0.6 width + 0.6 space, the dense default
+	}
 	drivers, err := resolvePool(driverPool)
 	if err != nil {
 		return nil, err

@@ -53,17 +53,9 @@ func RunAnalytic() (*AnalyticResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		form := analytic.CoupledLine{
-			LengthUM:      l,
-			RPerUM:        tech.ROhmPerUM,
-			CgPerUM:       tech.CgFPerUM,
-			CcPerUM:       tech.Cc0FPerUM * tech.MinSpacingUM / 1.2,
-			RdrvVictim:    rHold,
-			RdrvAggressor: 500,
-			LoadF:         victim.InputCapF,
-			SlewS:         120e-12,
-			Vdd:           tech.Vdd,
-		}
+		// The tech→line mapping (including the Cc falloff with spacing) lives
+		// in the analytic package now; the pair geometry uses 2× min spacing.
+		form := analytic.FromTech(tech, l, 2*tech.MinSpacingUM, rHold, 500, victim.InputCapF, 120e-12)
 		out.Rows = append(out.Rows, AnalyticRow{
 			LengthUM:     l,
 			AnalyticV:    form.PeakGlitch(),

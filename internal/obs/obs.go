@@ -125,6 +125,17 @@ const (
 	// validation on load (truncated, bit-flipped, wrong version) and were
 	// discarded and recomputed instead of being trusted.
 	CtrCacheCorruptDiscarded
+	// CtrScreenedRung0 counts clusters cleared by the rung-0 analytic
+	// screen: their worst-case bound (inflated by the safety factor) stayed
+	// below the noise margin, so no reduction or transient ever ran.
+	CtrScreenedRung0
+	// CtrScreenBoundEvals counts analytic bound evaluations, cleared or not
+	// (degenerate "cannot screen" clusters included).
+	CtrScreenBoundEvals
+	// CtrScreenNearThreshold counts clusters whose bound was below the noise
+	// margin but was denied clearance by the safety factor — the population
+	// a tighter bound (or a bolder safety factor) would additionally screen.
+	CtrScreenNearThreshold
 
 	// NumCounters bounds the Counter enum.
 	NumCounters
@@ -169,6 +180,12 @@ func (c Counter) String() string {
 		return "rom_store_writes"
 	case CtrCacheCorruptDiscarded:
 		return "cache_corrupt_discarded"
+	case CtrScreenedRung0:
+		return "screened_rung0"
+	case CtrScreenBoundEvals:
+		return "screen_bound_evals"
+	case CtrScreenNearThreshold:
+		return "screen_near_threshold"
 	default:
 		return "counter(?)"
 	}

@@ -46,6 +46,7 @@ func TestNames(t *testing.T) {
 		"rom_cache_misses", "rom_cache_evictions", "prepared_reuses",
 		"scenarios_batched", "diagonalize_skipped", "rung_retries",
 		"rom_store_hits", "rom_store_writes", "cache_corrupt_discarded",
+		"screened_rung0", "screen_bound_evals", "screen_near_threshold",
 	}
 	for c := Counter(0); c < NumCounters; c++ {
 		if got := c.String(); got != wantCtrs[c] {

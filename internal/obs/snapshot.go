@@ -1,9 +1,10 @@
 // The metrics snapshot: the frozen, JSON-serializable view of a Collector.
 //
-// Schema (version 1):
+// Schema (version 2 — version 1 plus the rung-0 screening counters
+// screened_rung0 / screen_bound_evals / screen_near_threshold):
 //
 //	{
-//	  "schema_version": 1,
+//	  "schema_version": 2,
 //	  "workers":        <resolved pool size>,
 //	  "wall_ns":        <end-to-end cluster-analysis time>,
 //	  "counters":       {"<counter name>": <int64>, ...},   // every counter, zero included
@@ -24,7 +25,8 @@ import (
 )
 
 // SchemaVersion is the metrics JSON schema version emitted by Snapshot.
-const SchemaVersion = 1
+// Version 2 added the rung-0 screening counters.
+const SchemaVersion = 2
 
 // PhaseMetrics summarizes the recorded spans of one phase.
 type PhaseMetrics struct {

@@ -56,7 +56,7 @@ func TestMetricsPopulated(t *testing.T) {
 	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 2}
 	rep, s := runWithCollector(t, cfg)
 
-	if s.SchemaVersion != 1 || s.Workers != rep.Diagnostics.Workers || s.WallNs <= 0 {
+	if s.SchemaVersion != 2 || s.Workers != rep.Diagnostics.Workers || s.WallNs <= 0 {
 		t.Errorf("header fields wrong: %+v", s)
 	}
 	for _, ctr := range []string{"lanczos_iterations", "newton_iterations", "fallback_reduced"} {
@@ -64,8 +64,13 @@ func TestMetricsPopulated(t *testing.T) {
 			t.Errorf("counter %s = %d, want > 0 (all: %v)", ctr, s.Counters[ctr], s.Counters)
 		}
 	}
-	if s.Counters["fallback_reduced"] != int64(rep.Diagnostics.Verified) {
-		t.Errorf("fallback_reduced = %d, want verified count %d", s.Counters["fallback_reduced"], rep.Diagnostics.Verified)
+	// Verified counts both reduced-rung successes and rung-0 screened
+	// clusters (screening is conservative verification, not degradation).
+	if got := s.Counters["fallback_reduced"] + s.Counters["screened_rung0"]; got != int64(rep.Diagnostics.Verified) {
+		t.Errorf("fallback_reduced + screened_rung0 = %d, want verified count %d", got, rep.Diagnostics.Verified)
+	}
+	if s.Counters["screen_bound_evals"] <= 0 {
+		t.Errorf("screen_bound_evals = %d, want > 0 with screening enabled", s.Counters["screen_bound_evals"])
 	}
 	if s.Counters["rom_cache_hits"] != int64(rep.Diagnostics.ROMCacheHits) ||
 		s.Counters["rom_cache_misses"] != int64(rep.Diagnostics.ROMCacheMisses) {
@@ -91,6 +96,17 @@ func TestMetricsPopulated(t *testing.T) {
 	// attribution is scheduling-dependent (cache flights), so only the
 	// phases and stage are asserted here.
 	for _, cm := range s.Clusters {
+		if cm.Stage == "screened" {
+			// A rung-0 cleared cluster never entered the pipeline: its bound
+			// evaluation is counted but it must have no simulation spans.
+			if len(cm.Phases) != 0 {
+				t.Errorf("screened cluster %s has phase spans: %+v", cm.Victim, cm.Phases)
+			}
+			if cm.Counters["screened_rung0"] != 1 {
+				t.Errorf("screened cluster %s counters: %+v", cm.Victim, cm.Counters)
+			}
+			continue
+		}
 		if cm.Stage != "sympvl" {
 			t.Errorf("cluster %s stage %q, want sympvl", cm.Victim, cm.Stage)
 		}
@@ -102,7 +118,7 @@ func TestMetricsPopulated(t *testing.T) {
 	if err := s.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "\"schema_version\": 1") {
+	if !strings.Contains(buf.String(), "\"schema_version\": 2") {
 		t.Errorf("snapshot JSON missing schema version:\n%s", buf.String())
 	}
 }

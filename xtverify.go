@@ -30,6 +30,7 @@ import (
 	"io"
 	"time"
 
+	"xtverify/internal/analytic"
 	"xtverify/internal/deflite"
 	"xtverify/internal/design"
 	"xtverify/internal/devices"
@@ -73,6 +74,19 @@ func (m DriverModel) kind() glitch.ModelKind {
 		return glitch.ModelTimingLibrary
 	default:
 		return glitch.ModelNonlinear
+	}
+}
+
+// boundModel maps the public DriverModel onto the analytic package's
+// driver-model enum for the rung-0 screen.
+func (m DriverModel) boundModel() analytic.DriverModel {
+	switch m {
+	case FixedResistance:
+		return analytic.DriverFixedR
+	case TimingLibrary:
+		return analytic.DriverTimingLibrary
+	default:
+		return analytic.DriverNonlinear
 	}
 }
 
@@ -143,6 +157,21 @@ type Config struct {
 	// never changes any reported number: persisted models round-trip
 	// bit-exactly.
 	ROMStore *ROMStore
+	// DisableScreening turns off the rung-0 analytic screen: every cluster
+	// then pays for reduction + transient exactly as before the screen
+	// existed, and reports are byte-identical to that historical output.
+	// With screening on (the default) reports differ only by the documented
+	// screening section — screened clusters are provably below the noise
+	// margin, so the violation list never changes.
+	DisableScreening bool
+	// ScreenSafetyFactor inflates the analytic bound before comparing it to
+	// the noise margin: a cluster is screened only when
+	// bound·(1+ScreenSafetyFactor) < GlitchThresholdFrac·Vdd. Zero and
+	// negative values mean DefaultScreenSafetyFactor (a negative factor
+	// would eat into the bound's conservatism, so it is never honored). The bound is conservative by construction;
+	// the factor adds engineering margin on top and is recorded in the
+	// report's screening section.
+	ScreenSafetyFactor float64
 	// DisableROMCache turns off the memoization of SyMPVL reduced models
 	// across structurally identical clusters. The cache never changes any
 	// reported number (cached models are bit-identical to fresh reductions);
@@ -177,6 +206,11 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxAggressors == 0 {
 		c.MaxAggressors = 12
+	}
+	if c.ScreenSafetyFactor <= 0 {
+		// Negative factors would deflate the bound below its conservative
+		// construction; fold them into the default with the unset case.
+		c.ScreenSafetyFactor = DefaultScreenSafetyFactor
 	}
 	// Default to the paper's best model. (DriverModelUnset exists precisely
 	// so a zero-valued Config can be told apart from an explicit
@@ -222,6 +256,33 @@ type PruneSummary struct {
 	ClustersAnalyzed      int
 }
 
+// ScreenedCluster records one cluster cleared by the rung-0 screen.
+type ScreenedCluster struct {
+	// Victim is the cluster's victim net name.
+	Victim string
+	// BoundV is the conservative worst-case glitch magnitude bound that
+	// cleared it (both polarities covered).
+	BoundV float64
+}
+
+// ScreeningSummary is the report's rung-0 screening section, present
+// whenever screening ran (nil with Config.DisableScreening). Screened
+// clusters are provably below the noise margin, so the section is purely
+// additive: the violation list and every other report line are identical to
+// a run without screening.
+type ScreeningSummary struct {
+	// Screened counts clusters cleared at rung 0.
+	Screened int
+	// SafetyFactor is the configured bound inflation.
+	SafetyFactor float64
+	// MarginV is the noise margin (GlitchThresholdFrac·Vdd) screened
+	// against.
+	MarginV float64
+	// Clusters lists the screened clusters with their bounds, in victim
+	// (cluster) order.
+	Clusters []ScreenedCluster
+}
+
 // Report is the outcome of a full-chip verification.
 type Report struct {
 	DesignName string
@@ -230,6 +291,9 @@ type Report struct {
 	Prune      PruneSummary
 	// AnalyzedVictims is the number of victims that were simulated.
 	AnalyzedVictims int
+	// Screening is the rung-0 analytic screening section, nil when
+	// screening was disabled.
+	Screening *ScreeningSummary
 	// Diagnostics describes how the fault-tolerant engine fared (worker
 	// count, degraded and unverified clusters, wall time). Populated by
 	// Run and RunContext.
@@ -264,6 +328,17 @@ func (r *Report) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, "  %-24s peak %+.3f V (%.0f%% Vdd) from %d aggressors%s%s\n",
 			v.Victim, v.PeakV, 100*v.FracVdd, v.Aggressors, flag, confirm)
 	}
+	// The screening section is the one documented difference between a
+	// screening-on and a -no-screen report: every line of it carries a
+	// greppable prefix ("screening:" / "  screened ") so A/B comparisons can
+	// filter it out and assert the rest byte-identical.
+	if s := r.Screening; s != nil {
+		fmt.Fprintf(w, "screening: %d/%d clusters cleared at rung 0 (bound x%.2f < margin %.3f V)\n",
+			s.Screened, r.Prune.ClustersAnalyzed, 1+s.SafetyFactor, s.MarginV)
+		for _, c := range s.Clusters {
+			fmt.Fprintf(w, "  screened %-24s bound %.4f V\n", c.Victim, c.BoundV)
+		}
+	}
 	if d := r.Diagnostics; d != nil {
 		mode := "degraded (fallback ladder)"
 		if d.Strict {
@@ -272,7 +347,7 @@ func (r *Report) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, "diagnostics: %d workers, %s mode, %v wall time\n", d.Workers, mode, d.WallTime.Round(time.Millisecond))
 		fmt.Fprintf(w, "  clusters verified: %d (%d via fallback), unverified: %d\n", d.Verified, d.Degraded, d.Unverified)
 		for _, c := range d.Clusters {
-			if c.Err == nil && c.Stage != StageReduced {
+			if c.Err == nil && c.Stage != StageReduced && c.Stage != StageScreened {
 				fmt.Fprintf(w, "  %-24s verified via %s after %d attempt(s) in %v\n",
 					c.Victim, c.Stage, c.Attempts, c.WallTime.Round(time.Microsecond))
 			}
