@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -671,4 +672,113 @@ func BenchmarkPropagation(b *testing.B) {
 	}
 	b.ReportMetric(float64(last.ReachedLatch), "reached-latch")
 	b.ReportMetric(float64(last.Filtered), "filtered")
+}
+
+// BenchmarkReverify measures the incremental ECO splice against the full
+// re-run it replaces, on the BenchmarkChipVerify design (~148 clusters): one
+// driver upsize, then Reverify per iteration vs one timed cold Run of the
+// edited design. speedup-x is the acceptance gate (>= 10x); the spliced
+// report is byte-compared against the cold run every iteration.
+func BenchmarkReverify(b *testing.B) {
+	dspCfg := DSPConfig{Seed: 1999, Channels: 2, TracksPerChannel: 80,
+		ChannelLengthUM: 70, BusFraction: 0.05, LatchFraction: 0.25,
+		ClockSpines: 1, TrackPitchUM: 1.8}
+	cfg := Config{Model: TimingLibrary}
+	gen, err := NewVerifierFromDSP(dspCfg, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := gen.WriteDEF(&sb); err != nil {
+		b.Fatal(err)
+	}
+	baseDEF := sb.String()
+	baseV, err := NewVerifierFromDEF(strings.NewReader(baseDEF), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseRep, err := baseV.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Repair the first victim whose driver has a stronger same-kind cell:
+	// violations first, then any analyzed cluster.
+	var candidates []string
+	for _, viol := range baseRep.Violations {
+		candidates = append(candidates, viol.Victim)
+	}
+	for _, out := range baseRep.Diagnostics.Clusters {
+		candidates = append(candidates, out.Victim)
+	}
+	var defText string
+	for _, victim := range candidates {
+		if d, uerr := upsizeInDEF(baseDEF, victim); uerr == nil {
+			defText = d
+			break
+		}
+	}
+	if defText == "" {
+		b.Fatal("no repairable victim on the bench design")
+	}
+	base, err := baseV.BaseRun(baseRep)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// The baseline this replaces: a cold full run (parse + verify) of the
+	// edited design. Best of three, so a scheduler hiccup on one run cannot
+	// inflate the reported speedup.
+	var fullDur time.Duration
+	var want string
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		coldV, err := NewVerifierFromDEF(strings.NewReader(defText), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldRep, err := coldV.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := time.Since(t0); i == 0 || d < fullDur {
+			fullDur = d
+		}
+		want = identityText(b, coldRep)
+	}
+
+	// One untimed warm-up splice absorbs lazy one-time initialization.
+	if wv, err := NewVerifierFromDEF(strings.NewReader(defText), cfg); err != nil {
+		b.Fatal(err)
+	} else if _, _, err := wv.Reverify(base); err != nil {
+		b.Fatal(err)
+	}
+
+	var reused, recomputed int
+	var spliceTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		v, err := NewVerifierFromDEF(strings.NewReader(defText), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, stats, err := v.Reverify(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spliceTotal += time.Since(t0)
+		reused, recomputed = stats.ClustersReused, stats.ClustersRecomputed
+		if got := identityText(b, rep); got != want {
+			b.Fatal("spliced report differs from cold full run")
+		}
+	}
+	b.StopTimer()
+	if reused == 0 {
+		b.Fatal("splice reused nothing; the benchmark is measuring a full run")
+	}
+	splicePerOp := spliceTotal / time.Duration(b.N)
+	b.ReportMetric(float64(fullDur)/float64(splicePerOp), "speedup-x")
+	b.ReportMetric(float64(reused), "clusters-reused")
+	b.ReportMetric(float64(recomputed), "clusters-recomputed")
+	b.ReportMetric(float64(fullDur)/float64(time.Millisecond), "full-run-ms")
 }

@@ -39,9 +39,10 @@ import (
 
 // defaultBench is the core-kernel set: cheap enough for routine snapshots,
 // covering the hot paths (reduction, ROM transient, reference SPICE, SpMV),
-// the prepared-vs-seed multi-scenario cluster sweep, and the end-to-end
-// chip verify with the rung-0 screen on/off (clusters/sec headline).
-const defaultBench = "BenchmarkSyMPVLReduce$|BenchmarkROMTransient$|BenchmarkSPICETransient$|BenchmarkSparseMulVec|BenchmarkGlitchClusterScenarios|BenchmarkChipVerify"
+// the prepared-vs-seed multi-scenario cluster sweep, the end-to-end chip
+// verify with the rung-0 screen on/off (clusters/sec headline), and the
+// incremental ECO splice vs full re-run (speedup-x headline).
+const defaultBench = "BenchmarkSyMPVLReduce$|BenchmarkROMTransient$|BenchmarkSPICETransient$|BenchmarkSparseMulVec|BenchmarkGlitchClusterScenarios|BenchmarkChipVerify|BenchmarkReverify$"
 
 // Benchmark is one parsed benchmark result.
 type Benchmark struct {

@@ -44,7 +44,7 @@ var (
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 prune analytic screen-sweep timing em prop verify all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 prune analytic screen-sweep reverify-sweep timing em prop verify all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -174,6 +174,8 @@ func run(name string) (string, error) {
 			return "", err
 		}
 		return r.Render(), nil
+	case "reverify-sweep":
+		return runReverifySweep()
 	case "screen-sweep":
 		r, err := exp.RunScreenSweep(1.2, 0.10, xtverify.DefaultScreenSafetyFactor)
 		if err != nil {

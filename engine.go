@@ -136,6 +136,14 @@ type runParams struct {
 	// timeout applies per attempt instead of once per cluster.
 	retries int
 	backoff time.Duration
+	// reuse, when non-nil, marks an incremental reverify: it is consulted
+	// once per cluster, serially, before the worker pool starts, and a
+	// non-nil result is spliced into the run verbatim instead of being
+	// recomputed. The hook must return results bit-equal to what analysis
+	// would produce — the engine assembles spliced and fresh results through
+	// the same code path precisely so the report stays byte-identical to a
+	// cold run.
+	reuse func(cl *prune.Cluster) *clusterResult
 }
 
 // clusterResult is one worker's output for one cluster.
@@ -169,12 +177,7 @@ func (v *Verifier) RunContext(ctx context.Context) (*Report, error) {
 
 func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) {
 	col := v.cfg.Collector
-	pOpt := prune.Options{
-		CapRatioThreshold: v.cfg.CapRatioThreshold,
-		MinCouplingF:      0.5e-15,
-		UseTimingWindows:  v.cfg.UseTimingWindows,
-		MaxAggressors:     v.cfg.MaxAggressors,
-	}
+	pOpt := v.pruneOptions()
 	pruneSpan := col.Start(obs.PhasePrune)
 	stats := prune.ComputeStats(v.par, pOpt)
 	clusters := prune.Clusters(v.par, pOpt)
@@ -212,6 +215,12 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 	}
 	if v.cfg.ROMStore != nil {
 		store0 = v.cfg.ROMStore.Stats()
+		// The store also persists prepared-transient cores (the factorization
+		// behind the reduced model), so a warm process skips diagonalization
+		// too. Gated on the same knobs as the layers it accelerates.
+		if !v.cfg.DisableROMCache && !v.cfg.DisablePreparedTransients {
+			baseOpts.PreparedStore = v.cfg.ROMStore
+		}
 	}
 	workers := p.workers
 	if workers <= 0 {
@@ -226,6 +235,22 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 
 	start := time.Now()
 	results := make([]*clusterResult, len(clusters))
+	// Incremental reverify: settle reusable clusters serially up front, then
+	// hand only the remainder to the pool. The workers clamp above stays
+	// against the full cluster count — Diagnostics.Workers appears in the
+	// report, and a spliced report must match a cold run's byte for byte.
+	pending := make([]int, 0, len(clusters))
+	var reused int64
+	for i, cl := range clusters {
+		if p.reuse != nil {
+			if r := p.reuse(cl); r != nil {
+				results[i] = r
+				reused++
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -249,7 +274,7 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 		}()
 	}
 feed:
-	for i := range clusters {
+	for _, i := range pending {
 		select {
 		case <-runCtx.Done():
 			break feed
@@ -346,6 +371,11 @@ feed:
 		col.Add(obs.CtrROMStoreHits, int64(s1.Hits-store0.Hits))
 		col.Add(obs.CtrROMStoreWrites, int64(s1.Writes-store0.Writes))
 		col.Add(obs.CtrCacheCorruptDiscarded, int64(s1.CorruptDiscarded-store0.CorruptDiscarded))
+	}
+	if p.reuse != nil {
+		col.Add(obs.CtrReverifyJobs, 1)
+		col.Add(obs.CtrClustersReused, reused)
+		col.Add(obs.CtrClustersRecomputed, int64(len(clusters))-reused)
 	}
 	if col != nil {
 		col.SetWorkers(workers)

@@ -29,6 +29,20 @@ var (
 	// ErrPanic marks a cluster whose analysis panicked; the panic was
 	// recovered and converted into a recorded failure.
 	ErrPanic = errors.New("xtverify: cluster analysis panicked")
+	// ErrStaleReport marks an operation against a report that an incremental
+	// reverify has superseded for the requested victim: the cluster was
+	// recomputed (or dropped) by a later delta, so the base report's
+	// waveforms no longer describe the design. Re-run the query against the
+	// verifier that produced the spliced report.
+	ErrStaleReport = errors.New("xtverify: report superseded by a reverify for this victim")
+	// ErrConfigMismatch marks a reverify attempted against a base run whose
+	// canonical configuration differs: splicing across configs would mix
+	// results computed under different thresholds, models or policies.
+	ErrConfigMismatch = errors.New("xtverify: reverify config differs from base run")
+	// ErrBaseUnusable marks a base report that cannot seed a reverify — no
+	// diagnostics, or cluster outcomes that no longer line up with the
+	// design's cluster set.
+	ErrBaseUnusable = errors.New("xtverify: base report unusable for reverify")
 )
 
 // FallbackStage identifies a rung of the engine's degradation ladder.

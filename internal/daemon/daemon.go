@@ -54,6 +54,11 @@ type Options struct {
 	// Store, when non-nil, is the disk-persistent ROM cache backing the
 	// shared in-memory cache across restarts.
 	Store *xtverify.ROMStore
+	// ReportCacheCap bounds the completed-job report cache (entries,
+	// oldest-evicted; default 32). Cached entries serve repeat /v1/verify
+	// requests for the same design and canonical config without re-running,
+	// and anchor /v1/reverify deltas by job id.
+	ReportCacheCap int
 	// Logf receives one line per job and lifecycle event (default: drop).
 	Logf func(format string, args ...any)
 }
@@ -81,6 +86,16 @@ type Server struct {
 
 	mu     sync.Mutex
 	totals map[string]int64 // engine counters accumulated across jobs
+
+	// Completed-job report cache (reverify.go): jobs by id for delta
+	// anchoring, verify jobs additionally by (design, canonical config) key
+	// for repeat-request hits, evicted oldest-first at ReportCacheCap.
+	jobSeq     atomic.Uint64
+	reportHits atomic.Uint64
+	cacheMu    sync.Mutex
+	byID       map[string]*cachedJob
+	byKey      map[string]*cachedJob
+	idOrder    []string
 }
 
 // New returns a Server with defaults filled in and routes registered.
@@ -97,6 +112,9 @@ func New(opts Options) *Server {
 	if opts.MaxJobTimeout <= 0 {
 		opts.MaxJobTimeout = 10 * time.Minute
 	}
+	if opts.ReportCacheCap <= 0 {
+		opts.ReportCacheCap = 32
+	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
@@ -105,9 +123,12 @@ func New(opts Options) *Server {
 		cache:  xtverify.NewROMCache(opts.ROMCacheCap),
 		sem:    make(chan struct{}, opts.MaxConcurrent),
 		totals: make(map[string]int64),
+		byID:   make(map[string]*cachedJob),
+		byKey:  make(map[string]*cachedJob),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/v1/reverify", s.handleReverify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -182,6 +203,15 @@ type DSPRequest struct {
 // byte-identical run to run — cold cache, warm cache, or recomputed after
 // cache corruption.
 type VerifyResponse struct {
+	// JobID identifies this completed job in the daemon's report cache; pass
+	// it as base_job_id to POST /v1/reverify to verify an ECO delta
+	// incrementally against this result.
+	JobID string `json:"job_id"`
+	// Cached marks a response served from the report cache: an earlier job
+	// already verified this exact design under this canonical config, so the
+	// daemon returns its (byte-identical) report without re-running. JobID
+	// and WallMS are the original job's.
+	Cached     bool             `json:"cached,omitempty"`
 	ReportText string           `json:"report_text"`
 	Violations int              `json:"violations"`
 	Clusters   int              `json:"clusters"`
@@ -239,6 +269,10 @@ type MetricsBody struct {
 		Evictions   uint64 `json:"evictions"`
 		BackingHits uint64 `json:"backing_hits"`
 	} `json:"rom_cache"`
+	ReportCache struct {
+		Entries int    `json:"entries"`
+		Hits    uint64 `json:"hits"`
+	} `json:"report_cache"`
 	ROMStore       *xtverify.ROMStoreStats `json:"rom_store,omitempty"`
 	EngineCounters map[string]int64        `json:"engine_counters"`
 	Draining       bool                    `json:"draining"`
@@ -258,6 +292,10 @@ func (s *Server) Metrics() MetricsBody {
 	m.ROMCache.Hits, m.ROMCache.Misses = s.cache.Stats()
 	m.ROMCache.Evictions = s.cache.Evictions()
 	m.ROMCache.BackingHits = s.cache.BackingHits()
+	s.cacheMu.Lock()
+	m.ReportCache.Entries = len(s.byID)
+	s.cacheMu.Unlock()
+	m.ReportCache.Hits = s.reportHits.Load()
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()
 		m.ROMStore = &st
@@ -276,22 +314,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
-// retryAfter estimates when a slot is likely to free up: the smoothed job
-// duration scaled by queue depth over parallelism, clamped to [1s, 120s].
-func (s *Server) retryAfter() time.Duration {
-	ewma := time.Duration(s.ewmaNanos.Load())
-	if ewma <= 0 {
-		return time.Second
+// retryAfterSeconds estimates, in whole seconds, when a slot is likely to
+// free up: the smoothed job duration scaled by queue depth over parallelism,
+// rounded up and clamped to [1, 120]. The arithmetic is floating-point on
+// purpose: the integer-duration form this replaces could truncate toward
+// zero (sub-second EWMA, depth below MaxConcurrent) before the header
+// rounding ever saw the value, and could overflow the EWMA × depth product
+// outright — and "Retry-After: 0" is an invitation to hammer an overloaded
+// server. The floor is the guarantee: the header is never less than 1.
+func (s *Server) retryAfterSeconds() int {
+	ewma := float64(s.ewmaNanos.Load())
+	depth := float64(s.waiting.Load() + 1)
+	sec := math.Ceil(ewma * depth / float64(s.opts.MaxConcurrent) / float64(time.Second))
+	if !(sec > 1) { // NaN-proof: any non-positive or unordered estimate floors to 1
+		return 1
 	}
-	depth := s.waiting.Load() + 1
-	est := ewma * time.Duration(depth) / time.Duration(s.opts.MaxConcurrent)
-	if est < time.Second {
-		est = time.Second
+	if sec > 120 {
+		return 120
 	}
-	if est > 2*time.Minute {
-		est = 2 * time.Minute
-	}
-	return est
+	return int(sec)
 }
 
 func (s *Server) observeDuration(d time.Duration) {
@@ -358,13 +399,23 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"bad field: " + badField})
 		return
 	}
+	// Repeat request? The cache key pairs the design input with the full
+	// canonical config, so two jobs share a report only when every
+	// content-affecting knob matches — and then the reports are provably
+	// byte-identical, making the cached copy indistinguishable from a rerun.
+	cacheKey := designKeyFor(&req) + "\x00" + cfg.CanonicalConfigKey()
+	if resp, ok := s.lookupReport(cacheKey); ok {
+		s.reportHits.Add(1)
+		s.opts.Logf("daemon: job served from report cache (%s)", resp.JobID)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 
 	release, status := s.admit(r.Context())
 	if release == nil {
 		if status == http.StatusTooManyRequests {
 			s.rejected.Add(1)
-			ra := s.retryAfter()
-			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(w, status, errorResponse{"queue full, retry later"})
 		} else {
 			s.canceled.Add(1)
@@ -387,7 +438,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	resp, errStatus, err := s.runJob(ctx, &req, cfg)
+	resp, art, errStatus, err := s.runJob(ctx, &req, cfg)
 	wall := time.Since(start)
 
 	switch {
@@ -395,7 +446,16 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.completed.Add(1)
 		s.observeDuration(wall)
 		resp.WallMS = float64(wall) / float64(time.Millisecond)
-		s.opts.Logf("daemon: job done in %v: %d violations, %d clusters", wall.Round(time.Millisecond), resp.Violations, resp.Clusters)
+		if resp.Unverified > 0 {
+			// Unverified clusters mark transient trouble (timeouts, faults,
+			// overload); serving such a report from cache would pin the
+			// failure long after the condition cleared. The job still
+			// anchors reverify deltas by id — the splice recomputes
+			// unverified clusters — but repeat requests re-run.
+			cacheKey = ""
+		}
+		resp.JobID = s.storeReport(cacheKey, cfg, art, resp)
+		s.opts.Logf("daemon: job %s done in %v: %d violations, %d clusters", resp.JobID, wall.Round(time.Millisecond), resp.Violations, resp.Clusters)
 		writeJSON(w, http.StatusOK, resp)
 	case r.Context().Err() != nil:
 		// Client disconnected (or the whole listener is shutting down):
@@ -460,7 +520,7 @@ func (s *Server) jobConfig(req *VerifyRequest) (xtverify.Config, string) {
 
 // runJob builds the verifier and runs it under ctx. The returned int is
 // the HTTP status to use when err is non-nil and not a cancellation.
-func (s *Server) runJob(ctx context.Context, req *VerifyRequest, cfg xtverify.Config) (*VerifyResponse, int, error) {
+func (s *Server) runJob(ctx context.Context, req *VerifyRequest, cfg xtverify.Config) (*VerifyResponse, *jobArtifacts, int, error) {
 	var (
 		v   *xtverify.Verifier
 		err error
@@ -468,52 +528,61 @@ func (s *Server) runJob(ctx context.Context, req *VerifyRequest, cfg xtverify.Co
 	if req.DEF != "" {
 		v, err = xtverify.NewVerifierFromDEF(strings.NewReader(req.DEF), cfg)
 		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("parse def: %w", err)
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("parse def: %w", err)
 		}
 	} else {
-		d := xtverify.DefaultDSPConfig()
-		d.Seed = req.DSP.Seed
-		if req.DSP.Channels > 0 {
-			d.Channels = req.DSP.Channels
-		}
-		if req.DSP.TracksPerChannel > 0 {
-			d.TracksPerChannel = req.DSP.TracksPerChannel
-		}
-		if req.DSP.ChannelLengthUM > 0 {
-			d.ChannelLengthUM = req.DSP.ChannelLengthUM
-		}
-		if req.DSP.BusFraction > 0 {
-			d.BusFraction = req.DSP.BusFraction
-		}
-		if req.DSP.LatchFraction > 0 {
-			d.LatchFraction = req.DSP.LatchFraction
-		}
-		if req.DSP.ComplementaryFraction > 0 {
-			d.ComplementaryFraction = req.DSP.ComplementaryFraction
-		}
-		if req.DSP.ClockSpines > 0 {
-			d.ClockSpines = req.DSP.ClockSpines
-		}
-		v, err = xtverify.NewVerifierFromDSP(d, cfg)
+		// DSP jobs are canonicalized through one DEF round trip before
+		// verification. A reverify delta is necessarily expressed in DEF, so
+		// its verifier parses DEF — and a DSP-direct base would differ from
+		// it in low-order parasitic bits (the generator's micron arithmetic
+		// rounds differently from the DEF parser's DBU division), defeating
+		// every cluster signature. Serving the DEF-parsed form makes base
+		// and delta bit-comparable; DEF-to-DEF parses are exactly stable.
+		gen, err := xtverify.NewVerifierFromDSP(resolveDSP(req.DSP), cfg)
 		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("generate design: %w", err)
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("generate design: %w", err)
+		}
+		var sb strings.Builder
+		if err := gen.WriteDEF(&sb); err != nil {
+			return nil, nil, http.StatusInternalServerError, fmt.Errorf("canonicalize design: %w", err)
+		}
+		v, err = xtverify.NewVerifierFromDEF(strings.NewReader(sb.String()), cfg)
+		if err != nil {
+			return nil, nil, http.StatusInternalServerError, fmt.Errorf("reparse canonical def: %w", err)
 		}
 	}
 
 	rep, err := v.RunContext(ctx)
-	// Fold this job's engine counters into the daemon totals whether the
-	// run finished or not — partial work is still work observed.
-	if snap := cfg.Collector.Snapshot(); snap != nil {
+	s.foldCounters(cfg.Collector)
+	if err != nil {
+		return nil, nil, http.StatusInternalServerError, err
+	}
+	resp, err := makeResponse(rep)
+	if err != nil {
+		return nil, nil, http.StatusInternalServerError, err
+	}
+	return resp, &jobArtifacts{verifier: v, report: rep}, 0, nil
+}
+
+// foldCounters merges one job's engine counters into the daemon totals —
+// called whether or not the run finished, since partial work is still work
+// observed.
+func (s *Server) foldCounters(col *xtverify.MetricsCollector) {
+	if snap := col.Snapshot(); snap != nil {
 		s.mu.Lock()
 		for k, n := range snap.Counters {
 			s.totals[k] += n
 		}
 		s.mu.Unlock()
 	}
-	if err != nil {
-		return nil, http.StatusInternalServerError, err
-	}
+}
 
+// makeResponse freezes a completed report into the wire response. The text
+// is rendered without the diagnostics block so report_text is deterministic:
+// wall times and cache statistics are run-dependent and live in the
+// structured fields instead. The report's diagnostics are restored before
+// returning (the report cache keeps them for reverify anchoring).
+func makeResponse(rep *xtverify.Report) (*VerifyResponse, error) {
 	diag := rep.Diagnostics
 	resp := &VerifyResponse{
 		Violations: len(rep.Violations),
@@ -530,14 +599,13 @@ func (s *Server) runJob(ctx context.Context, req *VerifyRequest, cfg xtverify.Co
 	if rep.Screening != nil {
 		resp.Screened = rep.Screening.Screened
 	}
-	// Render without the diagnostics block so report_text is
-	// deterministic: wall times and cache statistics are run-dependent
-	// and live in the structured fields instead.
 	rep.Diagnostics = nil
 	var sb strings.Builder
-	if err := rep.WriteText(&sb); err != nil {
-		return nil, http.StatusInternalServerError, fmt.Errorf("render report: %w", err)
+	err := rep.WriteText(&sb)
+	rep.Diagnostics = diag
+	if err != nil {
+		return nil, fmt.Errorf("render report: %w", err)
 	}
 	resp.ReportText = sb.String()
-	return resp, 0, nil
+	return resp, nil
 }

@@ -219,7 +219,10 @@ func TestWarmColdRestartByteIdentity(t *testing.T) {
 		t.Errorf("warm restart report differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold.ReportText, warm.ReportText)
 	}
 	m2 := getMetrics(t, ts2)
-	if m2.ROMCache.BackingHits == 0 || m2.ROMStore.Hits == 0 {
+	// Warm hits may arrive through the prepared-core path, which satisfies
+	// the cluster before the ROM cache is ever consulted — so assert on the
+	// store's own hit counter, not the cache's backing-hit counter.
+	if m2.ROMStore.Hits == 0 {
 		t.Errorf("warm daemon never hit the store: cache %+v store %+v", m2.ROMCache, m2.ROMStore)
 	}
 	ts2.Close()
@@ -489,8 +492,9 @@ func TestConcurrentSubmissions(t *testing.T) {
 		t.Error(err)
 	}
 	m := srv.Metrics()
-	if got := m.Jobs.Completed + m.Jobs.RejectedQueue; got != clients*perClient {
-		t.Errorf("completed %d + rejected %d = %d, want %d", m.Jobs.Completed, m.Jobs.RejectedQueue, got, clients*perClient)
+	if got := m.Jobs.Completed + m.Jobs.RejectedQueue + m.ReportCache.Hits; got != clients*perClient {
+		t.Errorf("completed %d + rejected %d + report-cache hits %d = %d, want %d",
+			m.Jobs.Completed, m.Jobs.RejectedQueue, m.ReportCache.Hits, got, clients*perClient)
 	}
 	if m.Jobs.Running != 0 || m.Jobs.Waiting != 0 {
 		t.Errorf("stuck jobs after drain: %+v", m.Jobs)

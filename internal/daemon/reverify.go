@@ -1,0 +1,474 @@
+// Incremental ECO re-verification over HTTP: the report cache and the
+// /v1/reverify endpoint.
+//
+// Every completed job is cached with its verifier, full report and response
+// under a deterministic job id. A repeat POST /v1/verify for the same design
+// input and canonical engine config is served straight from the cache — the
+// byte-identity contract makes the cached report indistinguishable from a
+// rerun. A POST /v1/reverify anchors an ECO delta (a full edited DEF, or a
+// repair the daemon applies to the cached base design itself) to a base job
+// id and runs xtverify's incremental splice: only clusters the edit changed
+// are recomputed, and the response is byte-identical to a cold verify of the
+// edited design. An evicted base is a 404 — its per-request config went with
+// it, and running under a different config would be a different verification,
+// not a delta. Any other reason the splice cannot be trusted — cached state
+// unusable, config drift — degrades to a full recompute of the edited design
+// under the base's config, flagged in the response but never wrong.
+package daemon
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xtverify"
+	"xtverify/internal/cells"
+	"xtverify/internal/deflite"
+)
+
+// jobArtifacts is what a completed run leaves behind for the report cache.
+type jobArtifacts struct {
+	verifier *xtverify.Verifier
+	report   *xtverify.Report // diagnostics intact
+}
+
+// cachedJob is one completed job held for repeat requests and reverify
+// anchoring. The canonical DEF serialization and the reverify base index are
+// derived lazily — most jobs are never used as a reverify base, and both
+// derivations cost real work.
+type cachedJob struct {
+	id       string
+	cacheKey string // "" for reverify-produced jobs (never served on /v1/verify)
+	cfg      xtverify.Config
+	verifier *xtverify.Verifier
+	report   *xtverify.Report
+	resp     VerifyResponse
+
+	defOnce sync.Once
+	defText string
+	defErr  error
+
+	baseOnce sync.Once
+	base     *xtverify.BaseRun
+	baseErr  error
+}
+
+// designDEF returns the job's design in canonical DEF form (the substrate
+// repair deltas are applied to).
+func (j *cachedJob) designDEF() (string, error) {
+	j.defOnce.Do(func() {
+		var sb strings.Builder
+		if err := j.verifier.WriteDEF(&sb); err != nil {
+			j.defErr = fmt.Errorf("serialize base design: %w", err)
+			return
+		}
+		j.defText = sb.String()
+	})
+	return j.defText, j.defErr
+}
+
+// baseRun returns the job's reverify index, built on first use.
+func (j *cachedJob) baseRun() (*xtverify.BaseRun, error) {
+	j.baseOnce.Do(func() {
+		j.base, j.baseErr = j.verifier.BaseRun(j.report)
+	})
+	return j.base, j.baseErr
+}
+
+// resolveDSP applies the paper-scale defaults to a DSP request, exactly as
+// the job runner builds the generator config — the design key must describe
+// the design that would actually be generated.
+func resolveDSP(req *DSPRequest) xtverify.DSPConfig {
+	d := xtverify.DefaultDSPConfig()
+	d.Seed = req.Seed
+	if req.Channels > 0 {
+		d.Channels = req.Channels
+	}
+	if req.TracksPerChannel > 0 {
+		d.TracksPerChannel = req.TracksPerChannel
+	}
+	if req.ChannelLengthUM > 0 {
+		d.ChannelLengthUM = req.ChannelLengthUM
+	}
+	if req.BusFraction > 0 {
+		d.BusFraction = req.BusFraction
+	}
+	if req.LatchFraction > 0 {
+		d.LatchFraction = req.LatchFraction
+	}
+	if req.ComplementaryFraction > 0 {
+		d.ComplementaryFraction = req.ComplementaryFraction
+	}
+	if req.ClockSpines > 0 {
+		d.ClockSpines = req.ClockSpines
+	}
+	return d
+}
+
+// designKeyFor canonicalizes the request's design input: the DEF text's hash,
+// or the fully resolved DSP generator parameters (so an explicit default and
+// an omitted field share a key).
+func designKeyFor(req *VerifyRequest) string {
+	if req.DEF != "" {
+		sum := sha256.Sum256([]byte(req.DEF))
+		return "def|" + hex.EncodeToString(sum[:])
+	}
+	d := resolveDSP(req.DSP)
+	return fmt.Sprintf("dsp|%d|%d|%d|%g|%g|%g|%g|%g|%d",
+		d.Seed, d.Channels, d.TracksPerChannel, d.ChannelLengthUM, d.TrackPitchUM,
+		d.BusFraction, d.LatchFraction, d.ComplementaryFraction, d.ClockSpines)
+}
+
+// lookupReport serves a repeat request from the cache, if present.
+func (s *Server) lookupReport(cacheKey string) (*VerifyResponse, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	j, ok := s.byKey[cacheKey]
+	if !ok {
+		return nil, false
+	}
+	resp := j.resp
+	resp.Cached = true
+	return &resp, true
+}
+
+// jobByID returns the cached job, or nil if evicted or never completed.
+func (s *Server) jobByID(id string) *cachedJob {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.byID[id]
+}
+
+// storeReport registers a completed job in the report cache under a fresh
+// job id (returned), evicting oldest-first past ReportCacheCap. cacheKey ""
+// registers for reverify anchoring only — reverify results are deliberately
+// not served on /v1/verify, so a cold verify of an edited design always
+// actually runs (that cold run is what the identity contract is checked
+// against).
+func (s *Server) storeReport(cacheKey string, cfg xtverify.Config, art *jobArtifacts, resp *VerifyResponse) string {
+	id := fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+	j := &cachedJob{
+		id:       id,
+		cacheKey: cacheKey,
+		cfg:      cfg,
+		verifier: art.verifier,
+		report:   art.report,
+	}
+	j.resp = *resp
+	j.resp.JobID = id
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.byID[id] = j
+	if cacheKey != "" {
+		s.byKey[cacheKey] = j
+	}
+	s.idOrder = append(s.idOrder, id)
+	for len(s.idOrder) > s.opts.ReportCacheCap {
+		old := s.idOrder[0]
+		s.idOrder = s.idOrder[1:]
+		if oj := s.byID[old]; oj != nil {
+			delete(s.byID, old)
+			if oj.cacheKey != "" && s.byKey[oj.cacheKey] == oj {
+				delete(s.byKey, oj.cacheKey)
+			}
+		}
+	}
+	return id
+}
+
+// ReverifyRequest is the POST /v1/reverify body: a completed base job plus
+// an ECO delta. Exactly one of DEF (the full edited design) or Repair (a fix
+// the daemon applies to the cached base design) describes the edit. The
+// job's engine config is inherited from the base job — a reverify under a
+// different config is a different verification, not a delta.
+type ReverifyRequest struct {
+	// BaseJobID is the job_id of a completed /v1/verify or /v1/reverify
+	// response.
+	BaseJobID string `json:"base_job_id"`
+	// DEF is the edited design as an inline DEF netlist.
+	DEF string `json:"def,omitempty"`
+	// Repair applies a repair to the base design server-side.
+	Repair *RepairDelta `json:"repair,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds (0 = server
+	// default; clamped to the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RepairDelta names a repair for the daemon to apply to the base design.
+type RepairDelta struct {
+	// Victim is the violating net whose driver is repaired.
+	Victim string `json:"victim"`
+	// Fix is the strategy; "upsize-driver" is the one fix expressible in the
+	// DEF view (spacing and shielding alter extracted parasitics, which the
+	// DEF subset does not carry).
+	Fix string `json:"fix"`
+	// Cell names the replacement driver cell; empty picks the next stronger
+	// same-kind cell from the library.
+	Cell string `json:"cell,omitempty"`
+}
+
+// ReverifyResponse is the successful reverify result: the spliced report
+// (byte-identical to a cold verify of the edited design) plus splice
+// accounting.
+type ReverifyResponse struct {
+	VerifyResponse
+	// ClustersReused and ClustersRecomputed account for the splice; on a
+	// full recompute everything counts as recomputed.
+	ClustersReused     int `json:"clusters_reused"`
+	ClustersRecomputed int `json:"clusters_recomputed"`
+	// FullRecompute marks a degraded splice: the base job was evicted or its
+	// cached state unusable, so the edited design was verified from scratch.
+	// The report is the same either way; only the work differs.
+	FullRecompute bool `json:"full_recompute,omitempty"`
+	// DEF echoes the edited design when the daemon synthesized it from a
+	// repair delta, so the client can inspect it or verify it cold.
+	DEF string `json:"def,omitempty"`
+}
+
+func (s *Server) handleReverify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server draining"})
+		return
+	}
+	var req ReverifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request: " + err.Error()})
+		return
+	}
+	if req.BaseJobID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"base_job_id is required"})
+		return
+	}
+	if (req.DEF == "") == (req.Repair == nil) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"exactly one of def or repair is required"})
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad field: timeout_ms"})
+		return
+	}
+
+	base := s.jobByID(req.BaseJobID)
+	if base == nil {
+		// An evicted base takes its per-request config overrides with it, so
+		// a "fresh run instead" here would silently verify under the server's
+		// base engine config — a different verification, not a degraded
+		// splice. Clients that want a cold run of the edited design have
+		// /v1/verify.
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown base job " + req.BaseJobID + " (evicted or never completed); POST /v1/verify to run the design cold"})
+		return
+	}
+	cfg := base.cfg
+	cfg.SharedROMCache = s.cache
+	cfg.ROMStore = s.opts.Store
+	cfg.Collector = xtverify.NewMetricsCollector()
+
+	var defText string
+	var synthesized bool
+	if req.Repair != nil {
+		baseDEF, err := base.designDEF()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+		defText, err = applyRepair(baseDEF, req.Repair)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		synthesized = true
+	} else {
+		defText = req.DEF
+	}
+
+	release, status := s.admit(r.Context())
+	if release == nil {
+		if status == http.StatusTooManyRequests {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeJSON(w, status, errorResponse{"queue full, retry later"})
+		} else {
+			s.canceled.Add(1)
+		}
+		return
+	}
+	s.jobs.Add(1)
+	defer s.jobs.Done()
+	defer release()
+	s.accepted.Add(1)
+
+	timeout := s.opts.DefaultJobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.opts.MaxJobTimeout {
+		timeout = s.opts.MaxJobTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	resp, art, errStatus, err := s.runReverify(ctx, base, defText, cfg)
+	wall := time.Since(start)
+
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+		s.observeDuration(wall)
+		resp.WallMS = float64(wall) / float64(time.Millisecond)
+		if synthesized {
+			resp.DEF = defText
+		}
+		resp.JobID = s.storeReport("", cfg, art, &resp.VerifyResponse)
+		s.opts.Logf("daemon: reverify %s of %s done in %v: %d reused, %d recomputed, %d violations",
+			resp.JobID, req.BaseJobID, wall.Round(time.Millisecond),
+			resp.ClustersReused, resp.ClustersRecomputed, resp.Violations)
+		writeJSON(w, http.StatusOK, resp)
+	case r.Context().Err() != nil:
+		s.canceled.Add(1)
+		s.opts.Logf("daemon: reverify canceled by client after %v", wall.Round(time.Millisecond))
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.timedOut.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"job deadline exceeded: " + err.Error()})
+	default:
+		s.failed.Add(1)
+		s.opts.Logf("daemon: reverify failed after %v: %v", wall.Round(time.Millisecond), err)
+		writeJSON(w, errStatus, errorResponse{err.Error()})
+	}
+}
+
+// runReverify verifies the edited design, splicing against the base job's
+// cached run when that can be trusted and recomputing from scratch when it
+// cannot. Both paths return the same bytes for the same design; the splice
+// only saves work.
+func (s *Server) runReverify(ctx context.Context, base *cachedJob, defText string, cfg xtverify.Config) (*ReverifyResponse, *jobArtifacts, int, error) {
+	v2, err := xtverify.NewVerifierFromDEF(strings.NewReader(defText), cfg)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("parse def: %w", err)
+	}
+	var (
+		rep   *xtverify.Report
+		stats *xtverify.ReverifyStats
+	)
+	if base != nil {
+		// A base we cannot index (persisted-state faults, an incomplete
+		// run) or splice against (config drift, foreign report) degrades to
+		// the full recompute below — availability over cleverness, and the
+		// output is identical either way.
+		if br, berr := base.baseRun(); berr == nil {
+			rep, stats, err = v2.ReverifyContext(ctx, br)
+			if err != nil {
+				if !errors.Is(err, xtverify.ErrConfigMismatch) && !errors.Is(err, xtverify.ErrBaseUnusable) {
+					s.foldCounters(cfg.Collector)
+					return nil, nil, http.StatusInternalServerError, err
+				}
+				rep, stats = nil, nil
+			}
+		}
+	}
+	full := rep == nil
+	if full {
+		rep, err = v2.RunContext(ctx)
+		if err != nil {
+			s.foldCounters(cfg.Collector)
+			return nil, nil, http.StatusInternalServerError, err
+		}
+	}
+	s.foldCounters(cfg.Collector)
+	vr, err := makeResponse(rep)
+	if err != nil {
+		return nil, nil, http.StatusInternalServerError, err
+	}
+	resp := &ReverifyResponse{VerifyResponse: *vr, FullRecompute: full}
+	if stats != nil {
+		resp.ClustersReused = stats.ClustersReused
+		resp.ClustersRecomputed = stats.ClustersRecomputed
+	} else {
+		resp.ClustersRecomputed = vr.Clusters
+	}
+	return resp, &jobArtifacts{verifier: v2, report: rep}, 0, nil
+}
+
+// applyRepair synthesizes the edited design for a repair delta: the victim's
+// driver instance is swapped to the requested (or next stronger same-kind)
+// cell and the design re-serialized, so the reverify parses exactly the DEF
+// a cold verify of the repaired design would.
+func applyRepair(defText string, rp *RepairDelta) (string, error) {
+	if rp.Victim == "" {
+		return "", fmt.Errorf("repair: victim is required")
+	}
+	if rp.Fix != "upsize-driver" {
+		return "", fmt.Errorf("repair: unsupported fix %q (only upsize-driver is expressible as a DEF delta)", rp.Fix)
+	}
+	d, err := deflite.Read(strings.NewReader(defText))
+	if err != nil {
+		return "", fmt.Errorf("repair: parse base def: %w", err)
+	}
+	net, ok := d.NetByName(rp.Victim)
+	if !ok {
+		return "", fmt.Errorf("repair: unknown victim net %q", rp.Victim)
+	}
+	if len(net.Drivers) == 0 {
+		return "", fmt.Errorf("repair: victim %q has no driver", rp.Victim)
+	}
+	drv := net.Drivers[0]
+	var repl *cells.Cell
+	if rp.Cell != "" {
+		repl, ok = cells.ByName(rp.Cell)
+		if !ok {
+			return "", fmt.Errorf("repair: unknown cell %q", rp.Cell)
+		}
+	} else {
+		if repl = strongerCell(drv.Cell); repl == nil {
+			return "", fmt.Errorf("repair: no stronger %s than %s in the library", drv.Cell.Kind, drv.Cell.Name)
+		}
+	}
+	// The instance is one cell: every pin of it, on every net, re-points
+	// together or the design would be self-inconsistent.
+	for _, n := range d.Nets {
+		for i := range n.Drivers {
+			if n.Drivers[i].Inst == drv.Inst {
+				n.Drivers[i].Cell = repl
+			}
+		}
+		for i := range n.Receivers {
+			if n.Receivers[i].Inst == drv.Inst {
+				n.Receivers[i].Cell = repl
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := deflite.Write(&sb, d); err != nil {
+		return "", fmt.Errorf("repair: serialize edited def: %w", err)
+	}
+	return sb.String(), nil
+}
+
+// strongerCell finds the same-kind cell with the smallest strength above the
+// given cell's, or nil — the repair advisor's upsize policy.
+func strongerCell(c *cells.Cell) *cells.Cell {
+	var best *cells.Cell
+	for _, cand := range cells.Library() {
+		if cand.Kind != c.Kind || cand.Strength <= c.Strength {
+			continue
+		}
+		if best == nil || cand.Strength < best.Strength {
+			best = cand
+		}
+	}
+	return best
+}

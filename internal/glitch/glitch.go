@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"xtverify/internal/cellmodel"
 	"xtverify/internal/cells"
@@ -90,6 +91,15 @@ type Options struct {
 	Cache *ROMCache
 	// DisableROMCache turns reduced-model memoization off entirely.
 	DisableROMCache bool
+	// PreparedStore, when non-nil, persists prepared-transient numeric cores
+	// (romsim.PreparedCore) across processes, keyed by the cluster
+	// fingerprint plus the termination conductance pattern and stepping
+	// parameters. A hit skips the SyMPVL reduction *and* the termination
+	// fold/eigendecomposition; transients against a restored core are
+	// bit-identical to freshly prepared ones. Ignored when DisableROMCache
+	// or DisablePrepared is set, and bypassed (like the in-memory memo) for
+	// circuits that no longer match prune.BuildCircuit output.
+	PreparedStore PreparedBacking
 	// DisablePrepared turns the prepared-transient layer off: every
 	// scenario re-runs the termination fold and eigendecomposition through
 	// one-shot romsim.Simulate calls, and rising/falling (and
@@ -602,15 +612,30 @@ func (e *Engine) glitchResult(cl *prune.Cluster, cp *clusterPorts, plans []Aggre
 	return res
 }
 
+// PreparedBacking is the optional persistent level under the prepared-
+// transient memo (implemented by romstore.Store): restored cores step
+// bit-identically to freshly prepared ones, loads that cannot be fully
+// validated report a miss, and saves are best-effort.
+type PreparedBacking interface {
+	LoadPrepared(key string) (*romsim.PreparedCore, bool)
+	SavePrepared(key string, c *romsim.PreparedCore)
+}
+
 // preparedFor returns the memoized Prepared for (cl, decoupled, pattern of
 // terms), building the reduced model and the factorization on a miss via the
 // reduce callback. A hit skips both the reduction and the diagonalization.
-// Callers whose circuit no longer matches prune.BuildCircuit output (repair
-// transforms) must not use the memo: the pattern key cannot see circuit
-// edits.
+// When a PreparedStore is configured, misses consult it before reducing —
+// keyed by the cluster fingerprint, the stepping parameters and the
+// termination pattern, so a warm process skips the diagonalization across
+// restarts too — and freshly prepared cores are written through. Callers
+// whose circuit no longer matches prune.BuildCircuit output (repair
+// transforms) must not use the memo: neither the pattern key nor the
+// fingerprint-based store key can see circuit edits.
 func (e *Engine) preparedFor(cl *prune.Cluster, decoupled bool, terms []romsim.Termination,
+	ckt *circuit.Circuit, sys *mna.System,
 	reduce func() (*sympvl.Model, error)) (*romsim.Prepared, error) {
-	key := romsim.PatternKey(terms)
+	pat := romsim.PatternKey(terms)
+	key := pat
 	if decoupled {
 		key = "D|" + key
 	}
@@ -622,6 +647,29 @@ func (e *Engine) preparedFor(cl *prune.Cluster, decoupled bool, terms []romsim.T
 		e.Opt.Trace.Add(obs.CtrPreparedReuses, 1)
 		return p, nil
 	}
+	var storeKey string
+	if e.Opt.PreparedStore != nil && !e.Opt.DisableROMCache {
+		gmin := e.Opt.Gmin
+		if gmin == 0 {
+			gmin = mna.DefaultGmin
+		}
+		fpSpan := e.Opt.Trace.Start(obs.PhaseFingerprint)
+		fp := prune.Fingerprint(ckt, gmin, e.reducedOrder(sys.P), decoupled)
+		fpSpan.End()
+		// The fingerprint already encodes gmin/order/decoupling; the suffix
+		// pins the stepping grid and the termination conductance pattern
+		// (romsim's tol/maxNewton defaults are constants covered by the
+		// store's format version).
+		storeKey = fp + "|prep|" + strconv.FormatUint(math.Float64bits(e.Opt.TEnd), 16) + "." +
+			strconv.FormatUint(math.Float64bits(e.Opt.Dt), 16) + "|" + pat
+		if core, ok := e.Opt.PreparedStore.LoadPrepared(storeKey); ok {
+			if p, err := romsim.PreparedFromCore(core); err == nil {
+				e.Opt.Trace.Add(obs.CtrPreparedStoreHits, 1)
+				e.prep.entries[key] = p
+				return p, nil
+			}
+		}
+	}
 	model, err := reduce()
 	if err != nil {
 		return nil, err
@@ -629,6 +677,9 @@ func (e *Engine) preparedFor(cl *prune.Cluster, decoupled bool, terms []romsim.T
 	p, err := romsim.Prepare(model, terms, romsim.Options{TEnd: e.Opt.TEnd, Dt: e.Opt.Dt, Trace: e.Opt.Trace})
 	if err != nil {
 		return nil, err
+	}
+	if storeKey != "" {
+		e.Opt.PreparedStore.SavePrepared(storeKey, p.Core())
 	}
 	e.prep.entries[key] = p
 	return p, nil
@@ -685,7 +736,7 @@ func (e *Engine) analyzeGlitchSet(ctx context.Context, cl *prune.Cluster, specs 
 	errIdx, firstErr := -1, error(nil)
 	for _, key := range keys {
 		idxs := groups[key]
-		p, err := e.preparedFor(cl, false, built[idxs[0]].terms, reduce)
+		p, err := e.preparedFor(cl, false, built[idxs[0]].terms, ckt, sys, reduce)
 		if err != nil {
 			return nil, idxs[0], err
 		}
@@ -776,7 +827,7 @@ func (e *Engine) analyzeGlitchCustom(ctx context.Context, cl *prune.Cluster, gli
 		simRes, err = romsim.Simulate(model, terms, simOpt)
 	default:
 		var p *romsim.Prepared
-		if p, err = e.preparedFor(cl, false, terms, reduce); err != nil {
+		if p, err = e.preparedFor(cl, false, terms, ckt, sys, reduce); err != nil {
 			return nil, err
 		}
 		order = p.Order()
@@ -855,7 +906,7 @@ func (e *Engine) AnalyzeDelayContext(ctx context.Context, cl *prune.Cluster, vic
 			return nil, err
 		}
 	} else {
-		p, perr := e.preparedFor(cl, !withCoupling, terms, reduce)
+		p, perr := e.preparedFor(cl, !withCoupling, terms, ckt, sys, reduce)
 		if perr != nil {
 			return nil, perr
 		}

@@ -136,6 +136,21 @@ const (
 	// margin but was denied clearance by the safety factor — the population
 	// a tighter bound (or a bolder safety factor) would additionally screen.
 	CtrScreenNearThreshold
+	// CtrReverifyJobs counts incremental re-verification runs: a delta run
+	// that spliced cached cluster results into a base report instead of
+	// recomputing everything.
+	CtrReverifyJobs
+	// CtrClustersReused counts clusters whose signature matched the base run
+	// during a reverify and whose result was spliced from the base report.
+	CtrClustersReused
+	// CtrClustersRecomputed counts clusters a reverify actually re-analyzed
+	// (changed fingerprint, changed membership, or new victim).
+	CtrClustersRecomputed
+	// CtrPreparedStoreHits counts prepared-transient factorizations (the
+	// termination fold + eigendecomposition numeric core) served from the
+	// disk-persistent store — both the reduction and the diagonalization
+	// were skipped.
+	CtrPreparedStoreHits
 
 	// NumCounters bounds the Counter enum.
 	NumCounters
@@ -186,6 +201,14 @@ func (c Counter) String() string {
 		return "screen_bound_evals"
 	case CtrScreenNearThreshold:
 		return "screen_near_threshold"
+	case CtrReverifyJobs:
+		return "reverify_jobs"
+	case CtrClustersReused:
+		return "clusters_reused"
+	case CtrClustersRecomputed:
+		return "clusters_recomputed"
+	case CtrPreparedStoreHits:
+		return "prepared_store_hits"
 	default:
 		return "counter(?)"
 	}

@@ -47,6 +47,8 @@ func TestNames(t *testing.T) {
 		"scenarios_batched", "diagonalize_skipped", "rung_retries",
 		"rom_store_hits", "rom_store_writes", "cache_corrupt_discarded",
 		"screened_rung0", "screen_bound_evals", "screen_near_threshold",
+		"reverify_jobs", "clusters_reused", "clusters_recomputed",
+		"prepared_store_hits",
 	}
 	for c := Counter(0); c < NumCounters; c++ {
 		if got := c.String(); got != wantCtrs[c] {

@@ -1,10 +1,11 @@
 // The metrics snapshot: the frozen, JSON-serializable view of a Collector.
 //
-// Schema (version 2 — version 1 plus the rung-0 screening counters
-// screened_rung0 / screen_bound_evals / screen_near_threshold):
+// Schema (version 3 — version 2 plus the incremental-reverify counters
+// reverify_jobs / clusters_reused / clusters_recomputed and the persistent
+// prepared-transient counter prepared_store_hits):
 //
 //	{
-//	  "schema_version": 2,
+//	  "schema_version": 3,
 //	  "workers":        <resolved pool size>,
 //	  "wall_ns":        <end-to-end cluster-analysis time>,
 //	  "counters":       {"<counter name>": <int64>, ...},   // every counter, zero included
@@ -25,8 +26,9 @@ import (
 )
 
 // SchemaVersion is the metrics JSON schema version emitted by Snapshot.
-// Version 2 added the rung-0 screening counters.
-const SchemaVersion = 2
+// Version 2 added the rung-0 screening counters; version 3 the incremental
+// reverify and persistent prepared-transient counters.
+const SchemaVersion = 3
 
 // PhaseMetrics summarizes the recorded spans of one phase.
 type PhaseMetrics struct {

@@ -1,0 +1,303 @@
+// Prepared-transient persistence: alongside the SyMPVL models (.rom), the
+// store can hold the scenario-independent numeric core of a
+// romsim.Prepared (.prep) — the termination-fold eigendecomposition, η
+// columns and stepping parameters — so a warm process skips the
+// diagonalization as well as the reduction. The entries share the store's
+// durability contract: crash-safe writes, fully validated defensive loads,
+// corruption discarded and recomputed, floats as raw IEEE-754 bits so warm
+// transients are bit-identical to cold ones.
+//
+// Prepared entry layout (all integers little-endian):
+//
+//	magic      [8]byte  "XTPREP1\n"
+//	version    u32      preparedFormatVersion
+//	goVersion  str      u32 length + bytes (runtime.Version of the writer)
+//	key        str      fingerprint + termination-pattern key
+//	payload    str      the core codec below
+//	crc        u32      CRC-32 (IEEE) of every byte above
+//
+// Core payload layout:
+//
+//	order, ports             u32 ×2
+//	dvals                    order × f64
+//	etaCols                  ports × (order × f64)
+//	kinds                    ports × u8
+//	gs                       ports × f64
+//	dt, tend                 f64 ×2
+//	nSteps, maxNewton        u32 ×2
+//	tol                      f64
+//	denseNewt, noInitDC      u8 ×2
+package romstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"xtverify/internal/faultinject"
+	"xtverify/internal/romsim"
+)
+
+const (
+	preparedExt           = ".prep"
+	preparedFormatVersion = 1
+	// maxPreparedPorts bounds the port count of a stored core (far above any
+	// real cluster; low enough to stop a corrupted length driving a giant
+	// allocation).
+	maxPreparedPorts = 1 << 16
+)
+
+var preparedMagic = [8]byte{'X', 'T', 'P', 'R', 'E', 'P', '1', '\n'}
+
+// preparedPath maps a prepared key onto its entry file. The key space is
+// disjoint from the model keys by extension, so a fingerprint may own both a
+// .rom and several .prep entries (one per termination pattern).
+func (s *Store) preparedPath(key string) string {
+	return s.entryPath(key)[:len(s.entryPath(key))-len(entryExt)] + preparedExt
+}
+
+// LoadPrepared returns the stored prepared core for key, or (nil, false).
+// Like Load, it never returns a core it could not fully validate: corruption
+// discards the entry and reports a miss so the caller re-Prepares.
+func (s *Store) LoadPrepared(key string) (*romsim.PreparedCore, bool) {
+	path := s.preparedPath(key)
+	if err := faultinject.FireStore("load", path); err != nil {
+		s.loadErrors.Add(1)
+		return nil, false
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+		} else {
+			s.loadErrors.Add(1)
+		}
+		return nil, false
+	}
+	c, err := decodePreparedEntry(raw, key, s.goVersion)
+	if err != nil {
+		s.corruptDiscarded.Add(1)
+		_ = os.Remove(path)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return c, true
+}
+
+// SavePrepared persists the core under key, best-effort and crash-safe,
+// mirroring Save's temp-file + fsync + rename discipline.
+func (s *Store) SavePrepared(key string, c *romsim.PreparedCore) {
+	path := s.preparedPath(key)
+	if err := faultinject.FireStore("save", path); err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	raw := encodePreparedEntry(key, s.goVersion, c)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-prep-*")
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	tmpName := tmp.Name()
+	_, err = tmp.Write(raw)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		s.writeErrors.Add(1)
+		_ = os.Remove(tmpName)
+		return
+	}
+	s.writes.Add(1)
+}
+
+// encodePreparedCore serializes the core payload.
+func encodePreparedCore(c *romsim.PreparedCore) []byte {
+	buf := make([]byte, 0, 64+8*(c.Order+c.Ports*(c.Order+1)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Order))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Ports))
+	for _, v := range c.Dvals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, col := range c.EtaCols {
+		for _, v := range col {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = append(buf, c.Kinds...)
+	for _, v := range c.Gs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Dt))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.TEnd))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.NSteps))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.MaxNewton))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Tol))
+	buf = append(buf, boolByte(c.DenseNewt), boolByte(c.NoInitDC))
+	return buf
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// encodePreparedEntry wraps the core payload in the versioned, checksummed
+// envelope.
+func encodePreparedEntry(key, goVersion string, c *romsim.PreparedCore) []byte {
+	payload := encodePreparedCore(c)
+	buf := make([]byte, 0, len(preparedMagic)+16+len(goVersion)+len(key)+len(payload)+8)
+	buf = append(buf, preparedMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, preparedFormatVersion)
+	buf = appendStr(buf, goVersion)
+	buf = appendStr(buf, key)
+	buf = appendStr(buf, string(payload))
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodePreparedCore parses and validates a core payload. Beyond the codec
+// checks here, romsim.PreparedFromCore re-validates the numeric structure
+// before the core is trusted.
+func decodePreparedCore(payload []byte) (*romsim.PreparedCore, error) {
+	r := &reader{b: payload}
+	order, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	ports, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if order == 0 || ports == 0 || order > maxMatElems || ports > maxPreparedPorts ||
+		uint64(order)*uint64(ports) > maxMatElems {
+		return nil, errCorrupt
+	}
+	q, p := int(order), int(ports)
+	// Cheap size pre-check before allocating: every fixed-width field below.
+	need := 8*q + 8*q*p + p + 8*p + 8 + 8 + 4 + 4 + 8 + 2
+	if len(payload)-r.off != need {
+		return nil, errCorrupt
+	}
+	c := &romsim.PreparedCore{Order: q, Ports: p}
+	c.Dvals = make([]float64, q)
+	for i := range c.Dvals {
+		if c.Dvals[i], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	c.EtaCols = make([][]float64, p)
+	etaData := make([]float64, p*q)
+	for j := range c.EtaCols {
+		c.EtaCols[j] = etaData[j*q : (j+1)*q]
+		for i := 0; i < q; i++ {
+			if c.EtaCols[j][i], err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	kinds, err := r.take(p)
+	if err != nil {
+		return nil, err
+	}
+	c.Kinds = append([]uint8(nil), kinds...)
+	for _, k := range c.Kinds {
+		if k > 2 {
+			return nil, errCorrupt
+		}
+	}
+	c.Gs = make([]float64, p)
+	for i := range c.Gs {
+		if c.Gs[i], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	if c.Dt, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if c.TEnd, err = r.f64(); err != nil {
+		return nil, err
+	}
+	nSteps, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	maxNewton, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if c.Tol, err = r.f64(); err != nil {
+		return nil, err
+	}
+	dense, err := r.u8()
+	if err != nil || dense > 1 {
+		return nil, errCorrupt
+	}
+	noDC, err := r.u8()
+	if err != nil || noDC > 1 {
+		return nil, errCorrupt
+	}
+	if r.off != len(payload) {
+		return nil, errCorrupt
+	}
+	c.NSteps = int(nSteps)
+	c.MaxNewton = int(maxNewton)
+	c.DenseNewt = dense == 1
+	c.NoInitDC = noDC == 1
+	if c.NSteps < 1 || c.MaxNewton < 1 || !(c.Dt > 0) || !(c.TEnd > 0) || !(c.Tol > 0) {
+		return nil, errCorrupt
+	}
+	return c, nil
+}
+
+// decodePreparedEntry validates the envelope (magic, version, go version,
+// key, checksum) and then the core payload. Any failure is errCorrupt; a
+// recover turns even an unforeseen decoder bug into discard-and-recompute.
+func decodePreparedEntry(raw []byte, wantKey, wantGoVersion string) (c *romsim.PreparedCore, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			c, err = nil, fmt.Errorf("%w: decoder panic: %v", errCorrupt, rec)
+		}
+	}()
+	if len(raw) < len(preparedMagic)+4+4 {
+		return nil, errCorrupt
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errCorrupt
+	}
+	r := &reader{b: body}
+	magic, err := r.take(len(preparedMagic))
+	if err != nil || string(magic) != string(preparedMagic[:]) {
+		return nil, errCorrupt
+	}
+	version, err := r.u32()
+	if err != nil || version != preparedFormatVersion {
+		return nil, errCorrupt
+	}
+	goVer, err := r.str(1 << 12)
+	if err != nil || string(goVer) != wantGoVersion {
+		return nil, errCorrupt
+	}
+	key, err := r.str(maxStr)
+	if err != nil || string(key) != wantKey {
+		return nil, errCorrupt
+	}
+	payload, err := r.str(maxStr)
+	if err != nil {
+		return nil, errCorrupt
+	}
+	if r.off != len(body) {
+		return nil, errCorrupt
+	}
+	return decodePreparedCore(payload)
+}

@@ -43,17 +43,18 @@ func (v *Verifier) AdviseRepair(victim string) (*RepairAdvice, error) {
 // AdviseRepairContext is AdviseRepair honoring context cancellation and
 // deadlines across the polarity screen and every candidate re-simulation.
 func (v *Verifier) AdviseRepairContext(ctx context.Context, victim string) (*RepairAdvice, error) {
+	if v.victimStale(victim) {
+		// An incremental reverify superseded this victim's result here: the
+		// waveforms any advice would be ranked against no longer describe the
+		// current design. Advise against the verifier that produced the
+		// spliced report instead.
+		return nil, fmt.Errorf("%w: victim %q; advise against the reverified design's verifier", ErrStaleReport, victim)
+	}
 	net, ok := v.des.NetByName(victim)
 	if !ok {
 		return nil, fmt.Errorf("xtverify: unknown net %q", victim)
 	}
-	pOpt := prune.Options{
-		CapRatioThreshold: v.cfg.CapRatioThreshold,
-		MinCouplingF:      0.5e-15,
-		UseTimingWindows:  v.cfg.UseTimingWindows,
-		MaxAggressors:     v.cfg.MaxAggressors,
-	}
-	cl := prune.PruneVictim(v.par, net.Index, pOpt)
+	cl := prune.PruneVictim(v.par, net.Index, v.pruneOptions())
 	if len(cl.Aggressors) == 0 {
 		return nil, fmt.Errorf("xtverify: net %q has no retained aggressors", victim)
 	}

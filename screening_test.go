@@ -116,9 +116,11 @@ func TestScreeningWarmStoreIdentity(t *testing.T) {
 		t.Fatalf("cold run screened nothing; store assertion is vacuous")
 	}
 	st := store.Stats()
-	wantWrites := uint64(coldRep.AnalyzedVictims - coldRep.Screening.Screened)
+	// Each unscreened cluster persists two entries: the reduced model (.rom)
+	// and its prepared-transient core (.prep). Screened clusters write neither.
+	wantWrites := 2 * uint64(coldRep.AnalyzedVictims-coldRep.Screening.Screened)
 	if st.Writes != wantWrites {
-		t.Errorf("cold store writes %d, want %d (= %d analyzed - %d screened): screened clusters must not populate the store",
+		t.Errorf("cold store writes %d, want %d (= 2 x (%d analyzed - %d screened)): screened clusters must not populate the store",
 			st.Writes, wantWrites, coldRep.AnalyzedVictims, coldRep.Screening.Screened)
 	}
 

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"xtverify/internal/analytic"
@@ -37,6 +38,7 @@ import (
 	"xtverify/internal/dsp"
 	"xtverify/internal/extract"
 	"xtverify/internal/glitch"
+	"xtverify/internal/prune"
 	"xtverify/internal/spef"
 	"xtverify/internal/sta"
 	"xtverify/internal/verilog"
@@ -373,6 +375,15 @@ type Verifier struct {
 	// faultHook, when set (tests only), is invoked before each cluster
 	// attempt and may inject an error or panic to exercise the ladder.
 	faultHook func(victim string, stage FallbackStage) error
+	// staleMu guards stale: victims whose results in this verifier's reports
+	// were superseded by an incremental reverify splice (reverify.go).
+	// AdviseRepair refuses them with ErrStaleReport.
+	staleMu sync.Mutex
+	stale   map[string]bool
+	// signerOnce lazily builds signer, the per-design coupling index the
+	// reverify signatures read (reverify.go).
+	signerOnce sync.Once
+	signer     *prune.InputSigner
 }
 
 // NewVerifierFromDSP generates the synthetic DSP design (the Section 5
