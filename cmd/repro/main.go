@@ -26,15 +26,15 @@ import (
 )
 
 var (
-	scale   = flag.Float64("scale", 1.0, "population scale factor (0 < scale <= 1); smaller runs fewer cases")
-	seed    = flag.Int64("seed", 1999, "synthetic DSP seed")
-	workers = flag.Int("workers", 0, "parallel cluster workers for the verify experiment (0 = GOMAXPROCS)")
-	strict  = flag.Bool("strict", false, "fail fast in the verify experiment instead of degrading")
-	noPrep  = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer in the verify experiment (A/B timing; results are identical either way)")
+	scale    = flag.Float64("scale", 1.0, "population scale factor (0 < scale <= 1); smaller runs fewer cases")
+	seed     = flag.Int64("seed", 1999, "synthetic DSP seed")
+	workers  = flag.Int("workers", 0, "parallel cluster workers for the verify experiment (0 = GOMAXPROCS)")
+	strict   = flag.Bool("strict", false, "fail fast in the verify experiment instead of degrading")
+	noPrep   = flag.Bool("no-prepared", false, "disable the prepared/batched transient layer in the verify experiment (A/B timing; results are identical either way)")
 	noScreen = flag.Bool("no-screen", false, "disable the rung-0 analytic screen in the verify experiment (A/B; screened clusters are conservative passes)")
-	romCap  = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries for the verify experiment (0 = default)")
-	metrics = flag.String("metrics-out", "", "write the verify experiment's metrics snapshot to this JSON file")
-	pprofOn = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); verify metrics appear live at /debug/vars under \"xtverify\"")
+	romCap   = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries for the verify experiment (0 = default)")
+	metrics  = flag.String("metrics-out", "", "write the verify experiment's metrics snapshot to this JSON file")
+	pprofOn  = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); verify metrics appear live at /debug/vars under \"xtverify\"")
 
 	// collector instruments the verify experiment when -metrics-out or
 	// -pprof is given.

@@ -1,0 +1,92 @@
+// Command xtlint runs the repository's custom static-analysis suite — the
+// determinism, context-propagation and observability contracts of
+// internal/lint — over the named packages, multichecker style.
+//
+// Usage:
+//
+//	go run ./cmd/xtlint ./...            # the CI invocation
+//	go run ./cmd/xtlint -run mapiter .   # one analyzer, one package
+//	go run ./cmd/xtlint -list            # describe the suite
+//
+// Findings print as file:line:col: message (analyzer). Exit status is 0 for
+// a clean tree, 1 when there are findings, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xtverify/internal/lint"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: xtlint [-list] [-run name,...] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runFilter != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*runFilter, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			fmt.Fprintf(os.Stderr, "xtlint: unknown analyzer(s) in -run: %s\n", strings.Join(mapKeys(want), ", "))
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xtlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xtlint: %v\n", err)
+		return 2
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "xtlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func mapKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -31,22 +31,22 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8723", "listen address")
-		cacheDir   = flag.String("cache-dir", "", "directory for the persistent ROM cache (empty = in-memory only)")
-		cacheCap   = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries (0 = default)")
-		maxConc    = flag.Int("max-concurrent", 2, "jobs running at once")
-		maxQueue   = flag.Int("max-queue", 8, "jobs allowed to wait for a slot before shedding with 429")
-		jobTO      = flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
-		maxJobTO   = flag.Duration("max-job-timeout", 10*time.Minute, "upper clamp on requested per-job deadlines")
-		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
-		workers    = flag.Int("workers", 0, "per-job parallel cluster workers (0 = GOMAXPROCS)")
-		retries    = flag.Int("rung-retries", 2, "retries per fallback rung for transiently timed-out clusters")
-		backoff    = flag.Duration("rung-retry-backoff", xtverify.DefaultRungRetryBackoff, "base backoff between rung retries")
-		clusterTO  = flag.Duration("cluster-timeout", 0, "per-cluster (per-attempt when retrying) analysis deadline (0 = none)")
-		thresh     = flag.Float64("threshold", 0.10, "default glitch threshold as a fraction of Vdd")
-		capRatio   = flag.Float64("capratio", 0.02, "default pruning capacitance-ratio threshold")
-		noScreen   = flag.Bool("no-screen", false, "disable the rung-0 analytic screen for all jobs (requests may also set no_screen per job)")
-		screenSF   = flag.Float64("screen-safety", 0, "default rung-0 screening safety factor (0 = engine default)")
+		addr      = flag.String("addr", ":8723", "listen address")
+		cacheDir  = flag.String("cache-dir", "", "directory for the persistent ROM cache (empty = in-memory only)")
+		cacheCap  = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries (0 = default)")
+		maxConc   = flag.Int("max-concurrent", 2, "jobs running at once")
+		maxQueue  = flag.Int("max-queue", 8, "jobs allowed to wait for a slot before shedding with 429")
+		jobTO     = flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
+		maxJobTO  = flag.Duration("max-job-timeout", 10*time.Minute, "upper clamp on requested per-job deadlines")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+		workers   = flag.Int("workers", 0, "per-job parallel cluster workers (0 = GOMAXPROCS)")
+		retries   = flag.Int("rung-retries", 2, "retries per fallback rung for transiently timed-out clusters")
+		backoff   = flag.Duration("rung-retry-backoff", xtverify.DefaultRungRetryBackoff, "base backoff between rung retries")
+		clusterTO = flag.Duration("cluster-timeout", 0, "per-cluster (per-attempt when retrying) analysis deadline (0 = none)")
+		thresh    = flag.Float64("threshold", 0.10, "default glitch threshold as a fraction of Vdd")
+		capRatio  = flag.Float64("capratio", 0.02, "default pruning capacitance-ratio threshold")
+		noScreen  = flag.Bool("no-screen", false, "disable the rung-0 analytic screen for all jobs (requests may also set no_screen per job)")
+		screenSF  = flag.Float64("screen-safety", 0, "default rung-0 screening safety factor (0 = engine default)")
 	)
 	flag.Parse()
 

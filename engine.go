@@ -233,7 +233,7 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 		workers = 1
 	}
 
-	start := time.Now()
+	start := time.Now() //xtlint:wallclock feeds Diagnostics.WallTime only, a run-dependent diagnostic
 	results := make([]*clusterResult, len(clusters))
 	// Incremental reverify: settle reusable clusters serially up front, then
 	// hand only the remainder to the pool. The workers clamp above stays
@@ -358,7 +358,7 @@ feed:
 		}
 		rep.Screening = scr
 	}
-	diag.WallTime = time.Since(start)
+	diag.WallTime = time.Since(start) //xtlint:wallclock run-dependent diagnostic, excluded from report identity
 	if romCache != nil {
 		hits, misses := romCache.Stats()
 		diag.ROMCacheHits, diag.ROMCacheMisses = hits-cacheHits0, misses-cacheMisses0
@@ -395,7 +395,7 @@ feed:
 // analyzeCluster runs one cluster down the ladder (or just the fast path in
 // strict mode) under the per-cluster deadline.
 func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, cl *prune.Cluster, p runParams) *clusterResult {
-	start := time.Now()
+	start := time.Now() //xtlint:wallclock feeds Outcome.WallTime only, a run-dependent diagnostic
 	victim := v.des.Nets[cl.Victim].Name
 	tr := v.cfg.Collector.NewTrace()
 	res := &clusterResult{outcome: ClusterOutcome{Victim: victim, CouplingF: cl.KeptF}, trace: tr}
@@ -417,13 +417,13 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	// spent before the context's timer ever fires).
 	if !v.cfg.DisableScreening && ctx.Err() == nil {
 		expired := false
-		if dl, ok := cctx.Deadline(); ok && !time.Now().Before(dl) {
+		if dl, ok := cctx.Deadline(); ok && !time.Now().Before(dl) { //xtlint:wallclock deadline fast-check; affects only the timeout path, never report bytes
 			expired = true
 		}
 		if !expired {
 			if bound, ok := v.screenCluster(cl, victim, tr); ok {
 				res.outcome.Stage = StageScreened
-				res.outcome.WallTime = time.Since(start)
+				res.outcome.WallTime = time.Since(start) //xtlint:wallclock WallTime is a run-dependent diagnostic, excluded from report identity
 				res.outcome.ScreenBoundV = bound
 				tr.Add(stageCounter(StageScreened), 1)
 				return res
@@ -440,7 +440,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 		if err == nil {
 			res.outcome.Stage = stage
 			res.outcome.Attempts = len(attempts) + 1
-			res.outcome.WallTime = time.Since(start)
+			res.outcome.WallTime = time.Since(start) //xtlint:wallclock WallTime is a run-dependent diagnostic, excluded from report identity
 			res.outcome.RecheckErr = recheckErr
 			res.violation = viol
 			tr.Add(stageCounter(stage), 1)
@@ -453,7 +453,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 			res.err = err
 			res.outcome.Stage = StageUnverified
 			res.outcome.Attempts = 1
-			res.outcome.WallTime = time.Since(start)
+			res.outcome.WallTime = time.Since(start) //xtlint:wallclock WallTime is a run-dependent diagnostic, excluded from report identity
 			res.outcome.Err = &ClusterError{Victim: victim, Stage: stage,
 				Attempts: []Attempt{{Stage: stage, Err: err}}}
 			tr.Add(obs.CtrFallbackUnverified, 1)
@@ -476,7 +476,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	}
 	res.outcome.Stage = StageUnverified
 	res.outcome.Attempts = len(attempts)
-	res.outcome.WallTime = time.Since(start)
+	res.outcome.WallTime = time.Since(start) //xtlint:wallclock WallTime is a run-dependent diagnostic, excluded from report identity
 	res.outcome.Err = &ClusterError{Victim: victim, Stage: lastStage, Attempts: attempts}
 	tr.Add(obs.CtrFallbackUnverified, 1)
 	return res

@@ -1,6 +1,7 @@
 package analytic
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,7 +43,7 @@ func TestBoundLumpedDegenerate(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			b, err := BoundLumped(tc.v, tc.a, tc.vdd)
-			if !errorsIsCannotScreen(err) {
+			if !errors.Is(err, ErrCannotScreen) {
 				t.Fatalf("BoundLumped = (%g, %v), want ErrCannotScreen", b, err)
 			}
 			if b != 0 {
@@ -56,20 +57,6 @@ func TestBoundLumpedDegenerate(t *testing.T) {
 	if err != nil || b <= 0 || b > 3 {
 		t.Fatalf("healthy BoundLumped = (%g, %v), want 0 < bound <= vdd", b, err)
 	}
-}
-
-func errorsIsCannotScreen(err error) bool {
-	for e := err; e != nil; {
-		if e == ErrCannotScreen {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
 }
 
 // TestBoundLumpedMonotone checks the property the conservatism argument
@@ -252,7 +239,7 @@ func FuzzBoundLumped(f *testing.F) {
 		aggs := []AggressorLump{{CouplingF: cc1, SlewS: slew1}, {CouplingF: cc2, SlewS: slew2}}
 		b, err := BoundLumped(v, aggs, vdd)
 		if err != nil {
-			if !errorsIsCannotScreen(err) {
+			if !errors.Is(err, ErrCannotScreen) {
 				t.Fatalf("error %v does not wrap ErrCannotScreen", err)
 			}
 			if b != 0 {

@@ -62,6 +62,7 @@ func TestValidateCatchesBadValues(t *testing.T) {
 	a, b := c.Node("a"), c.Node("b")
 	c.AddPort("p", a, PortDriver, 0)
 	c.AddResistor("r", a, b, -5)
+	//xtlint:errcmp the test pins the human-facing message content, not the error identity
 	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "non-positive") {
 		t.Errorf("negative resistor not caught: %v", err)
 	}
@@ -69,6 +70,7 @@ func TestValidateCatchesBadValues(t *testing.T) {
 	x := c2.Node("x")
 	c2.AddPort("p", x, PortDriver, 0)
 	c2.AddResistor("r", x, x, 10)
+	//xtlint:errcmp the test pins the human-facing message content, not the error identity
 	if err := c2.Validate(); err == nil || !strings.Contains(err.Error(), "shorted") {
 		t.Errorf("self-loop resistor not caught: %v", err)
 	}
@@ -79,6 +81,7 @@ func TestValidateCatchesFloatingNode(t *testing.T) {
 	a := c.Node("a")
 	c.Node("island") // no resistive path to the port
 	c.AddPort("p", a, PortDriver, 0)
+	//xtlint:errcmp the test pins the human-facing message content, not the error identity
 	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
 		t.Errorf("floating node not caught: %v", err)
 	}

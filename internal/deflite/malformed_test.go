@@ -124,6 +124,7 @@ func TestMalformedDEFTypedErrors(t *testing.T) {
 					t.Errorf("cause chain of %v lacks the strconv error", err)
 				}
 			}
+			//xtlint:errcmp the test pins the rendered line number in the human-facing message
 			if tc.wantLine > 0 && !strings.Contains(err.Error(), "line "+strconv.Itoa(tc.wantLine)) {
 				t.Errorf("rendered error %q omits the line number", err)
 			}

@@ -57,6 +57,7 @@ func TestValidate(t *testing.T) {
 	n := simpleNet("x", "INV_X1", "INV_X1", 50)
 	n.Drivers = nil
 	bad.AddNet(n)
+	//xtlint:errcmp the test pins the human-facing message content, not the error identity
 	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "no driver") {
 		t.Errorf("missing driver not caught: %v", err)
 	}
@@ -65,6 +66,7 @@ func TestValidate(t *testing.T) {
 	n2 := simpleNet("y", "INV_X1", "INV_X1", 50)
 	n2.Route = []Segment{{X0: 0, Y0: 0, X1: 5, Y1: 5, Width: 0.6}}
 	bad2.AddNet(n2)
+	//xtlint:errcmp the test pins the human-facing message content, not the error identity
 	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "Manhattan") {
 		t.Errorf("diagonal route not caught: %v", err)
 	}
@@ -74,6 +76,7 @@ func TestValidate(t *testing.T) {
 	inv, _ := cells.ByName("INV_X2")
 	n3.Drivers = append(n3.Drivers, Pin{Inst: "d2", Cell: inv, Pin: "Z"})
 	bad3.AddNet(n3)
+	//xtlint:errcmp the test pins the human-facing message content, not the error identity
 	if err := bad3.Validate(); err == nil || !strings.Contains(err.Error(), "tri-state") {
 		t.Errorf("bad bus not caught: %v", err)
 	}

@@ -502,7 +502,7 @@ func (e *Engine) loadEstimate(net int) float64 {
 // AnalyzeGlitch predicts the worst glitch of the given polarity on the
 // cluster's victim using the reduced-order flow.
 func (e *Engine) AnalyzeGlitch(cl *prune.Cluster, glitchRising bool) (*Result, error) {
-	return e.analyzeGlitchCustom(context.Background(), cl, glitchRising, nil, nil)
+	return e.AnalyzeGlitchContext(context.Background(), cl, glitchRising)
 }
 
 // AnalyzeGlitchContext is AnalyzeGlitch honoring context cancellation and

@@ -33,10 +33,10 @@ const DefaultROMCacheCap = 256
 // Correctness note: keys are the full serialized fingerprint bytes, not a
 // hash, so two different clusters can never collide into the same model.
 type ROMCache struct {
-	mu       sync.Mutex
-	cap      int
-	entries  map[string]*list.Element // completed models, keyed by fingerprint
-	order    *list.List               // LRU order: front = most recent
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*list.Element // completed models, keyed by fingerprint
+	order     *list.List               // LRU order: front = most recent
 	inflight  map[string]chan struct{}
 	hits      uint64
 	misses    uint64

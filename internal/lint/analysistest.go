@@ -1,0 +1,108 @@
+// An analysistest-style golden harness: testdata packages carry
+// `// want "regexp"` comments on the lines an analyzer must flag, and the
+// harness fails on any missed or unexpected finding. Directive suppression
+// runs exactly as in production, so testdata demonstrates both the caught
+// violation and the accepted justified pattern.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted regexps of one `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunGolden loads the named testdata packages (rooted at testdataDir/src)
+// and asserts that the analyzer's findings exactly match the `// want`
+// comments, line by line.
+func RunGolden(t *testing.T, a *Analyzer, testdataDir string, paths ...string) {
+	t.Helper()
+	pkgs, err := LoadTestdata(testdataDir, paths...)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{a})
+
+	got := make(map[lineKey][]Diagnostic)
+	for _, d := range diags {
+		k := lineKey{d.Position.Filename, d.Position.Line}
+		got[k] = append(got[k], d)
+	}
+
+	// Collect want expectations from every comment of every loaded file.
+	want := make(map[lineKey][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					collectWants(t, pkg, c, want)
+				}
+			}
+		}
+	}
+
+	for k, res := range want {
+		ds := got[k]
+		if len(ds) != len(res) {
+			t.Errorf("%s:%d: got %d finding(s), want %d: %v", k.file, k.line, len(ds), len(res), messages(ds))
+			continue
+		}
+		for _, re := range res {
+			matched := false
+			for _, d := range ds {
+				if re.MatchString(d.Message) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no finding matches %q; got %v", k.file, k.line, re, messages(ds))
+			}
+		}
+	}
+	for k, ds := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s:%d: unexpected finding(s): %v", k.file, k.line, messages(ds))
+		}
+	}
+}
+
+// collectWants parses one comment's `// want` clause, if any.
+func collectWants(t *testing.T, pkg *Package, c *ast.Comment, want map[lineKey][]*regexp.Regexp) {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	k := lineKey{pos.Filename, pos.Line}
+	ms := wantRE.FindAllStringSubmatch(text, -1)
+	if len(ms) == 0 {
+		t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+	}
+	for _, m := range ms {
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+		}
+		want[k] = append(want[k], re)
+	}
+}
+
+// lineKey identifies one source line of one file.
+type lineKey struct {
+	file string
+	line int
+}
+
+func messages(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden tests: each analyzer runs over testdata packages that
+// demonstrate both the caught violation (// want lines) and the accepted
+// safe or justified pattern, analysistest style. The plain package rides
+// along in the path-gated suites to pin that non-critical packages are
+// never flagged.
+
+func TestMapIterGolden(t *testing.T) {
+	RunGolden(t, MapIter, "testdata", "crit/internal/prune", "plain")
+}
+
+func TestCtxPropGolden(t *testing.T) {
+	RunGolden(t, CtxProp, "testdata", "ctxlib")
+}
+
+func TestNonDetermGolden(t *testing.T) {
+	RunGolden(t, NonDeterm, "testdata", "crit/internal/glitch", "plain")
+}
+
+func TestErrCmpGolden(t *testing.T) {
+	RunGolden(t, ErrCmp, "testdata", "errs")
+}
+
+func TestCounterRegGolden(t *testing.T) {
+	RunGolden(t, CounterReg, "testdata", "ctr")
+}
+
+// TestDirectiveHygiene pins that justification directives are themselves
+// linted: an unknown keyword and a reason-less directive are findings.
+func TestDirectiveHygiene(t *testing.T) {
+	pkgs, err := LoadTestdata("testdata", "hygiene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, Analyzers())
+	if len(diags) != 2 {
+		t.Fatalf("got %d finding(s), want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "xtlint" {
+			t.Errorf("hygiene finding attributed to %q, want xtlint: %v", d.Analyzer, d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, `unknown xtlint directive keyword "wat"`) {
+		t.Errorf("first finding %q does not flag the unknown keyword", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "requires a justification reason") {
+		t.Errorf("second finding %q does not flag the missing reason", diags[1].Message)
+	}
+}
+
+// TestSuiteMetadata pins the suite's shape: every analyzer is named,
+// documented, runnable, and owns a distinct justification keyword.
+func TestSuiteMetadata(t *testing.T) {
+	names := make(map[string]bool)
+	keywords := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Directive == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing metadata", a)
+			continue
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		if keywords[a.Directive] {
+			t.Errorf("duplicate directive keyword %q", a.Directive)
+		}
+		names[a.Name] = true
+		keywords[a.Directive] = true
+	}
+}
+
+// TestSchemaV3CountersSorted pins the registry's canonical order so the
+// analyzer's declared set stays reviewable as a sorted list.
+func TestSchemaV3CountersSorted(t *testing.T) {
+	if !sort.StringsAreSorted(SchemaV3Counters) {
+		t.Error("lint.SchemaV3Counters must stay sorted")
+	}
+	seen := make(map[string]bool, len(SchemaV3Counters))
+	for _, k := range SchemaV3Counters {
+		if seen[k] {
+			t.Errorf("duplicate schema key %q", k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,122 @@
+// The counterreg analyzer: every counter name used at an observability
+// call site must exist in the metrics schema. Snapshot.Counters and the
+// daemon's EngineCounters are plain map[string]int64, so a typo'd key
+// compiles, reads zero, and a gated assertion silently passes forever.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// SchemaV3Counters is the declared schema-v3 counter key set — the exact
+// names obs.Counter.String() emits, frozen here as the registry the
+// analyzer checks call sites against. internal/obs's schema golden test
+// asserts this list and the runtime enum cannot drift apart: adding a
+// counter means updating both, and the test (plus this analyzer) pins the
+// pair.
+var SchemaV3Counters = []string{
+	"cache_corrupt_discarded",
+	"clusters_recomputed",
+	"clusters_reused",
+	"diagonalize_skipped",
+	"fallback_direct_mna",
+	"fallback_reduced",
+	"fallback_regularized",
+	"fallback_unverified",
+	"lanczos_iterations",
+	"newton_divergences",
+	"newton_iterations",
+	"prepared_reuses",
+	"prepared_store_hits",
+	"reverify_jobs",
+	"rom_cache_evictions",
+	"rom_cache_hits",
+	"rom_cache_misses",
+	"rom_store_hits",
+	"rom_store_writes",
+	"rung_retries",
+	"scenarios_batched",
+	"screen_bound_evals",
+	"screen_near_threshold",
+	"screened_rung0",
+	"woodbury_solves",
+}
+
+// counterFieldNames are the map[string]int64 struct fields that carry
+// schema counter keys: obs.Snapshot.Counters / ClusterMetrics.Counters
+// (and their public re-exports) and the daemon's EngineCounters totals.
+var counterFieldNames = map[string]bool{
+	"Counters":       true,
+	"EngineCounters": true,
+}
+
+// CounterReg flags string-literal lookups into counter maps whose key is
+// not in the declared schema-v3 set.
+var CounterReg = &Analyzer{
+	Name:      "counterreg",
+	Directive: "counter",
+	Doc: "cross-check counter-name literals against the schema-v3 key set\n\n" +
+		"Indexing Snapshot.Counters / Metrics.EngineCounters with a key the\n" +
+		"schema does not declare always reads zero — assertions against it\n" +
+		"pass vacuously and dashboards chart a flatline. Keys must come from\n" +
+		"the declared schema; probing for a deliberately absent key is\n" +
+		"justified with //xtlint:counter <reason>.",
+	Run: runCounterReg,
+}
+
+var schemaV3Set = func() map[string]bool {
+	m := make(map[string]bool, len(SchemaV3Counters))
+	for _, k := range SchemaV3Counters {
+		m[k] = true
+	}
+	return m
+}()
+
+func runCounterReg(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			idx, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
+			if !ok || !counterFieldNames[sel.Sel.Name] {
+				return true
+			}
+			if !isStringInt64Map(pass.Info.TypeOf(idx.X)) {
+				return true
+			}
+			lit, ok := ast.Unparen(idx.Index).(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			key, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !schemaV3Set[key] {
+				pass.Reportf(idx.Index.Pos(), "counter %q is not in the metrics schema-v3 key set: a typo'd counter silently reads 0; see lint.SchemaV3Counters", key)
+			}
+			return true
+		})
+	}
+}
+
+// isStringInt64Map reports whether t is map[string]int64.
+func isStringInt64Map(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	kb, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || kb.Kind() != types.String {
+		return false
+	}
+	vb, ok := m.Elem().Underlying().(*types.Basic)
+	return ok && vb.Kind() == types.Int64
+}

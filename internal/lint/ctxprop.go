@@ -1,0 +1,191 @@
+// The ctxprop analyzer: library code must propagate context. PR 4 fixed
+// exactly this bug class — AdviseRepairs hardcoded context.Background()
+// three layers under the engine, so per-cluster deadlines and client
+// disconnects silently stopped applying to repair evaluation.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxProp flags context.Background()/context.TODO() in library code (not
+// package main, not _test files) when an in-scope context should be used or
+// the call is not the sanctioned Foo → FooContext delegation wrapper, and
+// flags calls that drop an in-scope context by invoking Foo when a
+// FooContext variant exists.
+var CtxProp = &Analyzer{
+	Name:      "ctxprop",
+	Directive: "background",
+	Doc: "flag context.Background()/TODO() and dropped contexts in library code\n\n" +
+		"Three findings: (1) context.Background()/TODO() while a\n" +
+		"context.Context parameter is in scope — use the parameter; (2)\n" +
+		"context.Background() in a function that is not the sanctioned\n" +
+		"delegation wrapper `func Foo(…) { return FooContext(context.\n" +
+		"Background(), …) }`; (3) calling Foo(…) with a ctx in scope when a\n" +
+		"FooContext variant exists — the context is silently dropped.\n" +
+		"Justify sanctioned exceptions with //xtlint:background <reason>.",
+	Run: runCtxProp,
+}
+
+func runCtxProp(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		w := &ctxWalker{pass: pass, sanctioned: make(map[*ast.CallExpr]bool)}
+		ast.Inspect(f, w.walk)
+	}
+}
+
+// ctxWalker tracks the enclosing-function stack and the Background() calls
+// already sanctioned as delegation-wrapper arguments (the outer call is
+// visited before its arguments, so marking happens first).
+type ctxWalker struct {
+	pass       *Pass
+	stack      []ast.Node // enclosing *ast.FuncDecl / *ast.FuncLit chain
+	sanctioned map[*ast.CallExpr]bool
+}
+
+func (w *ctxWalker) walk(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return false
+		}
+		w.stack = append(w.stack, n)
+		ast.Inspect(n.Body, w.walk)
+		w.stack = w.stack[:len(w.stack)-1]
+		return false
+	case *ast.FuncLit:
+		w.stack = append(w.stack, n)
+		ast.Inspect(n.Body, w.walk)
+		w.stack = w.stack[:len(w.stack)-1]
+		return false
+	case *ast.CallExpr:
+		w.checkCall(n)
+	}
+	return true
+}
+
+func (w *ctxWalker) checkCall(call *ast.CallExpr) {
+	pass := w.pass
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	ctxInScope := w.scopeHasCtxParam()
+
+	// Sanctioned delegation wrapper: inside Foo, a call to FooContext may
+	// receive context.Background() as an argument. Mark those Background
+	// nodes before they are visited.
+	if encl, ok := w.enclosingFuncName(); ok && fn.Name() == encl+"Context" {
+		for _, arg := range call.Args {
+			if bg, ok := ast.Unparen(arg).(*ast.CallExpr); ok && isPkgFunc(pass.Info, bg, "context", "Background") {
+				w.sanctioned[bg] = true
+			}
+		}
+	}
+
+	if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		switch {
+		case ctxInScope:
+			pass.Reportf(call.Pos(), "context.%s() while a context.Context parameter is in scope: use it (or derive from it)", fn.Name())
+		case fn.Name() == "TODO":
+			pass.Reportf(call.Pos(), "context.TODO() in library code: plumb a context.Context parameter through")
+		case !w.sanctioned[call]:
+			pass.Reportf(call.Pos(), "context.Background() in library code: %s is not the sanctioned %[1]sContext delegation wrapper; plumb a ctx parameter through or justify with //xtlint:background <reason>",
+				w.enclosingNameOr("this function"))
+		}
+		return
+	}
+
+	// Dropped context: calling Foo while a ctx is in scope and a
+	// FooContext variant exists — the context silently stops applying.
+	if !ctxInScope || strings.HasSuffix(fn.Name(), "Context") {
+		return
+	}
+	if sibling := contextVariant(fn); sibling != nil {
+		pass.Reportf(call.Pos(), "calling %s drops the in-scope context: call %s with it", fn.Name(), sibling.Name())
+	}
+}
+
+// scopeHasCtxParam reports whether any enclosing function declares a
+// context.Context parameter.
+func (w *ctxWalker) scopeHasCtxParam() bool {
+	for _, n := range w.stack {
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		}
+		if ft == nil || ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if isContextType(w.pass.Info.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingFuncName returns the nearest named enclosing function.
+func (w *ctxWalker) enclosingFuncName() (string, bool) {
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		if fd, ok := w.stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name, true
+		}
+	}
+	return "", false
+}
+
+func (w *ctxWalker) enclosingNameOr(def string) string {
+	if name, ok := w.enclosingFuncName(); ok {
+		return name
+	}
+	return def
+}
+
+// contextVariant looks up fn's Context-suffixed sibling: a method on the
+// same receiver type (or a function in the same package) named
+// fn.Name()+"Context" whose first parameter is a context.Context.
+func contextVariant(fn *types.Func) *types.Func {
+	name := fn.Name() + "Context"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+	} else if fn.Pkg() != nil {
+		obj = fn.Pkg().Scope().Lookup(name)
+	}
+	sibling, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	ssig, ok := sibling.Type().(*types.Signature)
+	if !ok || ssig.Params().Len() == 0 || !isContextType(ssig.Params().At(0).Type()) {
+		return nil
+	}
+	return sibling
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,144 @@
+// The errcmp analyzer: sentinel errors go through errors.Is, never ==.
+// The engine wraps its sentinels aggressively — ClusterError.Unwrap exposes
+// a whole attempt ladder, retry/cancellation classification wraps
+// ErrTimeout/ErrCanceled with cluster context — so an == comparison against
+// ErrTimeout, ErrStaleReport & co. compiles fine and silently never
+// matches. Matching on error text is the same bug with extra steps.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// ErrCmp flags ==/!= comparisons (and switch cases) against Err*-named
+// sentinel error values, and error-text matching via err.Error()
+// comparisons or strings.Contains-style calls. Applies everywhere, test
+// files included — identity tests are exactly where a never-matching
+// comparison hides longest.
+var ErrCmp = &Analyzer{
+	Name:      "errcmp",
+	Directive: "errcmp",
+	Doc: "flag ==/!= sentinel comparisons and error-text matching\n\n" +
+		"Wrapped sentinels (fmt.Errorf %w, multi-error Unwrap ladders) never\n" +
+		"compare equal with ==: use errors.Is. String-matching err.Error()\n" +
+		"breaks on any message edit: use errors.Is/errors.As. Justify\n" +
+		"sanctioned identity checks with //xtlint:errcmp <reason>.",
+	Run: runErrCmp,
+}
+
+func runErrCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrTextMatch(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkErrBinary(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	// err.Error() == "..." and friends.
+	if isErrorTextCall(pass, b.X) || isErrorTextCall(pass, b.Y) {
+		pass.Reportf(b.OpPos, "comparing err.Error() text: match with errors.Is/errors.As instead")
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if name, ok := sentinelError(pass, side); ok {
+			pass.Reportf(b.OpPos, "%s sentinel comparison against %s: wrapped errors never compare equal; use errors.Is", b.Op, name)
+			return
+		}
+	}
+}
+
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.Info.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelError(pass, e); ok {
+				pass.Reportf(e.Pos(), "switch case compares error against sentinel %s by identity; use if/else with errors.Is", name)
+			}
+		}
+	}
+}
+
+// checkErrTextMatch flags strings.Contains/HasPrefix/... with an
+// err.Error() argument.
+func checkErrTextMatch(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold", "Count":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorTextCall(pass, arg) {
+			pass.Reportf(call.Pos(), "strings.%s on err.Error() text: match with errors.Is/errors.As instead", fn.Name())
+			return
+		}
+	}
+}
+
+// isErrorTextCall reports whether expr is a call of Error() on an error
+// value.
+func isErrorTextCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isErrorType(pass.Info.TypeOf(sel.X))
+}
+
+// sentinelError reports whether expr names a package-level error variable
+// following the ErrFoo naming convention, returning its display name.
+func sentinelError(pass *Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	name := obj.Name()
+	if !strings.HasPrefix(name, "Err") || len(name) < 4 || !unicode.IsUpper(rune(name[3])) {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	if obj.Pkg().Path() != pass.Pkg.Path() {
+		return obj.Pkg().Name() + "." + name, true
+	}
+	return name, true
+}

@@ -1,0 +1,282 @@
+// Package lint is xtlint: a suite of static analyzers that enforce this
+// repository's determinism, context-propagation and observability contracts
+// at vet time instead of waiting for a flaky byte-diff in CI.
+//
+// The load-bearing guarantees of the reproduction — byte-identical reports
+// across serial/parallel/cached/warm-store runs (DESIGN §8/§11), splice
+// identity for ECO reverify, conservative rung-0 screening — are otherwise
+// enforced only dynamically, by identity tests that re-run the engine. The
+// analyzers here catch the bug classes those tests have historically
+// tripped on (a hardcoded context.Background() deep in a call chain, an
+// unsorted map iteration feeding report bytes, an == comparison against a
+// wrapped sentinel, a typo'd metrics counter silently reading zero) before
+// the code ever runs.
+//
+// The framework mirrors golang.org/x/tools/go/analysis — Analyzer, Pass,
+// Diagnostic, an analysistest-style golden harness — but is built entirely
+// on the standard library (go/ast, go/types, go/importer) so the module
+// stays dependency-free.
+//
+// # Justification directives
+//
+// A finding that is genuinely safe is silenced with a justification
+// directive on the flagged line or the line directly above it:
+//
+//	//xtlint:<keyword> <reason>
+//
+// where <keyword> names the analyzer's contract (sorted, background,
+// wallclock, errcmp, counter) and <reason> is a non-empty human
+// explanation. A bare directive without a reason is itself a finding, as is
+// a directive with an unknown keyword — justifications are part of the
+// reviewed source of truth, not an escape hatch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description shown by xtlint -list.
+	Doc string
+	// Directive is the justification keyword that suppresses this
+	// analyzer's findings: //xtlint:<Directive> <reason>.
+	Directive string
+	// Run reports the analyzer's findings on one package via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Path is the package's import path; external test packages carry the
+	// standard "_test" suffix. Analyzers that only apply to the
+	// identity-critical packages match on this.
+	Path string
+	// Fset maps token positions to file/line.
+	Fset *token.FileSet
+	// Files are the package's parsed files (tests included for the
+	// in-package test variant).
+	Files []*ast.File
+	// Pkg and Info are the go/types results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding ("xtlint" for
+	// directive-hygiene findings from the runner itself).
+	Analyzer string
+	// Pos/Position locate the finding.
+	Pos      token.Pos
+	Position token.Position
+	// Message states the contract violation and the sanctioned fixes.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full xtlint suite, the set cmd/xtlint runs.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIter,
+		CtxProp,
+		NonDeterm,
+		ErrCmp,
+		CounterReg,
+	}
+}
+
+// directivePrefix introduces a justification comment.
+const directivePrefix = "//xtlint:"
+
+// A directive is one parsed //xtlint:<keyword> <reason> comment.
+type directive struct {
+	keyword string
+	reason  string
+	file    string
+	line    int
+	pos     token.Pos
+}
+
+// fileDirectives extracts every xtlint directive in f.
+func fileDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			keyword, reason, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			out = append(out, directive{
+				keyword: strings.TrimSpace(keyword),
+				reason:  strings.TrimSpace(reason),
+				file:    pos.Filename,
+				line:    pos.Line,
+				pos:     c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs every analyzer over every package, applies directive
+// suppression and directive hygiene, and returns the surviving findings
+// sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	keywords := make(map[string]string, len(analyzers)) // directive keyword -> analyzer name
+	for _, a := range Analyzers() {
+		keywords[a.Directive] = a.Name
+	}
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var dirs []directive
+		for _, f := range pkg.Files {
+			dirs = append(dirs, fileDirectives(pkg.Fset, f)...)
+		}
+
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+
+		for _, d := range raw {
+			a := byName[d.Analyzer]
+			if a != nil && suppressedBy(d, a.Directive, dirs) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+
+		// Directive hygiene: a justification must carry a reason and a
+		// known keyword, or it is a finding in its own right.
+		for _, dir := range dirs {
+			if _, known := keywords[dir.keyword]; !known {
+				diags = append(diags, Diagnostic{
+					Analyzer: "xtlint",
+					Pos:      dir.pos,
+					Position: token.Position{Filename: dir.file, Line: dir.line},
+					Message:  fmt.Sprintf("unknown xtlint directive keyword %q", dir.keyword),
+				})
+				continue
+			}
+			if dir.reason == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "xtlint",
+					Pos:      dir.pos,
+					Position: token.Position{Filename: dir.file, Line: dir.line},
+					Message:  fmt.Sprintf("xtlint:%s directive requires a justification reason", dir.keyword),
+				})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// suppressedBy reports whether a directive with the analyzer's keyword sits
+// on the finding's line or the line directly above it (the standard
+// lint-suppression placement).
+func suppressedBy(d Diagnostic, keyword string, dirs []directive) bool {
+	for _, dir := range dirs {
+		if dir.keyword != keyword || dir.file != d.Position.Filename {
+			continue
+		}
+		if dir.line == d.Position.Line || dir.line == d.Position.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function values, conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fob, _ := info.Uses[id].(*types.Func)
+	return fob
+}
+
+// isPkgFunc reports whether the call invokes pkgPath.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// pathHasSuffix reports whether the import path is pkg or ends in /pkg.
+func pathHasSuffix(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}

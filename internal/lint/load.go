@@ -1,0 +1,294 @@
+// The package loader: go list + go/parser + go/types with the stdlib
+// source importer, so xtlint needs no dependencies outside the standard
+// library and works offline. Local packages are type-checked from their
+// parsed sources in import order; everything else (the standard library)
+// is imported on demand by importer.ForCompiler(..., "source", ...).
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis. In-package
+// test files are folded into their package's entry; an external test
+// package (package foo_test) is its own entry with the "_test" path
+// suffix.
+type Package struct {
+	// Path is the import path ("_test"-suffixed for external test pkgs).
+	Path string
+	// Fset is shared across every package of one load.
+	Fset *token.FileSet
+	// Files are the parsed files being analyzed.
+	Files []*ast.File
+	// Types and Info are the type-checking results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+}
+
+// Load enumerates patterns with `go list` in dir and returns every matched
+// package type-checked for analysis, in-package and external test files
+// included.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(metas))
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		src:  importer.ForCompiler(fset, "source", nil),
+		base: make(map[string]*types.Package),
+	}
+
+	// Phase 1: type-check every listed package (non-test files only) in
+	// dependency order, so the base map can satisfy local imports —
+	// including the imports of test variants checked in phase 2.
+	order, err := topoSort(metas, byPath)
+	if err != nil {
+		return nil, err
+	}
+	basePkgs := make(map[string]*Package, len(order))
+	for _, m := range order {
+		if len(m.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: package %s uses cgo, unsupported", m.ImportPath)
+		}
+		pkg, err := ld.check(m.ImportPath, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		ld.base[m.ImportPath] = pkg.Types
+		basePkgs[m.ImportPath] = pkg
+	}
+
+	// Phase 2: test variants. The in-package variant re-checks the package
+	// with its _test.go files folded in; the external variant is a package
+	// of its own.
+	var out []*Package
+	for _, m := range order {
+		entry := basePkgs[m.ImportPath]
+		if len(m.TestGoFiles) > 0 {
+			var err error
+			entry, err = ld.check(m.ImportPath, m.Dir, append(append([]string{}, m.GoFiles...), m.TestGoFiles...))
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, entry)
+		if len(m.XTestGoFiles) > 0 {
+			xt, err := ld.check(m.ImportPath+"_test", m.Dir, m.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xt)
+		}
+	}
+	return out, nil
+}
+
+// LoadTestdata type-checks the packages rooted at dir/src/<path> — the
+// golden-test layout of the analysistest harness. Imports resolve against
+// dir/src first and fall back to the standard library.
+func LoadTestdata(dir string, paths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:        fset,
+		src:         importer.ForCompiler(fset, "source", nil),
+		base:        make(map[string]*types.Package),
+		testdataSrc: filepath.Join(dir, "src"),
+	}
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := ld.loadTestdataPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// loader holds the shared state of one Load: the fset, the source importer
+// for the standard library, and the map of already-checked local packages.
+type loader struct {
+	fset *token.FileSet
+	src  types.Importer
+	base map[string]*types.Package
+
+	// testdataSrc, when set, resolves local imports from testdata/src
+	// instead of the go list graph.
+	testdataSrc string
+	// testdataPkgs memoizes loadTestdataPkg.
+	testdataPkgs map[string]*Package
+}
+
+// Import implements types.Importer: local packages from the base map,
+// testdata packages from disk, everything else from GOROOT source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.base[path]; ok {
+		return p, nil
+	}
+	if l.testdataSrc != "" {
+		if st, err := os.Stat(filepath.Join(l.testdataSrc, path)); err == nil && st.IsDir() {
+			pkg, err := l.loadTestdataPkg(path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	return l.src.Import(path)
+}
+
+// check parses files and type-checks them as one package.
+func (l *loader) check(path, dir string, files []string) (*Package, error) {
+	var astFiles []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: astFiles, Types: pkg, Info: info}, nil
+}
+
+// loadTestdataPkg checks the package at testdataSrc/<path> (memoized).
+func (l *loader) loadTestdataPkg(path string) (*Package, error) {
+	if l.testdataPkgs == nil {
+		l.testdataPkgs = make(map[string]*Package)
+	}
+	if p, ok := l.testdataPkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.testdataSrc, path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: testdata package %s: %w", path, err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: testdata package %s has no Go files", path)
+	}
+	pkg, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.testdataPkgs[path] = pkg
+	l.base[path] = pkg.Types
+	return pkg, nil
+}
+
+// goList shells out to `go list -json` for package metadata.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var metas []*listedPackage
+	for {
+		m := new(listedPackage)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parsing go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return metas, nil
+}
+
+// topoSort orders metas so every package follows its listed imports.
+func topoSort(metas []*listedPackage, byPath map[string]*listedPackage) ([]*listedPackage, error) {
+	const (
+		white = iota // unvisited
+		grey         // on stack
+		black        // done
+	)
+	state := make(map[string]int, len(metas))
+	var order []*listedPackage
+	var visit func(m *listedPackage) error
+	visit = func(m *listedPackage) error {
+		switch state[m.ImportPath] {
+		case grey:
+			return fmt.Errorf("lint: import cycle through %s", m.ImportPath)
+		case black:
+			return nil
+		}
+		state[m.ImportPath] = grey
+		for _, imp := range m.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[m.ImportPath] = black
+		order = append(order, m)
+		return nil
+	}
+	for _, m := range metas {
+		if err := visit(m); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,352 @@
+// The mapiter analyzer: no unordered map iteration in identity-critical
+// packages. Report bytes, fingerprints and counter totals must be
+// byte-identical across serial/parallel/cached/warm runs (DESIGN §8/§11),
+// and a `for … range` over a map is the canonical way that contract decays
+// — Go randomizes iteration order per run.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mapiterPaths are the identity-critical packages: everything that feeds
+// report bytes, fingerprints or deterministic counter totals. The root
+// package holds the engine, report and reverify assembly code.
+var mapiterPaths = []string{
+	"xtverify",
+	"internal/prune",
+	"internal/sympvl",
+	"internal/romsim",
+	"internal/glitch",
+	"internal/obs",
+}
+
+// MapIter flags `for … range` over a map in an identity-critical package
+// unless the loop body only feeds order-insensitive sinks (commutative
+// accumulation, per-key stores) or carries an //xtlint:sorted directive.
+var MapIter = &Analyzer{
+	Name:      "mapiter",
+	Directive: "sorted",
+	Doc: "flag range-over-map in identity-critical packages\n\n" +
+		"Map iteration order is randomized per run, so any loop whose effect\n" +
+		"depends on visit order breaks the byte-identity contract. Iterate a\n" +
+		"sorted key slice instead, or — when the body provably commutes\n" +
+		"(sums, per-key stores, min/max folds) — the loop is accepted as is.\n" +
+		"Justify sanctioned exceptions with //xtlint:sorted <reason>.",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	if !identityCriticalPath(pass.Path, mapiterPaths) {
+		return
+	}
+	for _, f := range pass.Files {
+		// Track each range statement's enclosing statement list so the
+		// harvest-then-sort idiom can look at the loop's successors.
+		following := make(map[*ast.RangeStmt][]ast.Stmt)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if rng, ok := stmt.(*ast.RangeStmt); ok {
+					following[rng] = list[i+1:]
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.Info.TypeOf(rng.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(pass, rng) || harvestThenSort(pass, rng, following[rng]) {
+				return true
+			}
+			pass.Reportf(rng.For, "range over map %s in identity-critical package %s: iteration order is randomized; iterate sorted keys or justify with //xtlint:sorted <reason>",
+				types.TypeString(tv, types.RelativeTo(pass.Pkg)), pass.Path)
+			return true
+		})
+	}
+}
+
+// harvestThenSort recognizes the sanctioned collect-then-sort idiom: the
+// loop body only appends into one or more slices (plus order-insensitive
+// statements), and every harvested slice is sorted by one of the statements
+// immediately following the loop:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Ints(keys)
+//
+// Appends may sit inside a plain if (the guard depends on the key/value,
+// not on visit order). The recognized sorters are sort.Ints / Strings /
+// Float64s / Slice / SliceStable / Sort and slices.Sort / SortFunc /
+// SortStableFunc. sort.Slice's comparator must induce a total order for
+// the result to be deterministic — that remains the author's obligation.
+func harvestThenSort(pass *Pass, rng *ast.RangeStmt, after []ast.Stmt) bool {
+	targets := make(map[string]bool)
+	if !harvestStmts(pass, rng.Body.List, rng, targets) || len(targets) == 0 {
+		return false
+	}
+	// Every harvested slice must be sorted in the loop's immediate wake:
+	// scan the following statements, marking targets off as their sorts
+	// appear; stop at the first statement that is neither a recognized
+	// sort nor already past the last target.
+	for _, stmt := range after {
+		if len(targets) == 0 {
+			break
+		}
+		expr, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			break
+		}
+		call, ok := expr.X.(*ast.CallExpr)
+		if !ok || !isSortCall(pass, call) || len(call.Args) == 0 {
+			break
+		}
+		for t := range targets {
+			if types.ExprString(ast.Unparen(call.Args[0])) == t {
+				delete(targets, t)
+			}
+		}
+	}
+	return len(targets) == 0
+}
+
+// harvestStmts validates a harvest-loop body: appends of loop variables
+// into slices (recorded in targets), order-insensitive statements, and
+// plain if-guards around more of the same.
+func harvestStmts(pass *Pass, stmts []ast.Stmt, rng *ast.RangeStmt, targets map[string]bool) bool {
+	keyIdent, _ := rng.Key.(*ast.Ident)
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if harvestAppend(pass, s, targets) {
+				continue
+			}
+			if !orderInsensitiveAssign(pass, s, keyIdent) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				return false
+			}
+			if !harvestStmts(pass, s.Body.List, rng, targets) {
+				return false
+			}
+			if s.Else != nil {
+				blk, ok := s.Else.(*ast.BlockStmt)
+				if !ok || !harvestStmts(pass, blk.List, rng, targets) {
+					return false
+				}
+			}
+		default:
+			if !orderInsensitiveStmt(pass, stmt, keyIdent) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// harvestAppend matches `s = append(s, …)` and records s as a harvest
+// target needing a post-loop sort.
+func harvestAppend(pass *Pass, s *ast.AssignStmt, targets map[string]bool) bool {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	lhs := types.ExprString(ast.Unparen(s.Lhs[0]))
+	if types.ExprString(ast.Unparen(call.Args[0])) != lhs {
+		return false
+	}
+	targets[lhs] = true
+	return true
+}
+
+// isSortCall reports whether the call is one of the recognized sorters.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// identityCriticalPath matches path (with any "_test" variant suffix
+// stripped) against the critical list: exact for the bare entries, suffix
+// for the internal/... entries.
+func identityCriticalPath(path string, crit []string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, c := range crit {
+		if path == c || pathHasSuffix(path, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderInsensitiveBody reports whether every statement of the range body is
+// one of the recognized commutative sinks, making the loop's aggregate
+// effect independent of visit order:
+//
+//   - x += expr, x |= expr on numeric/boolean-free integer types (addition
+//     and bitwise-or commute; string += does not and is rejected),
+//   - m[k] = expr / m[k] += expr where the index expression mentions the
+//     range key (per-key stores hit each key exactly once),
+//   - x++ / x-- on numeric types,
+//   - delete(m2, k) keyed by the range key,
+//   - the min/max fold `if v > best { best = v }` (single compare, single
+//     plain assign),
+//   - continue.
+//
+// Anything else — appends, sends, calls, nested control flow — is treated
+// as order-sensitive.
+func orderInsensitiveBody(pass *Pass, rng *ast.RangeStmt) bool {
+	keyIdent, _ := rng.Key.(*ast.Ident)
+	for _, stmt := range rng.Body.List {
+		if !orderInsensitiveStmt(pass, stmt, keyIdent) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, stmt ast.Stmt, key *ast.Ident) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, s, key)
+	case *ast.IncDecStmt:
+		return isNumeric(pass.Info.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// delete(m, k) keyed by the range key.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "delete" || len(call.Args) != 2 {
+			return false
+		}
+		if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		return key != nil && mentionsIdent(call.Args[1], key)
+	case *ast.IfStmt:
+		// The min/max fold: a single comparison guarding a single plain
+		// assignment, no else, no init.
+		if s.Init != nil || s.Else != nil {
+			return false
+		}
+		cond, ok := s.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch cond.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return false
+		}
+		if len(s.Body.List) != 1 {
+			return false
+		}
+		asg, ok := s.Body.List[0].(*ast.AssignStmt)
+		return ok && asg.Tok == token.ASSIGN
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	default:
+		return false
+	}
+}
+
+func orderInsensitiveAssign(pass *Pass, s *ast.AssignStmt, key *ast.Ident) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN:
+		// Commutative accumulation — but only for numbers; string
+		// concatenation is order-sensitive.
+		for _, lhs := range s.Lhs {
+			if !isNumeric(pass.Info.TypeOf(lhs)) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN:
+		// Per-key store: every LHS is an index expression whose index
+		// mentions the range key, so each iteration writes a distinct slot.
+		if key == nil {
+			return false
+		}
+		for _, lhs := range s.Lhs {
+			idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok || !mentionsIdent(idx.Index, key) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// isNumeric reports whether t's underlying type is an integer, float or
+// complex basic type.
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// mentionsIdent reports whether expr references the given identifier's
+// object.
+func mentionsIdent(expr ast.Expr, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if other, ok := n.(*ast.Ident); ok && other.Name == id.Name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

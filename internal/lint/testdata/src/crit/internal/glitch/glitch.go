@@ -1,0 +1,38 @@
+// Golden testdata for the nondeterm analyzer. The import path ends in
+// internal/glitch, so the package feeds report bytes and must stay free of
+// run entropy.
+package glitch
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in identity-critical package"
+}
+
+// Jitter draws from the globally-seeded source: flagged.
+func Jitter() int {
+	return rand.Intn(8) // want "rand.Intn in identity-critical package"
+}
+
+// Tag leaks process identity: flagged.
+func Tag() int {
+	return os.Getpid() // want "os.Getpid in identity-critical package"
+}
+
+// Deterministic draws from an explicitly seeded source: accepted (method
+// calls on a *rand.Rand are reproducible given the seed).
+func Deterministic(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// SpanNanos times a diagnostic span, which the identity contract excludes:
+// justified.
+func SpanNanos(start time.Time) int64 {
+	return time.Since(start).Nanoseconds() //xtlint:wallclock span durations are diagnostics, excluded from identity
+}

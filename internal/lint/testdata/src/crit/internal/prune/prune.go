@@ -1,0 +1,73 @@
+// Golden testdata for the mapiter analyzer. The import path ends in
+// internal/prune, so the package is identity-critical.
+package prune
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Render's output depends on visit order: flagged.
+func Render(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want "range over map"
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+
+// Total only accumulates commutatively: accepted.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Double stores per key, hitting each slot exactly once: accepted.
+func Double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// Max is the min/max fold: accepted.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Keys is the harvest-then-sort idiom: accepted.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// UnsortedKeys harvests but never sorts: flagged.
+func UnsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Notify fans out in arbitrary order on purpose: justified.
+func Notify(m map[string]chan int) {
+	//xtlint:sorted delivery order is immaterial, every channel gets the same signal
+	for _, ch := range m {
+		ch <- 1
+	}
+}

@@ -1,0 +1,37 @@
+// Golden testdata for the counterreg analyzer: string-literal lookups into
+// counter maps must use declared schema-v3 keys.
+package ctr
+
+// Snapshot mirrors the obs metrics surface: Counters and EngineCounters
+// carry schema keys; Extra is an unrelated map the analyzer ignores.
+type Snapshot struct {
+	Counters       map[string]int64
+	EngineCounters map[string]int64
+	Extra          map[string]int64
+}
+
+// Read uses declared keys: accepted.
+func Read(s *Snapshot) int64 {
+	return s.Counters["rom_cache_hits"] + s.EngineCounters["woodbury_solves"]
+}
+
+// Typo transposes two letters; the lookup reads zero forever: flagged.
+func Typo(s *Snapshot) int64 {
+	return s.Counters["rom_cahce_hits"] // want "not in the metrics schema-v3 key set"
+}
+
+// Dynamic keys are out of scope: accepted.
+func Dynamic(s *Snapshot, k string) int64 {
+	return s.Counters[k]
+}
+
+// Probe asserts a retired key stays absent: justified.
+func Probe(s *Snapshot) int64 {
+	//xtlint:counter asserting the retired v2 key stays absent
+	return s.EngineCounters["retired_v2_counter"]
+}
+
+// Unrelated maps with other field names are ignored: accepted.
+func Unrelated(s *Snapshot) int64 {
+	return s.Extra["anything_goes"]
+}

@@ -1,0 +1,59 @@
+// Golden testdata for the ctxprop analyzer: library code must propagate
+// contexts, with the Foo → FooContext delegation wrapper as the one
+// sanctioned place a fresh Background may be minted.
+package ctxlib
+
+import "context"
+
+func use(ctx context.Context) { _ = ctx }
+
+// refresh has a context parameter but mints a fresh one: flagged.
+func refresh(ctx context.Context) {
+	use(context.Background()) // want "while a context.Context parameter is in scope"
+}
+
+// todoist defers the plumbing decision: flagged.
+func todoist() {
+	use(context.TODO()) // want "plumb a context.Context parameter through"
+}
+
+// leak mints a Background outside any delegation wrapper: flagged.
+func leak() {
+	use(context.Background()) // want "is not the sanctioned leakContext delegation wrapper"
+}
+
+// Fetch is the sanctioned delegation wrapper: accepted.
+func Fetch(n int) int {
+	return FetchContext(context.Background(), n)
+}
+
+// FetchContext is the context-aware variant Fetch delegates to.
+func FetchContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func work()                           {}
+func workContext(ctx context.Context) { _ = ctx }
+
+// handle drops its context by calling the variant-less name: flagged.
+func handle(ctx context.Context) {
+	work() // want "drops the in-scope context: call workContext with it"
+}
+
+// Engine mirrors the verifier surface: Analyze has a Context sibling.
+type Engine struct{}
+
+func (e *Engine) Analyze()                           {}
+func (e *Engine) AnalyzeContext(ctx context.Context) { _ = ctx }
+
+// drive drops its context through a method call: flagged.
+func drive(ctx context.Context, e *Engine) {
+	e.Analyze() // want "drops the in-scope context: call AnalyzeContext with it"
+}
+
+// serve roots a daemon lifetime on purpose: justified.
+func serve() {
+	//xtlint:background the daemon root context outlives every request
+	use(context.Background())
+}

@@ -1,0 +1,56 @@
+// Golden testdata for the errcmp analyzer: sentinel errors go through
+// errors.Is, and error text is never string-matched.
+package errs
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrBroken is a package-level sentinel in the Err* convention.
+var ErrBroken = errors.New("errs: broken")
+
+// Classify compares the sentinel by identity: flagged twice.
+func Classify(err error) string {
+	if err == ErrBroken { // want "== sentinel comparison against ErrBroken"
+		return "broken"
+	}
+	if err != ErrBroken { // want "!= sentinel comparison against ErrBroken"
+		return "other"
+	}
+	return ""
+}
+
+// ByText string-matches the rendered message: flagged twice.
+func ByText(err error) bool {
+	if strings.Contains(err.Error(), "broken") { // want "strings.Contains on err.Error"
+		return true
+	}
+	return err.Error() == "errs: broken" // want "comparing err.Error"
+}
+
+// BySwitch compares by identity through a switch: flagged.
+func BySwitch(err error) string {
+	switch err {
+	case ErrBroken: // want "switch case compares error against sentinel ErrBroken"
+		return "broken"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+// Good matches through the unwrap chain: accepted (nil checks are not
+// sentinel comparisons).
+func Good(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrBroken)
+}
+
+// Identity documents an exact-identity contract: justified.
+func Identity(err error) bool {
+	//xtlint:errcmp the API returns the exact unwrapped sentinel by contract
+	return err == ErrBroken
+}

@@ -1,0 +1,9 @@
+// Testdata for directive hygiene: unknown keywords and reason-less
+// directives are findings in their own right.
+package hygiene
+
+//xtlint:wat unrecognized keyword
+var A = 1
+
+//xtlint:sorted
+var B = 2

@@ -1,0 +1,17 @@
+// Golden testdata for the path gates: plain is not identity-critical, so
+// mapiter and nondeterm must stay silent here.
+package plain
+
+import "time"
+
+func Render(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n = n*31 + v
+	}
+	return n
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,58 @@
+package obs_test
+
+import (
+	"sort"
+	"testing"
+
+	"xtverify/internal/lint"
+	"xtverify/internal/obs"
+)
+
+// TestSchemaV3CounterKeySet is the two-way pin between the runtime metrics
+// schema and the statically declared registry: the exact set of names the
+// Counter enum emits must equal lint.SchemaV3Counters, which the counterreg
+// analyzer checks every call-site literal against. Adding, renaming or
+// retiring a counter therefore has to touch both lists — and this test plus
+// the analyzer keep every lookup in the tree honest in between.
+func TestSchemaV3CounterKeySet(t *testing.T) {
+	if obs.SchemaVersion != 3 {
+		t.Fatalf("metrics schema version is %d; this golden pins v3 — update lint.SchemaV3Counters and this test together", obs.SchemaVersion)
+	}
+	names := make([]string, 0, int(obs.NumCounters))
+	seen := make(map[string]bool, int(obs.NumCounters))
+	for c := obs.Counter(0); c < obs.NumCounters; c++ {
+		name := c.String()
+		if name == "" {
+			t.Fatalf("counter %d has no String() name", c)
+		}
+		if seen[name] {
+			t.Fatalf("counter name %q emitted twice", name)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	want := lint.SchemaV3Counters
+	if len(names) != len(want) {
+		t.Fatalf("runtime enum has %d counters, lint.SchemaV3Counters declares %d:\n  enum:     %v\n  declared: %v",
+			len(names), len(want), names, want)
+	}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Errorf("key set mismatch at %d: enum %q vs declared %q", i, names[i], want[i])
+		}
+	}
+
+	// The snapshot surface agrees: every declared key is present (zeros
+	// included) and nothing else is.
+	snap := obs.NewCollector().Snapshot()
+	if len(snap.Counters) != len(want) {
+		t.Fatalf("snapshot emits %d counter keys, want %d", len(snap.Counters), len(want))
+	}
+	for _, k := range want {
+		if _, ok := snap.Counters[k]; !ok {
+			t.Errorf("snapshot is missing declared counter %q", k)
+		}
+	}
+}

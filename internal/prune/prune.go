@@ -73,10 +73,18 @@ func RawClusters(p *extract.Parasitics) [][]int {
 		r := find(i)
 		groups[r] = append(groups[r], i)
 	}
+	// Emit components in sorted-root order, not map order. Each group is
+	// already ascending (members were appended in index order), and its
+	// root is not necessarily its minimum, so the final sort by first
+	// element stays — but it now permutes a deterministic input.
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
 	out := make([][]int, 0, len(groups))
-	for _, g := range groups {
-		sort.Ints(g)
-		out = append(out, g)
+	for _, r := range roots {
+		out = append(out, groups[r])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out

@@ -58,8 +58,8 @@ func sameModel(t *testing.T, got, want *sympvl.Model) {
 		}
 	}
 	for _, pair := range []struct {
-		name     string
-		g, w     *matrix.Dense
+		name string
+		g, w *matrix.Dense
 	}{{"T", got.T, want.T}, {"Rho", got.Rho, want.Rho}} {
 		if pair.g.Rows() != pair.w.Rows() || pair.g.Cols() != pair.w.Cols() {
 			t.Fatalf("%s dims %dx%d want %dx%d", pair.name, pair.g.Rows(), pair.g.Cols(), pair.w.Rows(), pair.w.Cols())

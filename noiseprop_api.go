@@ -1,6 +1,7 @@
 package xtverify
 
 import (
+	"context"
 	"fmt"
 
 	"xtverify/internal/glitch"
@@ -38,6 +39,12 @@ type PropagationTrace struct {
 // with the disturbance waveform through its characterized I–V surface and
 // the pulse is chased until it dies or reaches a latch.
 func (v *Verifier) TraceGlitch(victim string) (*PropagationTrace, error) {
+	return v.TraceGlitchContext(context.Background(), victim)
+}
+
+// TraceGlitchContext is TraceGlitch with cancellation: ctx aborts the glitch
+// analysis of either polarity before the propagation walk starts.
+func (v *Verifier) TraceGlitchContext(ctx context.Context, victim string) (*PropagationTrace, error) {
 	net, ok := v.des.NetByName(victim)
 	if !ok {
 		return nil, fmt.Errorf("xtverify: unknown net %q", victim)
@@ -60,11 +67,11 @@ func (v *Verifier) TraceGlitch(victim string) (*PropagationTrace, error) {
 		UseLogicCorrelation: v.cfg.UseLogicCorrelation,
 	})
 	// Worse polarity wins.
-	rise, err := eng.AnalyzeGlitch(cl, true)
+	rise, err := eng.AnalyzeGlitchContext(ctx, cl, true)
 	if err != nil {
 		return nil, err
 	}
-	fall, err := eng.AnalyzeGlitch(cl, false)
+	fall, err := eng.AnalyzeGlitchContext(ctx, cl, false)
 	if err != nil {
 		return nil, err
 	}

@@ -267,6 +267,7 @@ func TestCanonicalConfigKey(t *testing.T) {
 		"ScreenSafetyFactor":  func(c *Config) { c.ScreenSafetyFactor = 2.5 },
 	}
 	seen := map[string]string{baseKey: "base"}
+	//xtlint:sorted visit order immaterial: each knob is checked independently against the base key
 	for field, mut := range content {
 		cfg := base
 		mut(&cfg)
@@ -284,6 +285,7 @@ func TestCanonicalConfigKey(t *testing.T) {
 		"DisablePreparedTransients": func(c *Config) { c.DisablePreparedTransients = true },
 		"Collector":                 func(c *Config) { c.Collector = NewMetricsCollector() },
 	}
+	//xtlint:sorted visit order immaterial: each knob is checked independently against the base key
 	for field, mut := range execution {
 		cfg := base
 		mut(&cfg)

@@ -28,6 +28,13 @@ type TimingImpact struct {
 // baseline. Results are sorted by absolute delay change, worst first.
 // rising selects the analyzed victim edge.
 func (v *Verifier) RunTimingImpact(rising bool) ([]TimingImpact, error) {
+	return v.RunTimingImpactContext(context.Background(), rising)
+}
+
+// RunTimingImpactContext is RunTimingImpact with cancellation: ctx aborts the
+// per-victim delay recalculation between clusters and the partial work is
+// discarded.
+func (v *Verifier) RunTimingImpactContext(ctx context.Context, rising bool) ([]TimingImpact, error) {
 	pOpt := prune.Options{
 		CapRatioThreshold: v.cfg.CapRatioThreshold,
 		MinCouplingF:      0.5e-15,
@@ -44,7 +51,7 @@ func (v *Verifier) RunTimingImpact(rising bool) ([]TimingImpact, error) {
 		DisablePrepared:     v.cfg.DisablePreparedTransients,
 		TEnd:                8e-9,
 	})
-	impacts, err := eng.TimingImpactReport(clusters, rising)
+	impacts, err := eng.TimingImpactReportContext(ctx, clusters, rising)
 	if err != nil {
 		return nil, err
 	}

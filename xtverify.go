@@ -448,5 +448,6 @@ func NewVerifierFromDEF(r io.Reader, cfg Config) (*Verifier, error) {
 // ladder — exactly the historical behavior. See RunContext (engine.go) for
 // the parallel, fault-tolerant variant.
 func (v *Verifier) Run() (*Report, error) {
+	//xtlint:background Run is the historical strict-serial entry; it delegates to the shared engine, not to a RunContext wrapper
 	return v.runEngine(context.Background(), runParams{workers: 1, strict: true})
 }
