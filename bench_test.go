@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -781,4 +782,61 @@ func BenchmarkReverify(b *testing.B) {
 	b.ReportMetric(float64(reused), "clusters-reused")
 	b.ReportMetric(float64(recomputed), "clusters-recomputed")
 	b.ReportMetric(float64(fullDur)/float64(time.Millisecond), "full-run-ms")
+}
+
+// BenchmarkChipStream is the streaming-ingest headline: the same chip
+// verified materialized versus streamed (Config.StreamIngest), reporting net
+// throughput and the sampled peak heap. The report bytes are provably
+// identical (TestStreamReportIdentityDSP); the streamed variant's
+// peak-heap-MB is the optimization's measured win — extraction, clustering
+// and verification overlap, no whole-chip design or parasitics are ever
+// held, and each component's analysis views are released as its clusters
+// finish.
+func BenchmarkChipStream(b *testing.B) {
+	cfg := DSPConfig{Seed: 1999, Channels: 100, TracksPerChannel: 400,
+		ChannelLengthUM: 70, BusFraction: 0.05, LatchFraction: 0.25,
+		ClockSpines: 1, TrackPitchUM: 1.8}
+	run := func(b *testing.B, stream bool) {
+		runtime.GC()
+		var peak uint64 // owned by the sampler; read after <-done
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var m runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		var nets int
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			v, err := NewVerifierFromDSP(cfg, Config{Model: FixedResistance, StreamIngest: stream})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := v.RunContext(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			nets = rep.NetCount
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		<-done
+		b.ReportMetric(float64(nets*b.N)/elapsed.Seconds(), "nets/sec")
+		b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+	}
+	b.Run("materialized", func(b *testing.B) { run(b, false) })
+	b.Run("stream", func(b *testing.B) { run(b, true) })
 }

@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,9 +41,10 @@ import (
 // defaultBench is the core-kernel set: cheap enough for routine snapshots,
 // covering the hot paths (reduction, ROM transient, reference SPICE, SpMV),
 // the prepared-vs-seed multi-scenario cluster sweep, the end-to-end chip
-// verify with the rung-0 screen on/off (clusters/sec headline), and the
-// incremental ECO splice vs full re-run (speedup-x headline).
-const defaultBench = "BenchmarkSyMPVLReduce$|BenchmarkROMTransient$|BenchmarkSPICETransient$|BenchmarkSparseMulVec|BenchmarkGlitchClusterScenarios|BenchmarkChipVerify|BenchmarkReverify$"
+// verify with the rung-0 screen on/off (clusters/sec headline), the
+// streaming-vs-materialized ingest (nets/sec and peak-heap-MB headline),
+// and the incremental ECO splice vs full re-run (speedup-x headline).
+const defaultBench = "BenchmarkSyMPVLReduce$|BenchmarkROMTransient$|BenchmarkSPICETransient$|BenchmarkSparseMulVec|BenchmarkGlitchClusterScenarios|BenchmarkChipVerify|BenchmarkChipStream|BenchmarkReverify$"
 
 // Benchmark is one parsed benchmark result.
 type Benchmark struct {
@@ -155,10 +157,12 @@ func readSnapshot(path string) (*Snapshot, error) {
 	return &s, nil
 }
 
-// compareSnapshots diffs ns/op for every benchmark name present in both
-// snapshots and reports false when any regressed beyond tolerancePct.
-// Benchmarks present on only one side are listed but never fail the
-// comparison — the set is allowed to grow between PRs.
+// compareSnapshots diffs ns/op — and every memory metric (a custom
+// b.ReportMetric column ending in "-MB", e.g. peak-heap-MB) — for every
+// benchmark name present in both snapshots, and reports false when any
+// regressed beyond tolerancePct. Benchmarks present on only one side are
+// listed but never fail the comparison — the set is allowed to grow between
+// PRs.
 func compareSnapshots(w io.Writer, old, cur *Snapshot, tolerancePct float64) bool {
 	baseline := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
@@ -182,6 +186,26 @@ func compareSnapshots(w io.Writer, old, cur *Snapshot, tolerancePct float64) boo
 		}
 		fmt.Fprintf(w, "benchjson: %-9s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			status, b.Name, ob.NsPerOp, b.NsPerOp, pct)
+		metrics := make([]string, 0, len(b.Metrics))
+		for metric := range b.Metrics {
+			metrics = append(metrics, metric)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			v := b.Metrics[metric]
+			obv, has := ob.Metrics[metric]
+			if !has || !strings.HasSuffix(metric, "-MB") || obv <= 0 {
+				continue
+			}
+			mpct := 100 * (v - obv) / obv
+			mstatus := "ok"
+			if mpct > tolerancePct {
+				mstatus = "REGRESSED"
+				ok = false
+			}
+			fmt.Fprintf(w, "benchjson: %-9s %-40s %12.1f -> %12.1f %s (%+.1f%%)\n",
+				mstatus, b.Name, obv, v, metric, mpct)
+		}
 	}
 	for name := range baseline {
 		fmt.Fprintf(w, "benchjson: dropped   %s\n", name)

@@ -54,26 +54,45 @@ func run() int {
 		retries  = flag.Int("rung-retries", 0, "retries per fallback rung for transiently timed-out clusters")
 		romCap   = flag.Int("rom-cache-cap", 0, "in-memory ROM cache capacity in entries (0 = default)")
 		romDir   = flag.String("rom-store", "", "directory for the disk-persistent ROM cache (empty = in-memory only)")
+		stream   = flag.Bool("stream", false, "stream the design through bounded-memory ingest: clusters are verified while the input is still being read (identical report; incompatible with -windows and the materialized-only outputs)")
+		streamSl = flag.Float64("stream-slack", 0, "frontier slack in µm for -stream (0 = default)")
 		metrics  = flag.String("metrics-out", "", "write the run's metrics snapshot to this JSON file")
 		pprofOn  = flag.String("pprof", "", "serve expvar/pprof on this address (e.g. :6060); metrics appear live at /debug/vars under \"xtverify\"")
 	)
 	flag.Parse()
 
 	cfg := xtverify.Config{
-		FixedOhms:           *fixedR,
-		CapRatioThreshold:   *capRatio,
-		GlitchThresholdFrac: *thresh,
-		UseTimingWindows:    *windows,
-		UseLogicCorrelation: *logic,
-		Workers:             *workers,
-		Strict:              *strict,
-		ClusterTimeout:      *cluTO,
-		RungRetries:         *retries,
-		ROMCacheCap:         *romCap,
+		FixedOhms:             *fixedR,
+		CapRatioThreshold:     *capRatio,
+		GlitchThresholdFrac:   *thresh,
+		UseTimingWindows:      *windows,
+		UseLogicCorrelation:   *logic,
+		Workers:               *workers,
+		Strict:                *strict,
+		ClusterTimeout:        *cluTO,
+		RungRetries:           *retries,
+		ROMCacheCap:           *romCap,
+		StreamIngest:          *stream,
+		StreamFrontierSlackUM: *streamSl,
 
 		DisablePreparedTransients: *noPrep,
 		DisableScreening:          *noScreen,
 		ScreenSafetyFactor:        *screenSF,
+	}
+	if *stream {
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{*windows, "-windows"}, {*spefOut != "", "-spef"},
+			{*vlogOut != "", "-verilog"}, {*defOut != "", "-def"},
+			{*emFlag, "-em"}, {*timFlag, "-timing"},
+		} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "%s needs the materialized design and cannot be combined with -stream\n", bad.name)
+				return 2
+			}
+		}
 	}
 	switch *model {
 	case "fixed":
@@ -130,8 +149,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err2)
 			return 1
 		}
+		// Under -stream the reader is consumed during RunContext, so the
+		// file must stay open until the run finishes.
+		defer f.Close()
 		v, err = xtverify.NewVerifierFromDEF(f, cfg)
-		f.Close()
 	} else {
 		v, err = xtverify.NewVerifierFromDSP(dspCfg, cfg)
 	}

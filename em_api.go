@@ -32,6 +32,9 @@ type EMResult struct {
 // cites as requiring waveform-accurate cell models. Results are sorted
 // worst-first by RMS utilization.
 func (v *Verifier) RunEM(opt EMOptions) ([]EMResult, error) {
+	if err := v.requireMaterialized("RunEM"); err != nil {
+		return nil, err
+	}
 	rs, err := em.AnalyzeDesign(v.par, em.Options{ActivityHz: opt.ActivityHz})
 	if err != nil {
 		return nil, err

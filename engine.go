@@ -28,6 +28,8 @@ import (
 
 	"xtverify/internal/analytic"
 	"xtverify/internal/cells"
+	"xtverify/internal/design"
+	"xtverify/internal/extract"
 	"xtverify/internal/faultinject"
 	"xtverify/internal/glitch"
 	"xtverify/internal/obs"
@@ -146,6 +148,17 @@ type runParams struct {
 	reuse func(cl *prune.Cluster) *clusterResult
 }
 
+// clusterUnit is everything cluster analysis reads: the pruned cluster plus
+// the parasitics/design its indices resolve against. The materialized path
+// passes the whole-chip views; the streaming path passes component-scoped
+// views whose local numbering reproduces the global computation bit for bit
+// (see internal/prune stream.go).
+type clusterUnit struct {
+	cl  *prune.Cluster
+	par *extract.Parasitics
+	des *design.Design
+}
+
 // clusterResult is one worker's output for one cluster.
 type clusterResult struct {
 	outcome   ClusterOutcome
@@ -175,14 +188,10 @@ func (v *Verifier) RunContext(ctx context.Context) (*Report, error) {
 	})
 }
 
-func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) {
-	col := v.cfg.Collector
-	pOpt := v.pruneOptions()
-	pruneSpan := col.Start(obs.PhasePrune)
-	stats := prune.ComputeStats(v.par, pOpt)
-	clusters := prune.Clusters(v.par, pOpt)
-	pruneSpan.End()
-	baseOpts := glitch.Options{
+// baseGlitchOptions maps the run config onto the glitch engine's options —
+// everything except the per-run cache wiring.
+func (v *Verifier) baseGlitchOptions() glitch.Options {
+	return glitch.Options{
 		Model:               v.cfg.Model.kind(),
 		FixedOhms:           v.cfg.FixedOhms,
 		Order:               v.cfg.ReducedOrder,
@@ -191,30 +200,40 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 		DisableROMCache:     v.cfg.DisableROMCache,
 		DisablePrepared:     v.cfg.DisablePreparedTransients,
 	}
-	// One ROM cache for the whole run, shared by every worker and every
-	// ladder rung (Gmin and order changes are part of the cache key), so
-	// structurally identical clusters reduce once chip-wide. A caller may
-	// supply a longer-lived SharedROMCache (the daemon shares one across
-	// jobs) and/or a disk-persistent ROMStore behind it; diagnostics then
-	// report this run's deltas against the pre-run counters.
-	var romCache *glitch.ROMCache
-	var cacheHits0, cacheMisses0, cacheEvict0 uint64
-	var store0 ROMStoreStats
+}
+
+// cacheState snapshots the pre-run cache counters so diagnostics can report
+// this run's deltas against a shared cache or store.
+type cacheState struct {
+	romCache                              *glitch.ROMCache
+	cacheHits0, cacheMisses0, cacheEvict0 uint64
+	store0                                ROMStoreStats
+}
+
+// setupEngineCaches wires the run's ROM cache and persistent store into
+// baseOpts: one ROM cache for the whole run, shared by every worker and
+// every ladder rung (Gmin and order changes are part of the cache key), so
+// structurally identical clusters reduce once chip-wide. A caller may supply
+// a longer-lived SharedROMCache (the daemon shares one across jobs) and/or a
+// disk-persistent ROMStore behind it; diagnostics then report this run's
+// deltas against the pre-run counters.
+func (v *Verifier) setupEngineCaches(baseOpts *glitch.Options) cacheState {
+	var cs cacheState
 	if !v.cfg.DisableROMCache {
 		if v.cfg.SharedROMCache != nil {
-			romCache = v.cfg.SharedROMCache
+			cs.romCache = v.cfg.SharedROMCache
 		} else {
-			romCache = glitch.NewROMCache(v.cfg.ROMCacheCap)
+			cs.romCache = glitch.NewROMCache(v.cfg.ROMCacheCap)
 		}
 		if v.cfg.ROMStore != nil {
-			romCache.SetBacking(v.cfg.ROMStore)
+			cs.romCache.SetBacking(v.cfg.ROMStore)
 		}
-		cacheHits0, cacheMisses0 = romCache.Stats()
-		cacheEvict0 = romCache.Evictions()
-		baseOpts.Cache = romCache
+		cs.cacheHits0, cs.cacheMisses0 = cs.romCache.Stats()
+		cs.cacheEvict0 = cs.romCache.Evictions()
+		baseOpts.Cache = cs.romCache
 	}
 	if v.cfg.ROMStore != nil {
-		store0 = v.cfg.ROMStore.Stats()
+		cs.store0 = v.cfg.ROMStore.Stats()
 		// The store also persists prepared-transient cores (the factorization
 		// behind the reduced model), so a warm process skips diagonalization
 		// too. Gated on the same knobs as the layers it accelerates.
@@ -222,6 +241,39 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 			baseOpts.PreparedStore = v.cfg.ROMStore
 		}
 	}
+	return cs
+}
+
+// recordCacheDeltas folds the run's cache/store activity into the
+// diagnostics and counters.
+func (v *Verifier) recordCacheDeltas(cs cacheState, diag *Diagnostics, col *MetricsCollector) {
+	if cs.romCache != nil {
+		hits, misses := cs.romCache.Stats()
+		diag.ROMCacheHits, diag.ROMCacheMisses = hits-cs.cacheHits0, misses-cs.cacheMisses0
+		col.Add(obs.CtrROMCacheHits, int64(diag.ROMCacheHits))
+		col.Add(obs.CtrROMCacheMisses, int64(diag.ROMCacheMisses))
+		col.Add(obs.CtrROMCacheEvictions, int64(cs.romCache.Evictions()-cs.cacheEvict0))
+	}
+	if st := v.cfg.ROMStore; st != nil {
+		s1 := st.Stats()
+		col.Add(obs.CtrROMStoreHits, int64(s1.Hits-cs.store0.Hits))
+		col.Add(obs.CtrROMStoreWrites, int64(s1.Writes-cs.store0.Writes))
+		col.Add(obs.CtrCacheCorruptDiscarded, int64(s1.CorruptDiscarded-cs.store0.CorruptDiscarded))
+	}
+}
+
+func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) {
+	if v.src != nil {
+		return v.runStreamEngine(ctx, p)
+	}
+	col := v.cfg.Collector
+	pOpt := v.pruneOptions()
+	pruneSpan := col.Start(obs.PhasePrune)
+	stats := prune.ComputeStats(v.par, pOpt)
+	clusters := prune.Clusters(v.par, pOpt)
+	pruneSpan.End()
+	baseOpts := v.baseGlitchOptions()
+	cs := v.setupEngineCaches(&baseOpts)
 	workers := p.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -264,7 +316,7 @@ func (v *Verifier) runEngine(ctx context.Context, p runParams) (*Report, error) 
 					continue // run aborted: leave the slot unattempted
 				}
 				col.TaskStarted()
-				res := v.analyzeCluster(runCtx, baseOpts, clusters[idx], p)
+				res := v.analyzeCluster(runCtx, baseOpts, clusterUnit{cl: clusters[idx], par: v.par, des: v.des}, p)
 				col.TaskDone()
 				results[idx] = res
 				if p.strict && res.err != nil {
@@ -359,19 +411,7 @@ feed:
 		rep.Screening = scr
 	}
 	diag.WallTime = time.Since(start) //xtlint:wallclock run-dependent diagnostic, excluded from report identity
-	if romCache != nil {
-		hits, misses := romCache.Stats()
-		diag.ROMCacheHits, diag.ROMCacheMisses = hits-cacheHits0, misses-cacheMisses0
-		col.Add(obs.CtrROMCacheHits, int64(diag.ROMCacheHits))
-		col.Add(obs.CtrROMCacheMisses, int64(diag.ROMCacheMisses))
-		col.Add(obs.CtrROMCacheEvictions, int64(romCache.Evictions()-cacheEvict0))
-	}
-	if st := v.cfg.ROMStore; st != nil {
-		s1 := st.Stats()
-		col.Add(obs.CtrROMStoreHits, int64(s1.Hits-store0.Hits))
-		col.Add(obs.CtrROMStoreWrites, int64(s1.Writes-store0.Writes))
-		col.Add(obs.CtrCacheCorruptDiscarded, int64(s1.CorruptDiscarded-store0.CorruptDiscarded))
-	}
+	v.recordCacheDeltas(cs, diag, col)
 	if p.reuse != nil {
 		col.Add(obs.CtrReverifyJobs, 1)
 		col.Add(obs.CtrClustersReused, reused)
@@ -394,9 +434,10 @@ feed:
 
 // analyzeCluster runs one cluster down the ladder (or just the fast path in
 // strict mode) under the per-cluster deadline.
-func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, cl *prune.Cluster, p runParams) *clusterResult {
+func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, u clusterUnit, p runParams) *clusterResult {
 	start := time.Now() //xtlint:wallclock feeds Outcome.WallTime only, a run-dependent diagnostic
-	victim := v.des.Nets[cl.Victim].Name
+	cl := u.cl
+	victim := u.des.Nets[cl.Victim].Name
 	tr := v.cfg.Collector.NewTrace()
 	res := &clusterResult{outcome: ClusterOutcome{Victim: victim, CouplingF: cl.KeptF}, trace: tr}
 	// With retries disabled one deadline budget spans the whole ladder (the
@@ -421,7 +462,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 			expired = true
 		}
 		if !expired {
-			if bound, ok := v.screenCluster(cl, victim, tr); ok {
+			if bound, ok := v.screenCluster(u, victim, tr); ok {
 				res.outcome.Stage = StageScreened
 				res.outcome.WallTime = time.Since(start) //xtlint:wallclock WallTime is a run-dependent diagnostic, excluded from report identity
 				res.outcome.ScreenBoundV = bound
@@ -436,7 +477,7 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 	}
 	var attempts []Attempt
 	for _, stage := range stages {
-		viol, recheckErr, err := v.attemptStage(ctx, cctx, stage, baseOpts, tr, cl, victim, p)
+		viol, recheckErr, err := v.attemptStage(ctx, cctx, stage, baseOpts, tr, u, victim, p)
 		if err == nil {
 			res.outcome.Stage = stage
 			res.outcome.Attempts = len(attempts) + 1
@@ -490,9 +531,9 @@ func (v *Verifier) analyzeCluster(ctx context.Context, baseOpts glitch.Options, 
 // immediately. Each retry waits an exponentially growing backoff and then
 // re-attempts the same rung under a fresh per-attempt deadline.
 func (v *Verifier) attemptStage(parent, cctx context.Context, stage FallbackStage, baseOpts glitch.Options,
-	tr *obs.Trace, cl *prune.Cluster, victim string, p runParams) (*Violation, error, error) {
+	tr *obs.Trace, u clusterUnit, victim string, p runParams) (*Violation, error, error) {
 	if p.strict || p.retries <= 0 {
-		return v.attemptCluster(cctx, stage, baseOpts, tr, cl, victim)
+		return v.attemptCluster(cctx, stage, baseOpts, tr, u, victim)
 	}
 	backoff := p.backoff
 	if backoff <= 0 {
@@ -504,7 +545,7 @@ func (v *Verifier) attemptStage(parent, cctx context.Context, stage FallbackStag
 		if p.timeout > 0 {
 			actx, cancel = context.WithTimeout(parent, p.timeout)
 		}
-		viol, recheckErr, err := v.attemptCluster(actx, stage, baseOpts, tr, cl, victim)
+		viol, recheckErr, err := v.attemptCluster(actx, stage, baseOpts, tr, u, victim)
 		if cancel != nil {
 			cancel()
 		}
@@ -548,7 +589,7 @@ func stageCounter(s FallbackStage) obs.Counter {
 // v.faultHook (that hook drives ladder-shape tests which pin rung
 // semantics); the process-global fault-injection registry fires with the
 // "screened" stage so rung 0 participates in panic-isolation coverage.
-func (v *Verifier) screenCluster(cl *prune.Cluster, victim string, tr *obs.Trace) (bound float64, cleared bool) {
+func (v *Verifier) screenCluster(u clusterUnit, victim string, tr *obs.Trace) (bound float64, cleared bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			bound, cleared = 0, false
@@ -558,7 +599,7 @@ func (v *Verifier) screenCluster(cl *prune.Cluster, victim string, tr *obs.Trace
 		return 0, false
 	}
 	tr.Add(obs.CtrScreenBoundEvals, 1)
-	b, err := analytic.BoundCluster(v.par, cl, analytic.BoundOptions{
+	b, err := analytic.BoundCluster(u.par, u.cl, analytic.BoundOptions{
 		Model:     v.cfg.Model.boundModel(),
 		FixedOhms: v.cfg.FixedOhms,
 		Vdd:       Vdd,
@@ -582,7 +623,8 @@ func (v *Verifier) screenCluster(cl *prune.Cluster, victim string, tr *obs.Trace
 // ErrPanic-wrapped failure. A nil violation with nil error means the victim
 // is clean at this threshold.
 func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, baseOpts glitch.Options,
-	tr *obs.Trace, cl *prune.Cluster, victim string) (viol *Violation, recheckErr error, err error) {
+	tr *obs.Trace, u clusterUnit, victim string) (viol *Violation, recheckErr error, err error) {
+	cl := u.cl
 	defer func() {
 		if r := recover(); r != nil {
 			viol, recheckErr = nil, nil
@@ -616,7 +658,7 @@ func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, base
 	case StageDirectMNA:
 		opts.DirectMNA = true
 	}
-	eng := glitch.NewEngine(v.par, opts)
+	eng := glitch.NewEngine(u.par, opts)
 	worst := Violation{Victim: victim}
 	// Both polarities in one pass: the reduction and the prepared
 	// diagonalization are shared, and (pattern permitting) the two
@@ -640,7 +682,7 @@ func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, base
 	if worst.FracVdd < v.cfg.GlitchThresholdFrac {
 		return nil, nil, nil
 	}
-	for _, r := range v.des.Nets[cl.Victim].Receivers {
+	for _, r := range u.des.Nets[cl.Victim].Receivers {
 		if r.Cell.Sequential {
 			worst.LatchInput = true
 			break
@@ -649,7 +691,7 @@ func (v *Verifier) attemptCluster(ctx context.Context, stage FallbackStage, base
 	// Noise-margin classification: does any receiver amplify the glitch
 	// past its unity-gain corner?
 	heldLow := worst.PeakV > 0
-	for _, r := range v.des.Nets[cl.Victim].Receivers {
+	for _, r := range u.des.Nets[cl.Victim].Receivers {
 		vtc, verr := cells.CharacterizeVTC(r.Cell)
 		if verr != nil {
 			return nil, nil, fmt.Errorf("xtverify: VTC of %s: %w", r.Cell.Name, verr)

@@ -43,6 +43,11 @@ var (
 	// diagnostics, or cluster outcomes that no longer line up with the
 	// design's cluster set.
 	ErrBaseUnusable = errors.New("xtverify: base report unusable for reverify")
+	// ErrStreamIngest marks an operation that needs the whole design
+	// materialized in memory, requested on a streaming verifier
+	// (Config.StreamIngest) — or a streaming-only knob used where streaming
+	// is impossible. Re-ingest without StreamIngest to use these APIs.
+	ErrStreamIngest = errors.New("xtverify: operation incompatible with streaming ingest")
 )
 
 // FallbackStage identifies a rung of the engine's degradation ladder.

@@ -168,6 +168,13 @@ type VerifyRequest struct {
 	DSP *DSPRequest `json:"dsp,omitempty"`
 	// DEF is an inline DEF netlist as produced by WriteDEF.
 	DEF string `json:"def,omitempty"`
+	// Stream runs the job through bounded-memory streaming ingest: clusters
+	// are verified while the DEF is still being parsed, and the report is
+	// byte-identical to a materialized run (so the report cache is shared
+	// between the two). Only valid with an inline DEF design, and not
+	// combinable with timing_windows. A streamed job can still anchor a
+	// reverify, which then recomputes in full instead of splicing.
+	Stream bool `json:"stream,omitempty"`
 
 	Model               string  `json:"model,omitempty"` // fixed | library | nonlinear
 	FixedOhms           float64 `json:"fixed_ohms,omitempty"`
@@ -514,6 +521,17 @@ func (s *Server) jobConfig(req *VerifyRequest) (xtverify.Config, string) {
 	}
 	if req.ScreenSafetyFactor > 0 {
 		cfg.ScreenSafetyFactor = req.ScreenSafetyFactor
+	}
+	if req.Stream {
+		if req.DEF == "" {
+			// DSP jobs are canonicalized through a materialized DEF round
+			// trip (see runJob), so streaming them buys nothing.
+			return cfg, "stream (only valid with an inline def design)"
+		}
+		if cfg.UseTimingWindows {
+			return cfg, "stream (incompatible with timing_windows)"
+		}
+		cfg.StreamIngest = true
 	}
 	return cfg, ""
 }

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -502,5 +503,97 @@ func TestConcurrentSubmissions(t *testing.T) {
 	// Identical design across all jobs: the shared cache must have served.
 	if m.ROMCache.Hits == 0 {
 		t.Errorf("shared ROM cache never hit across %d identical jobs: %+v", clients*perClient, m.ROMCache)
+	}
+}
+
+// tinyDEF serializes the tiny test design to inline DEF, the only form a
+// streamed job accepts.
+func tinyDEF(t *testing.T) string {
+	t.Helper()
+	gen, err := xtverify.NewVerifierFromDSP(resolveDSP(tinyJob().DSP), xtverify.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := gen.WriteDEF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestStreamJobByteIdentity: a streamed DEF job produces the same
+// report_text as a materialized run of the same design and config, counts
+// its streaming work, and shares the report cache with materialized jobs
+// (StreamIngest is not part of the canonical config).
+func TestStreamJobByteIdentity(t *testing.T) {
+	faultinject.LeakCheck(t)
+	def := tinyDEF(t)
+	req := &VerifyRequest{DEF: def, Model: "fixed", CapRatioThreshold: 0.03}
+	sreq := *req
+	sreq.Stream = true
+
+	_, ts := newTestServer(t, Options{})
+	streamed := verifyOK(t, ts, &sreq)
+	if streamed.Cached {
+		t.Fatal("first streamed job claims to be cached")
+	}
+	if streamed.Counters["nets_streamed"] == 0 || streamed.Counters["clusters_emitted_eager"] == 0 {
+		t.Errorf("streamed job recorded no streaming work: %v", streamed.Counters)
+	}
+	// Same design+config without stream: served from the shared cache.
+	repeat := verifyOK(t, ts, req)
+	if !repeat.Cached || repeat.ReportText != streamed.ReportText {
+		t.Errorf("materialized repeat not served from the streamed job's cache entry (cached=%v)", repeat.Cached)
+	}
+
+	// A genuinely materialized run on a fresh daemon: byte-identical text.
+	_, ts2 := newTestServer(t, Options{})
+	materialized := verifyOK(t, ts2, req)
+	if materialized.Cached {
+		t.Fatal("fresh daemon served from cache")
+	}
+	if materialized.ReportText != streamed.ReportText {
+		t.Errorf("streamed and materialized report_text differ:\n--- streamed ---\n%s--- materialized ---\n%s",
+			streamed.ReportText, materialized.ReportText)
+	}
+}
+
+// TestStreamJobBadRequests pins the validation: stream is DEF-only and
+// excludes timing windows.
+func TestStreamJobBadRequests(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := newTestServer(t, Options{})
+	for name, body := range map[string]string{
+		"stream with dsp":            `{"dsp":{"seed":1},"stream":true}`,
+		"stream with timing windows": `{"def":"x","stream":true,"timing_windows":true}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestReverifyAgainstStreamedBase: a streamed base job cannot be spliced
+// against (no materialized design to index), so the reverify degrades to a
+// full recompute — same availability contract as an unusable base.
+func TestReverifyAgainstStreamedBase(t *testing.T) {
+	faultinject.LeakCheck(t)
+	def := tinyDEF(t)
+	_, ts := newTestServer(t, Options{})
+	base := verifyOK(t, ts, &VerifyRequest{DEF: def, Model: "fixed", CapRatioThreshold: 0.03, Stream: true})
+	rr := reverifyOK(t, ts, &ReverifyRequest{BaseJobID: base.JobID, DEF: def})
+	if !rr.FullRecompute {
+		t.Error("reverify against a streamed base claims to have spliced")
+	}
+	if rr.ReportText != base.ReportText {
+		t.Errorf("identity ECO against streamed base changed the report:\n--- base ---\n%s--- reverify ---\n%s",
+			base.ReportText, rr.ReportText)
 	}
 }

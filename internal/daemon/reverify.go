@@ -276,6 +276,10 @@ func (s *Server) handleReverify(w http.ResponseWriter, r *http.Request) {
 	cfg.SharedROMCache = s.cache
 	cfg.ROMStore = s.opts.Store
 	cfg.Collector = xtverify.NewMetricsCollector()
+	// A reverify materializes the edited design whatever the base job did:
+	// splicing needs cluster-level random access, and StreamIngest is not
+	// part of the canonical config, so clearing it cannot cause a mismatch.
+	cfg.StreamIngest = false
 
 	var defText string
 	var synthesized bool

@@ -148,14 +148,57 @@ func pinOr(p, def string) string {
 	return p
 }
 
+// Sink receives a streamed DEF parse: the design header, then every net in
+// file order, each complete with its pins and routed segments. StreamRead
+// never retains a net after handing it over, so a sink that does not
+// accumulate keeps parsing memory O(components + one net).
+type Sink interface {
+	// StartDesign is called once, at the DESIGN statement, before any net.
+	StartDesign(name string) error
+	// AddNet is called once per net, in file order. The net's Index is not
+	// assigned — numbering nets is the sink's job.
+	AddNet(n *design.Net) error
+}
+
 // Read parses a DEF-lite file back into a design, resolving cells from the
 // bundled library. The result passes design.Validate and extracts
-// identically to the original.
+// identically to the original. Read is the materializing front of
+// StreamRead: it accumulates every net into one design and validates the
+// whole at EOF.
 func Read(r io.Reader) (*design.Design, error) {
+	var d *design.Design
+	if err := StreamRead(r, &materializeSink{d: &d}); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, &ParseError{Msg: "reconstructed design invalid", Err: err}
+	}
+	return d, nil
+}
+
+// materializeSink accumulates a streamed parse into one design.
+type materializeSink struct{ d **design.Design }
+
+func (m *materializeSink) StartDesign(name string) error {
+	*m.d = design.New(name)
+	return nil
+}
+
+func (m *materializeSink) AddNet(n *design.Net) error {
+	(*m.d).AddNet(n)
+	return nil
+}
+
+// StreamRead parses a DEF-lite file incrementally, handing each net to sink
+// the moment its terminating ";" (or the section END) is seen. A sink error
+// aborts the parse and is returned verbatim. Unlike Read it performs no
+// whole-design validation — per-net checks are the sink's responsibility
+// (design.ValidateNet).
+func StreamRead(r io.Reader, sink Sink) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var (
-		d        *design.Design
+		started  bool
 		dbuPerUM = float64(dbuPerMicron)
 		section  string
 		comps    = map[string]compInfo{}
@@ -169,11 +212,13 @@ func Read(r io.Reader) (*design.Design, error) {
 		}
 		return v / dbuPerUM, nil
 	}
-	flushNet := func() {
-		if curNet != nil && d != nil {
-			d.AddNet(curNet)
+	flushNet := func() error {
+		if curNet != nil && started {
+			n := curNet
 			curNet = nil
+			return sink.AddNet(n)
 		}
+		return nil
 	}
 	for sc.Scan() {
 		lineNo++
@@ -185,13 +230,16 @@ func Read(r io.Reader) (*design.Design, error) {
 		switch {
 		case f[0] == "VERSION":
 			// accepted
-		case f[0] == "DESIGN" && len(f) >= 2 && d == nil:
-			d = design.New(f[1])
+		case f[0] == "DESIGN" && len(f) >= 2 && !started:
+			started = true
+			if err := sink.StartDesign(f[1]); err != nil {
+				return err
+			}
 		case f[0] == "UNITS":
 			if len(f) >= 4 {
 				v, err := strconv.ParseFloat(f[3], 64)
 				if err != nil || v <= 0 {
-					return nil, perr(lineNo, "bad UNITS")
+					return perr(lineNo, "bad UNITS")
 				}
 				dbuPerUM = v
 			}
@@ -201,26 +249,30 @@ func Read(r io.Reader) (*design.Design, error) {
 			section = "NETS"
 		case f[0] == "END":
 			if section == "NETS" {
-				flushNet()
+				if err := flushNet(); err != nil {
+					return err
+				}
 			}
 			section = ""
 		case strings.HasPrefix(line, "- ") && section == "COMPONENTS":
 			// - inst cell + PLACED ( x y ) N ;
 			if len(f) < 9 {
-				return nil, perr(lineNo, "malformed component")
+				return perr(lineNo, "malformed component")
 			}
 			x, err1 := toUM(f[6])
 			y, err2 := toUM(f[7])
 			if err1 != nil || err2 != nil {
-				return nil, perr(lineNo, "bad placement")
+				return perr(lineNo, "bad placement")
 			}
 			cell, ok := cells.ByName(f[2])
 			if !ok {
-				return nil, perr(lineNo, "unknown cell %q", f[2])
+				return perr(lineNo, "unknown cell %q", f[2])
 			}
 			comps[f[1]] = compInfo{cell: cell, x: x, y: y}
 		case strings.HasPrefix(line, "- ") && section == "NETS":
-			flushNet()
+			if err := flushNet(); err != nil {
+				return err
+			}
 			curNet = &design.Net{Name: f[1]}
 			// Pin connections: ( inst pin ) groups on the same line.
 			for i := 2; i+3 < len(f)+1; {
@@ -228,12 +280,12 @@ func Read(r io.Reader) (*design.Design, error) {
 					break
 				}
 				if i+3 >= len(f) || f[i+3] != ")" {
-					return nil, perr(lineNo, "malformed pin group")
+					return perr(lineNo, "malformed pin group")
 				}
 				inst, pin := f[i+1], f[i+2]
 				ci, ok := comps[inst]
 				if !ok {
-					return nil, perr(lineNo, "pin on undeclared component %q", inst)
+					return perr(lineNo, "pin on undeclared component %q", inst)
 				}
 				dp := design.Pin{Inst: inst, Cell: ci.cell, Pin: pin, PosX: ci.x, PosY: ci.y}
 				if pin == "Z" || pin == "Q" || pin == "QN" || pin == "Y" {
@@ -245,14 +297,14 @@ func Read(r io.Reader) (*design.Design, error) {
 			}
 		case f[0] == "+" && len(f) > 1 && f[1] == "USE":
 			if curNet == nil {
-				return nil, perr(lineNo, "USE outside net")
+				return perr(lineNo, "USE outside net")
 			}
 			if len(f) >= 3 && f[2] == "CLOCK" {
 				curNet.ClockNet = true
 			}
 		case (f[0] == "+" && len(f) > 1 && f[1] == "ROUTED") || f[0] == "NEW":
 			if curNet == nil {
-				return nil, perr(lineNo, "route outside net")
+				return perr(lineNo, "route outside net")
 			}
 			// [+ ROUTED|NEW] METALn width ( x0 y0 ) ( x1 y1 )
 			idx := 1
@@ -260,19 +312,19 @@ func Read(r io.Reader) (*design.Design, error) {
 				idx = 2
 			}
 			if len(f) < idx+9 {
-				return nil, perr(lineNo, "malformed route")
+				return perr(lineNo, "malformed route")
 			}
 			layerTok := f[idx]
 			if !strings.HasPrefix(layerTok, "METAL") {
-				return nil, perr(lineNo, "bad layer %q", layerTok)
+				return perr(lineNo, "bad layer %q", layerTok)
 			}
 			layer, err := strconv.Atoi(strings.TrimPrefix(layerTok, "METAL"))
 			if err != nil {
-				return nil, perr(lineNo, "bad layer %q", layerTok)
+				return perr(lineNo, "bad layer %q", layerTok)
 			}
 			width, err := toUM(f[idx+1])
 			if err != nil {
-				return nil, perr(lineNo, "bad width")
+				return perr(lineNo, "bad width")
 			}
 			var coords [4]float64
 			ci := 0
@@ -285,13 +337,13 @@ func Read(r io.Reader) (*design.Design, error) {
 				}
 				v, err := toUM(tok)
 				if err != nil {
-					return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad coordinate %q", tok), Err: err}
+					return &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad coordinate %q", tok), Err: err}
 				}
 				coords[ci] = v
 				ci++
 			}
 			if ci != 4 {
-				return nil, perr(lineNo, "route needs 4 coordinates")
+				return perr(lineNo, "route needs 4 coordinates")
 			}
 			curNet.Route = append(curNet.Route, design.Segment{
 				Layer: layer, Width: width,
@@ -299,22 +351,21 @@ func Read(r io.Reader) (*design.Design, error) {
 			})
 		case f[0] == ";":
 			if section == "NETS" {
-				flushNet()
+				if err := flushNet(); err != nil {
+					return err
+				}
 			}
 		default:
-			return nil, perr(lineNo, "unexpected %q", line)
+			return perr(lineNo, "unexpected %q", line)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	if d == nil {
-		return nil, &ParseError{Msg: "no DESIGN statement"}
+	if !started {
+		return &ParseError{Msg: "no DESIGN statement"}
 	}
-	if err := d.Validate(); err != nil {
-		return nil, &ParseError{Msg: "reconstructed design invalid", Err: err}
-	}
-	return d, nil
+	return nil
 }
 
 type compInfo struct {

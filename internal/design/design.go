@@ -156,37 +156,47 @@ func (d *Design) AreComplementary(a, b int) bool {
 // Validate checks structural sanity of the design.
 func (d *Design) Validate() error {
 	for _, n := range d.Nets {
-		if len(n.Drivers) == 0 {
-			return fmt.Errorf("design: net %q has no driver", n.Name)
-		}
-		if len(n.Route) == 0 {
-			return fmt.Errorf("design: net %q has no route", n.Name)
-		}
-		for _, s := range n.Route {
-			if s.X0 != s.X1 && s.Y0 != s.Y1 {
-				return fmt.Errorf("design: net %q has a non-Manhattan segment", n.Name)
-			}
-			if s.Width <= 0 {
-				return fmt.Errorf("design: net %q has non-positive wire width", n.Name)
-			}
-		}
-		for _, p := range append(append([]Pin(nil), n.Drivers...), n.Receivers...) {
-			if p.Cell == nil {
-				return fmt.Errorf("design: net %q pin %s.%s has no cell", n.Name, p.Inst, p.Pin)
-			}
-		}
-		if n.IsBus() {
-			for _, p := range n.Drivers {
-				if !p.Cell.TriState {
-					return fmt.Errorf("design: bus net %q driven by non-tri-state cell %s", n.Name, p.Cell.Name)
-				}
-			}
+		if err := ValidateNet(n); err != nil {
+			return err
 		}
 	}
 	for _, p := range d.Complementary {
 		for _, i := range p {
 			if i < 0 || i >= len(d.Nets) {
 				return fmt.Errorf("design: complementary pair references net %d out of range", i)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateNet checks the per-net invariants Validate enforces, for callers
+// that receive nets one at a time (the streaming ingest path) and never hold
+// a whole Design to validate.
+func ValidateNet(n *Net) error {
+	if len(n.Drivers) == 0 {
+		return fmt.Errorf("design: net %q has no driver", n.Name)
+	}
+	if len(n.Route) == 0 {
+		return fmt.Errorf("design: net %q has no route", n.Name)
+	}
+	for _, s := range n.Route {
+		if s.X0 != s.X1 && s.Y0 != s.Y1 {
+			return fmt.Errorf("design: net %q has a non-Manhattan segment", n.Name)
+		}
+		if s.Width <= 0 {
+			return fmt.Errorf("design: net %q has non-positive wire width", n.Name)
+		}
+	}
+	for _, p := range append(append([]Pin(nil), n.Drivers...), n.Receivers...) {
+		if p.Cell == nil {
+			return fmt.Errorf("design: net %q pin %s.%s has no cell", n.Name, p.Inst, p.Pin)
+		}
+	}
+	if n.IsBus() {
+		for _, p := range n.Drivers {
+			if !p.Cell.TriState {
+				return fmt.Errorf("design: bus net %q driven by non-tri-state cell %s", n.Name, p.Cell.Name)
 			}
 		}
 	}

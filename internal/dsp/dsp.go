@@ -174,12 +174,51 @@ func minInt(a, b int) int {
 	return b
 }
 
+// DesignName is the name stamped on every generated DSP design.
+const DesignName = "dsp"
+
+// Sink receives a generated design net by net, in ascending-y order — the
+// order the streaming extraction frontier requires. A sink error aborts
+// generation and is returned verbatim.
+type Sink interface {
+	// AddNet hands over one finished net. The net's global index is its
+	// position in the add sequence (0-based); the sink assigns Net.Index.
+	AddNet(n *design.Net) error
+	// MarkComplementary records two already-added nets (by global index) as
+	// a Q/QN pair.
+	MarkComplementary(a, b int)
+}
+
+// designSink materializes the stream into one design.
+type designSink struct{ d *design.Design }
+
+func (s designSink) AddNet(n *design.Net) error {
+	s.d.AddNet(n)
+	return nil
+}
+
+func (s designSink) MarkComplementary(a, b int) { s.d.MarkComplementary(a, b) }
+
 // Generate builds the synthetic DSP design. All cell names the generator
 // draws from are validated up front, so an unknown name fails with a typed
 // error (wrapping cells.ErrUnknownCell) before any net is produced.
+// Generate is the materializing front of Stream: both run the identical
+// pseudo-random sequence, so a streamed ingest sees bit-identical nets.
 func Generate(cfg Config) (*design.Design, error) {
+	d := design.New(DesignName)
+	if err := Stream(cfg, designSink{d: d}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Stream generates the synthetic DSP incrementally, handing each net to
+// sink as it is produced and never retaining it — memory stays O(1) in the
+// design size, which is what lets the streaming ingest benchmark run
+// multi-million-net designs without materializing them.
+func Stream(cfg Config, sink Sink) error {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	d := design.New("dsp")
+	count := 0
 	const (
 		channelGap = 60.0 // µm between channels
 		wireWidth  = 0.6
@@ -190,22 +229,23 @@ func Generate(cfg Config) (*design.Design, error) {
 	}
 	drivers, err := resolvePool(driverPool)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	receivers, err := resolvePool(receiverPool)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	fixed, err := lookupAll([]string{"LATCH_X1", "CLKBUF_X16", "BUF_X4"})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	latch, clkbuf, clkload := fixed[0], fixed[1], fixed[2]
 	tbuf, err := lookupAll([]string{"TBUF_X1", "TBUF_X2", "TBUF_X4", "TBUF_X8"})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var prevNet *design.Net
+	prevIdx := -1
 	for ch := 0; ch < cfg.Channels; ch++ {
 		yBase := float64(ch) * (float64(cfg.TracksPerChannel)*pitch + channelGap)
 		// Datapath bus bundles: runs of adjacent tracks sharing one long
@@ -288,22 +328,27 @@ func Generate(cfg Config) (*design.Design, error) {
 			// same channel, forming the DAG static timing walks. Sequential
 			// drivers (DFF/LATCH outputs) launch fresh from the clock.
 			if !net.IsBus() && !net.Drivers[0].Cell.Sequential && tr > 0 {
-				base := d.Nets[len(d.Nets)-1].Index // last added net so far
+				base := count - 1 // last added net so far
 				nf := 1 + rng.Intn(2)
 				for k := 0; k < nf && k <= tr-1; k++ {
 					fi := base - rng.Intn(minInt(tr, 12))
-					if fi >= 0 && fi != len(d.Nets) {
+					if fi >= 0 && fi != count {
 						net.Fanins = append(net.Fanins, fi)
 					}
 				}
 			}
-			d.AddNet(net)
+			if err := sink.AddNet(net); err != nil {
+				return err
+			}
+			idx := count
+			count++
 			// Complementary Q/QN pairs on adjacent tracks.
 			if prevNet != nil && tr > 0 && rng.Float64() < cfg.ComplementaryFraction &&
 				!net.IsBus() && !prevNet.IsBus() {
-				d.MarkComplementary(prevNet.Index, net.Index)
+				sink.MarkComplementary(prevIdx, idx)
 			}
 			prevNet = net
+			prevIdx = idx
 		}
 		// Clock spines: strong long aggressors along the channel.
 		for s := 0; s < cfg.ClockSpines; s++ {
@@ -321,9 +366,12 @@ func Generate(cfg Config) (*design.Design, error) {
 				}},
 				Route: []design.Segment{{Layer: 2, X0: 0, Y0: y, X1: cfg.ChannelLengthUM, Y1: y, Width: wireWidth}},
 			}
-			d.AddNet(net)
+			if err := sink.AddNet(net); err != nil {
+				return err
+			}
+			count++
 		}
 		prevNet = nil
 	}
-	return d, nil
+	return nil
 }

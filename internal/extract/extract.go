@@ -15,7 +15,6 @@ package extract
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"xtverify/internal/design"
 )
@@ -114,22 +113,26 @@ type piece struct {
 	lo, hi              float64 // varying-coordinate range (lo < hi)
 }
 
-// Extract runs the extraction.
+// Extract runs the extraction. It is the materialized front of the shared
+// streaming kernel: every net is fed through a Streamer with an unbounded
+// frontier, so the incremental path (Config.StreamIngest) and this one
+// compute bit-identical parasitics.
 func Extract(d *design.Design, tech *Tech) (*Parasitics, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("extract: %w", err)
 	}
-	if tech == nil {
-		tech = Tech025()
-	}
-	p := &Parasitics{Design: d, Tech: tech}
-	var pieces []piece
+	s := NewStreamer(tech, Unbounded)
+	p := &Parasitics{Design: d, Tech: s.tech}
 	for _, net := range d.Nets {
-		rc, pcs := extractNet(net, tech)
+		rc, final, _, err := s.AddNet(net)
+		if err != nil {
+			return nil, err
+		}
 		p.Nets = append(p.Nets, rc)
-		pieces = append(pieces, pcs...)
+		p.Couplings = append(p.Couplings, final...)
 	}
-	p.extractCoupling(pieces)
+	s.Finish()
+	SortCouplings(p.Couplings)
 	p.NetCouplingF = make([]map[int]float64, len(p.Nets))
 	for i := range p.NetCouplingF {
 		p.NetCouplingF[i] = make(map[int]float64)
@@ -224,80 +227,6 @@ func extractNet(net *design.Net, tech *Tech) (*NetRC, []piece) {
 		rc.CapF[n] += pin.Cell.InputCapF
 	}
 	return rc, pieces
-}
-
-// extractCoupling finds parallel neighbouring pieces with a sorted sweep per
-// (layer, orientation) group and emits distributed coupling capacitors.
-func (p *Parasitics) extractCoupling(pieces []piece) {
-	type groupKey struct {
-		layer int
-		horiz bool
-	}
-	groups := make(map[groupKey][]int)
-	for i, pc := range pieces {
-		groups[groupKey{pc.layer, pc.horizontal}] = append(groups[groupKey{pc.layer, pc.horizontal}], i)
-	}
-	tech := p.Tech
-	agg := make(map[[4]int]float64) // (netA,nodeA,netB,nodeB) → farads
-	for _, idxs := range groups {
-		sort.Slice(idxs, func(a, b int) bool { return pieces[idxs[a]].fixed < pieces[idxs[b]].fixed })
-		for ii, ai := range idxs {
-			a := pieces[ai]
-			for jj := ii + 1; jj < len(idxs); jj++ {
-				b := pieces[idxs[jj]]
-				spacing := b.fixed - a.fixed
-				if spacing > tech.MaxCoupleSpacingUM {
-					break
-				}
-				if a.net == b.net || spacing <= 0 {
-					continue
-				}
-				overlap := math.Min(a.hi, b.hi) - math.Max(a.lo, b.lo)
-				if overlap <= 0 {
-					continue
-				}
-				s := math.Max(spacing, tech.MinSpacingUM)
-				cc := tech.Cc0FPerUM * (tech.MinSpacingUM / s) * overlap
-				// Attach half at the low-end node pair and half at the
-				// high-end pair, approximating the distributed coupling.
-				lo := math.Max(a.lo, b.lo)
-				hi := math.Min(a.hi, b.hi)
-				addHalf := func(pos float64, f float64) {
-					na := a.nodeLo
-					if pos-a.lo > a.hi-pos {
-						na = a.nodeHi
-					}
-					nb := b.nodeLo
-					if pos-b.lo > b.hi-pos {
-						nb = b.nodeHi
-					}
-					k := [4]int{a.net, na, b.net, nb}
-					if a.net > b.net {
-						k = [4]int{b.net, nb, a.net, na}
-					}
-					agg[k] += f
-				}
-				addHalf(lo, cc/2)
-				addHalf(hi, cc/2)
-			}
-		}
-	}
-	keys := make([][4]int, 0, len(agg))
-	for k := range agg {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		for t := 0; t < 4; t++ {
-			if a[t] != b[t] {
-				return a[t] < b[t]
-			}
-		}
-		return false
-	})
-	for _, k := range keys {
-		p.Couplings = append(p.Couplings, Coupling{NetA: k[0], NodeA: k[1], NetB: k[2], NodeB: k[3], Farads: agg[k]})
-	}
 }
 
 // Stats summarizes an extraction.

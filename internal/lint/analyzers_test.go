@@ -77,14 +77,14 @@ func TestSuiteMetadata(t *testing.T) {
 	}
 }
 
-// TestSchemaV3CountersSorted pins the registry's canonical order so the
+// TestSchemaV4CountersSorted pins the registry's canonical order so the
 // analyzer's declared set stays reviewable as a sorted list.
-func TestSchemaV3CountersSorted(t *testing.T) {
-	if !sort.StringsAreSorted(SchemaV3Counters) {
-		t.Error("lint.SchemaV3Counters must stay sorted")
+func TestSchemaV4CountersSorted(t *testing.T) {
+	if !sort.StringsAreSorted(SchemaV4Counters) {
+		t.Error("lint.SchemaV4Counters must stay sorted")
 	}
-	seen := make(map[string]bool, len(SchemaV3Counters))
-	for _, k := range SchemaV3Counters {
+	seen := make(map[string]bool, len(SchemaV4Counters))
+	for _, k := range SchemaV4Counters {
 		if seen[k] {
 			t.Errorf("duplicate schema key %q", k)
 		}

@@ -10,14 +10,15 @@ import (
 	"strconv"
 )
 
-// SchemaV3Counters is the declared schema-v3 counter key set — the exact
+// SchemaV4Counters is the declared schema-v4 counter key set — the exact
 // names obs.Counter.String() emits, frozen here as the registry the
 // analyzer checks call sites against. internal/obs's schema golden test
 // asserts this list and the runtime enum cannot drift apart: adding a
 // counter means updating both, and the test (plus this analyzer) pins the
 // pair.
-var SchemaV3Counters = []string{
+var SchemaV4Counters = []string{
 	"cache_corrupt_discarded",
+	"clusters_emitted_eager",
 	"clusters_recomputed",
 	"clusters_reused",
 	"diagonalize_skipped",
@@ -25,7 +26,9 @@ var SchemaV3Counters = []string{
 	"fallback_reduced",
 	"fallback_regularized",
 	"fallback_unverified",
+	"frontier_peak_nets",
 	"lanczos_iterations",
+	"nets_streamed",
 	"newton_divergences",
 	"newton_iterations",
 	"prepared_reuses",
@@ -53,11 +56,11 @@ var counterFieldNames = map[string]bool{
 }
 
 // CounterReg flags string-literal lookups into counter maps whose key is
-// not in the declared schema-v3 set.
+// not in the declared schema-v4 set.
 var CounterReg = &Analyzer{
 	Name:      "counterreg",
 	Directive: "counter",
-	Doc: "cross-check counter-name literals against the schema-v3 key set\n\n" +
+	Doc: "cross-check counter-name literals against the schema-v4 key set\n\n" +
 		"Indexing Snapshot.Counters / Metrics.EngineCounters with a key the\n" +
 		"schema does not declare always reads zero — assertions against it\n" +
 		"pass vacuously and dashboards chart a flatline. Keys must come from\n" +
@@ -66,9 +69,9 @@ var CounterReg = &Analyzer{
 	Run: runCounterReg,
 }
 
-var schemaV3Set = func() map[string]bool {
-	m := make(map[string]bool, len(SchemaV3Counters))
-	for _, k := range SchemaV3Counters {
+var schemaV4Set = func() map[string]bool {
+	m := make(map[string]bool, len(SchemaV4Counters))
+	for _, k := range SchemaV4Counters {
 		m[k] = true
 	}
 	return m
@@ -96,8 +99,8 @@ func runCounterReg(pass *Pass) {
 			if err != nil {
 				return true
 			}
-			if !schemaV3Set[key] {
-				pass.Reportf(idx.Index.Pos(), "counter %q is not in the metrics schema-v3 key set: a typo'd counter silently reads 0; see lint.SchemaV3Counters", key)
+			if !schemaV4Set[key] {
+				pass.Reportf(idx.Index.Pos(), "counter %q is not in the metrics schema-v4 key set: a typo'd counter silently reads 0; see lint.SchemaV4Counters", key)
 			}
 			return true
 		})

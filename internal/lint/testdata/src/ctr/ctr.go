@@ -1,5 +1,5 @@
 // Golden testdata for the counterreg analyzer: string-literal lookups into
-// counter maps must use declared schema-v3 keys.
+// counter maps must use declared schema-v4 keys.
 package ctr
 
 // Snapshot mirrors the obs metrics surface: Counters and EngineCounters
@@ -17,7 +17,7 @@ func Read(s *Snapshot) int64 {
 
 // Typo transposes two letters; the lookup reads zero forever: flagged.
 func Typo(s *Snapshot) int64 {
-	return s.Counters["rom_cahce_hits"] // want "not in the metrics schema-v3 key set"
+	return s.Counters["rom_cahce_hits"] // want "not in the metrics schema-v4 key set"
 }
 
 // Dynamic keys are out of scope: accepted.

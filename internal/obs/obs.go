@@ -151,6 +151,17 @@ const (
 	// disk-persistent store — both the reduction and the diagonalization
 	// were skipped.
 	CtrPreparedStoreHits
+	// CtrNetsStreamed counts nets ingested by the streaming pipeline
+	// (Config.StreamIngest): parse → extract → cluster without ever
+	// materializing the whole design.
+	CtrNetsStreamed
+	// CtrClustersEmittedEager counts clusters handed to the worker pool the
+	// moment their coupled component closed, while ingest was still running.
+	CtrClustersEmittedEager
+	// CtrFrontierPeakNets records the high-water count of simultaneously
+	// live (unretired) nets in the streaming frontier — the streamed run's
+	// memory high-water proxy.
+	CtrFrontierPeakNets
 
 	// NumCounters bounds the Counter enum.
 	NumCounters
@@ -209,6 +220,12 @@ func (c Counter) String() string {
 		return "clusters_recomputed"
 	case CtrPreparedStoreHits:
 		return "prepared_store_hits"
+	case CtrNetsStreamed:
+		return "nets_streamed"
+	case CtrClustersEmittedEager:
+		return "clusters_emitted_eager"
+	case CtrFrontierPeakNets:
+		return "frontier_peak_nets"
 	default:
 		return "counter(?)"
 	}

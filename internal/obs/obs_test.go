@@ -48,7 +48,8 @@ func TestNames(t *testing.T) {
 		"rom_store_hits", "rom_store_writes", "cache_corrupt_discarded",
 		"screened_rung0", "screen_bound_evals", "screen_near_threshold",
 		"reverify_jobs", "clusters_reused", "clusters_recomputed",
-		"prepared_store_hits",
+		"prepared_store_hits", "nets_streamed", "clusters_emitted_eager",
+		"frontier_peak_nets",
 	}
 	for c := Counter(0); c < NumCounters; c++ {
 		if got := c.String(); got != wantCtrs[c] {

@@ -8,15 +8,15 @@ import (
 	"xtverify/internal/obs"
 )
 
-// TestSchemaV3CounterKeySet is the two-way pin between the runtime metrics
+// TestSchemaV4CounterKeySet is the two-way pin between the runtime metrics
 // schema and the statically declared registry: the exact set of names the
-// Counter enum emits must equal lint.SchemaV3Counters, which the counterreg
+// Counter enum emits must equal lint.SchemaV4Counters, which the counterreg
 // analyzer checks every call-site literal against. Adding, renaming or
 // retiring a counter therefore has to touch both lists — and this test plus
 // the analyzer keep every lookup in the tree honest in between.
-func TestSchemaV3CounterKeySet(t *testing.T) {
-	if obs.SchemaVersion != 3 {
-		t.Fatalf("metrics schema version is %d; this golden pins v3 — update lint.SchemaV3Counters and this test together", obs.SchemaVersion)
+func TestSchemaV4CounterKeySet(t *testing.T) {
+	if obs.SchemaVersion != 4 {
+		t.Fatalf("metrics schema version is %d; this golden pins v4 — update lint.SchemaV4Counters and this test together", obs.SchemaVersion)
 	}
 	names := make([]string, 0, int(obs.NumCounters))
 	seen := make(map[string]bool, int(obs.NumCounters))
@@ -33,9 +33,9 @@ func TestSchemaV3CounterKeySet(t *testing.T) {
 	}
 	sort.Strings(names)
 
-	want := lint.SchemaV3Counters
+	want := lint.SchemaV4Counters
 	if len(names) != len(want) {
-		t.Fatalf("runtime enum has %d counters, lint.SchemaV3Counters declares %d:\n  enum:     %v\n  declared: %v",
+		t.Fatalf("runtime enum has %d counters, lint.SchemaV4Counters declares %d:\n  enum:     %v\n  declared: %v",
 			len(names), len(want), names, want)
 	}
 	for i := range names {

@@ -27,8 +27,10 @@ import (
 
 // SchemaVersion is the metrics JSON schema version emitted by Snapshot.
 // Version 2 added the rung-0 screening counters; version 3 the incremental
-// reverify and persistent prepared-transient counters.
-const SchemaVersion = 3
+// reverify and persistent prepared-transient counters; version 4 the
+// streaming-ingest counters (nets_streamed, clusters_emitted_eager,
+// frontier_peak_nets).
+const SchemaVersion = 4
 
 // PhaseMetrics summarizes the recorded spans of one phase.
 type PhaseMetrics struct {

@@ -1,0 +1,234 @@
+package spef
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xtverify/internal/dsp"
+	"xtverify/internal/extract"
+)
+
+// recordingSink captures the stream verbatim.
+type recordingSink struct {
+	design  string
+	nameMap map[string]string
+	nets    []*Net
+	failOn  string // net name to fail AddNet on
+	failErr error
+}
+
+func (r *recordingSink) StartDesign(name string) error { r.design = name; return nil }
+
+func (r *recordingSink) MapName(key, full string) error {
+	if r.nameMap == nil {
+		r.nameMap = map[string]string{}
+	}
+	r.nameMap[key] = full
+	return nil
+}
+
+func (r *recordingSink) AddNet(n *Net) error {
+	if r.failOn != "" && n.Name == r.failOn {
+		return r.failErr
+	}
+	r.nets = append(r.nets, n)
+	return nil
+}
+
+// TestStreamParseMalformedMidStream pins the typed error contract: a record
+// that goes bad mid-stream surfaces a *ParseError naming the exact input
+// line, and every net that closed before the bad record was already
+// delivered to the sink.
+func TestStreamParseMalformedMidStream(t *testing.T) {
+	// All inputs share a valid first net on lines 1-4 so netsBefore
+	// checks eager delivery ahead of the failure.
+	const goodNet = "*D_NET n1 1.5\n*CAP\n1 n1:0 2.0\n*END\n"
+	cases := []struct {
+		name       string
+		src        string
+		wantLine   int
+		wantMsg    string // substring of Error()
+		netsBefore int
+		wrapped    bool // Err (the cause) must be non-nil
+	}{
+		{
+			name:       "cap entry arity",
+			src:        goodNet + "*D_NET n2 1.0\n*CAP\n1 n2:0\n*END\n",
+			wantLine:   7,
+			wantMsg:    "malformed *CAP entry",
+			netsBefore: 1,
+			wrapped:    true,
+		},
+		{
+			name:       "res node missing colon",
+			src:        goodNet + "*D_NET n2 1.0\n*RES\n1 n2:0 nocolon 5\n*END\n",
+			wantLine:   7,
+			wantMsg:    `node "nocolon" missing ':'`,
+			netsBefore: 1,
+			wrapped:    true,
+		},
+		{
+			name:       "non-numeric cap value",
+			src:        goodNet + "*D_NET n2 1.0\n*CAP\n1 n2:0 tiny\n*END\n",
+			wantLine:   7,
+			wantMsg:    "invalid syntax",
+			netsBefore: 1,
+			wrapped:    true,
+		},
+		{
+			name:       "bad total cap",
+			src:        goodNet + "*D_NET n2 huge\n",
+			wantLine:   5,
+			wantMsg:    "bad total cap",
+			netsBefore: 1,
+			wrapped:    true,
+		},
+		{
+			name:       "malformed D_NET arity",
+			src:        goodNet + "*D_NET onlyname\n",
+			wantLine:   5,
+			wantMsg:    "malformed *D_NET",
+			netsBefore: 1,
+		},
+		{
+			name:       "conn entry outside CONN",
+			src:        goodNet + "*D_NET n2 1.0\n*CAP\n*I u1:A I *N n2:0\n*END\n",
+			wantLine:   7,
+			wantMsg:    "*I outside *CONN",
+			netsBefore: 1,
+		},
+		{
+			name:       "malformed conn entry",
+			src:        goodNet + "*D_NET n2 1.0\n*CONN\n*I u1:A I n2:0\n*END\n",
+			wantLine:   7,
+			wantMsg:    "malformed *I",
+			netsBefore: 1,
+		},
+		{
+			name:       "data outside any section",
+			src:        goodNet + "*D_NET n2 1.0\n1 n2:0 2.0\n*END\n",
+			wantLine:   6,
+			wantMsg:    "data outside section",
+			netsBefore: 1,
+		},
+		{
+			name:       "stray data after END",
+			src:        goodNet + "1 n1:0 2.0\n",
+			wantLine:   5,
+			wantMsg:    `unexpected "1 n1:0 2.0"`,
+			netsBefore: 1,
+		},
+		{
+			name:       "unsupported unit between nets",
+			src:        goodNet + "*C_UNIT 1 PARSEC\n",
+			wantLine:   5,
+			wantMsg:    `unsupported cap unit "PARSEC"`,
+			netsBefore: 1,
+		},
+		{
+			name:       "malformed name map entry",
+			src:        "*NAME_MAP\n*1 w0\n*2\n",
+			wantLine:   3,
+			wantMsg:    "malformed name map entry",
+			netsBefore: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := &recordingSink{}
+			err := StreamParse(strings.NewReader(tc.src), sink)
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("StreamParse = %v, want *ParseError", err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("error line = %d, want %d (%v)", pe.Line, tc.wantLine, pe)
+			}
+			//xtlint:errcmp parser test asserting the rendered line prefix
+			if !strings.Contains(pe.Error(), "spef: line "+strconv.Itoa(tc.wantLine)+": ") {
+				t.Errorf("error %q lacks the line prefix", pe.Error())
+			}
+			//xtlint:errcmp parser test asserting the diagnostic message content
+			if !strings.Contains(pe.Error(), tc.wantMsg) {
+				t.Errorf("error %q lacks %q", pe.Error(), tc.wantMsg)
+			}
+			if tc.wrapped && pe.Unwrap() == nil {
+				t.Errorf("error %v carries no cause", pe)
+			}
+			if len(sink.nets) != tc.netsBefore {
+				t.Errorf("sink saw %d nets before the error, want %d", len(sink.nets), tc.netsBefore)
+			}
+			// Parse must reject the same input with the same rendering.
+			//xtlint:errcmp the contract under test is identical rendering across both parse paths
+			if _, perr := Parse(strings.NewReader(tc.src)); perr == nil || perr.Error() != err.Error() {
+				t.Errorf("Parse error %v differs from StreamParse error %v", perr, err)
+			}
+		})
+	}
+}
+
+// TestStreamParseEagerHandoff proves nets are delivered as their sections
+// close, not at EOF: a sink error on the second net aborts the parse with
+// that error, unwrapped, after the first net arrived.
+func TestStreamParseEagerHandoff(t *testing.T) {
+	src := "*D_NET a 1.0\n*END\n*D_NET b 2.0\n*END\n*D_NET c 3.0\n*END\n"
+	boom := errors.New("sink rejected")
+	sink := &recordingSink{failOn: "b", failErr: boom}
+	if err := StreamParse(strings.NewReader(src), sink); !errors.Is(err, boom) {
+		t.Fatalf("StreamParse = %v, want the sink's own error", err)
+	}
+	if len(sink.nets) != 1 || sink.nets[0].Name != "a" {
+		t.Fatalf("sink saw %v before the abort, want just net a", sink.nets)
+	}
+}
+
+// TestStreamParseMatchesParse checks the equivalence contract on real
+// extractor output: the streamed net sequence, resolved with the full name
+// map, is exactly Parse's materialized view.
+func TestStreamParseMatchesParse(t *testing.T) {
+	d, err := dsp.Generate(dsp.Config{Seed: 12, Channels: 1, TracksPerChannel: 25,
+		ChannelLengthUM: 700, BusFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := extract.Extract(d, extract.Tech025())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	f, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	if err := StreamParse(bytes.NewReader(data), sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.design != f.Design {
+		t.Errorf("streamed design %q vs %q", sink.design, f.Design)
+	}
+	if len(sink.nets) != len(f.Nets) {
+		t.Fatalf("streamed %d nets, Parse materialized %d", len(sink.nets), len(f.Nets))
+	}
+	for i, sn := range sink.nets {
+		// Streamed coupling refs are raw; apply the EOF resolution Parse
+		// performs and the structures must match exactly.
+		for j := range sn.Caps {
+			if full, ok := sink.nameMap[sn.Caps[j].OtherNet]; sn.Caps[j].OtherNet != "" && ok {
+				sn.Caps[j].OtherNet = full
+			}
+		}
+		if !reflect.DeepEqual(sn, f.Nets[i]) {
+			t.Errorf("net %d differs:\nstreamed:     %+v\nmaterialized: %+v", i, sn, f.Nets[i])
+		}
+	}
+}

@@ -56,7 +56,7 @@ func TestMetricsPopulated(t *testing.T) {
 	cfg := Config{Model: FixedResistance, CapRatioThreshold: 0.03, Workers: 2}
 	rep, s := runWithCollector(t, cfg)
 
-	if s.SchemaVersion != 3 || s.Workers != rep.Diagnostics.Workers || s.WallNs <= 0 {
+	if s.SchemaVersion != 4 || s.Workers != rep.Diagnostics.Workers || s.WallNs <= 0 {
 		t.Errorf("header fields wrong: %+v", s)
 	}
 	for _, ctr := range []string{"lanczos_iterations", "newton_iterations", "fallback_reduced"} {
@@ -118,7 +118,7 @@ func TestMetricsPopulated(t *testing.T) {
 	if err := s.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "\"schema_version\": 3") {
+	if !strings.Contains(buf.String(), "\"schema_version\": 4") {
 		t.Errorf("snapshot JSON missing schema version:\n%s", buf.String())
 	}
 }

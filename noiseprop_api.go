@@ -45,6 +45,9 @@ func (v *Verifier) TraceGlitch(victim string) (*PropagationTrace, error) {
 // TraceGlitchContext is TraceGlitch with cancellation: ctx aborts the glitch
 // analysis of either polarity before the propagation walk starts.
 func (v *Verifier) TraceGlitchContext(ctx context.Context, victim string) (*PropagationTrace, error) {
+	if err := v.requireMaterialized("TraceGlitch"); err != nil {
+		return nil, err
+	}
 	net, ok := v.des.NetByName(victim)
 	if !ok {
 		return nil, fmt.Errorf("xtverify: unknown net %q", victim)

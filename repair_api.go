@@ -43,6 +43,9 @@ func (v *Verifier) AdviseRepair(victim string) (*RepairAdvice, error) {
 // AdviseRepairContext is AdviseRepair honoring context cancellation and
 // deadlines across the polarity screen and every candidate re-simulation.
 func (v *Verifier) AdviseRepairContext(ctx context.Context, victim string) (*RepairAdvice, error) {
+	if err := v.requireMaterialized("AdviseRepair"); err != nil {
+		return nil, err
+	}
 	if v.victimStale(victim) {
 		// An incremental reverify superseded this victim's result here: the
 		// waveforms any advice would be ranked against no longer describe the

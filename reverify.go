@@ -224,6 +224,9 @@ func (b *BaseRun) Entries() int { return len(b.entries) }
 // cluster carries an outcome); partial or foreign reports are rejected with
 // ErrBaseUnusable rather than silently yielding a base that can never match.
 func (v *Verifier) BaseRun(rep *Report) (*BaseRun, error) {
+	if err := v.requireMaterialized("BaseRun"); err != nil {
+		return nil, err
+	}
 	if rep == nil || rep.Diagnostics == nil {
 		return nil, fmt.Errorf("%w: report has no diagnostics", ErrBaseUnusable)
 	}
@@ -284,6 +287,9 @@ func (v *Verifier) Reverify(base *BaseRun) (*Report, *ReverifyStats, error) {
 // marked stale there; subsequent AdviseRepair calls for them on the base
 // verifier fail with ErrStaleReport.
 func (v *Verifier) ReverifyContext(ctx context.Context, base *BaseRun) (*Report, *ReverifyStats, error) {
+	if err := v.requireMaterialized("Reverify"); err != nil {
+		return nil, nil, err
+	}
 	if base == nil {
 		return nil, nil, fmt.Errorf("%w: nil base run", ErrBaseUnusable)
 	}

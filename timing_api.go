@@ -35,6 +35,9 @@ func (v *Verifier) RunTimingImpact(rising bool) ([]TimingImpact, error) {
 // per-victim delay recalculation between clusters and the partial work is
 // discarded.
 func (v *Verifier) RunTimingImpactContext(ctx context.Context, rising bool) ([]TimingImpact, error) {
+	if err := v.requireMaterialized("RunTimingImpact"); err != nil {
+		return nil, err
+	}
 	pOpt := prune.Options{
 		CapRatioThreshold: v.cfg.CapRatioThreshold,
 		MinCouplingF:      0.5e-15,
@@ -77,6 +80,9 @@ func (v *Verifier) RunTimingImpactContext(ctx context.Context, rising bool) ([]T
 // refined, conservatively wider windows. The design must have been annotated
 // (sta.Annotate / the loader's STA pass) first.
 func (v *Verifier) RefineTimingWindows(ctx context.Context) (int, error) {
+	if err := v.requireMaterialized("RefineTimingWindows"); err != nil {
+		return 0, err
+	}
 	pOpt := prune.Options{
 		CapRatioThreshold: v.cfg.CapRatioThreshold,
 		MinCouplingF:      0.5e-15,

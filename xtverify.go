@@ -187,6 +187,20 @@ type Config struct {
 	// batched runs are bit-identical to the one-shot path); this knob exists
 	// for A/B timing comparisons and the byte-identity regression tests.
 	DisablePreparedTransients bool
+	// StreamIngest switches the verifier to the bounded-memory streaming
+	// pipeline (stream_ingest.go): nets are parsed, extracted and clustered
+	// incrementally, and each coupled cluster is handed to the worker pool
+	// the moment it closes — verification overlaps ingest and peak memory is
+	// O(largest cluster + frontier) instead of O(chip). Reports are
+	// byte-identical to a materialized run. Requires (approximately)
+	// ascending-y net order in the input; incompatible with UseTimingWindows
+	// and with APIs that need the whole design in memory (WriteSPEF,
+	// Reverify, ...), which then fail with ErrStreamIngest.
+	StreamIngest bool
+	// StreamFrontierSlackUM is the tolerated out-of-orderness (µm) of
+	// streamed net arrival; 0 means extract.DefaultFrontierSlackUM. Only
+	// meaningful with StreamIngest.
+	StreamFrontierSlackUM float64
 	// Collector, when non-nil, turns on the observability layer: per-phase
 	// span timing and engine counters are gathered during the run and
 	// aggregated into Diagnostics.Metrics. Create one fresh collector per
@@ -372,6 +386,11 @@ type Verifier struct {
 	cfg Config
 	des *design.Design
 	par *extract.Parasitics
+	// src, when non-nil, marks a streaming verifier (Config.StreamIngest):
+	// des and par stay nil and runEngine routes to runStreamEngine, which
+	// ingests nets from src on every run. APIs that need the materialized
+	// design guard with requireMaterialized.
+	src StreamSource
 	// faultHook, when set (tests only), is invoked before each cluster
 	// attempt and may inject an error or panic to exercise the ladder.
 	faultHook func(victim string, stage FallbackStage) error
@@ -390,6 +409,9 @@ type Verifier struct {
 // stand-in) and prepares it for verification. cfg may be zero-valued.
 func NewVerifierFromDSP(dspCfg DSPConfig, cfg Config) (*Verifier, error) {
 	cfg.setDefaults()
+	if cfg.StreamIngest {
+		return newStreamVerifier(dspStreamSource{cfg: dsp.Config(dspCfg)}, cfg)
+	}
 	d, err := dsp.Generate(dsp.Config(dspCfg))
 	if err != nil {
 		return nil, err
@@ -419,15 +441,30 @@ func newVerifier(d *design.Design, cfg Config) (*Verifier, error) {
 }
 
 // WriteSPEF serializes the extracted parasitics in SPEF form.
-func (v *Verifier) WriteSPEF(w io.Writer) error { return spef.Write(w, v.par) }
+func (v *Verifier) WriteSPEF(w io.Writer) error {
+	if err := v.requireMaterialized("WriteSPEF"); err != nil {
+		return err
+	}
+	return spef.Write(w, v.par)
+}
 
 // WriteVerilog serializes the design's gate-level connectivity as
 // structural Verilog (the netlist-side companion to the SPEF parasitics).
-func (v *Verifier) WriteVerilog(w io.Writer) error { return verilog.Write(w, v.des) }
+func (v *Verifier) WriteVerilog(w io.Writer) error {
+	if err := v.requireMaterialized("WriteVerilog"); err != nil {
+		return err
+	}
+	return verilog.Write(w, v.des)
+}
 
 // WriteDEF serializes the design's physical view (placements and routed
 // wiring) in the DEF subset.
-func (v *Verifier) WriteDEF(w io.Writer) error { return deflite.Write(w, v.des) }
+func (v *Verifier) WriteDEF(w io.Writer) error {
+	if err := v.requireMaterialized("WriteDEF"); err != nil {
+		return err
+	}
+	return deflite.Write(w, v.des)
+}
 
 // NewVerifierFromDEF loads a physical design from a DEF-subset stream (as
 // produced by WriteDEF — placements, pin connections, routed segments) and
@@ -435,6 +472,11 @@ func (v *Verifier) WriteDEF(w io.Writer) error { return deflite.Write(w, v.des) 
 // library.
 func NewVerifierFromDEF(r io.Reader, cfg Config) (*Verifier, error) {
 	cfg.setDefaults()
+	if cfg.StreamIngest {
+		// The reader is consumed during each Run, not here — it must stay
+		// open (and be rewound between runs) for the verifier's lifetime.
+		return newStreamVerifier(defStreamSource{r: r}, cfg)
+	}
 	d, err := deflite.Read(r)
 	if err != nil {
 		return nil, err
